@@ -1,0 +1,256 @@
+(* The `iced` command-line tool: map kernels, simulate schedules, run
+   streaming applications, and print the design-point report.
+
+     iced kernels                         list the Table I workloads
+     iced map fir --point iced --unroll 2 map one kernel
+     iced simulate gemm --iterations 50   functional simulation
+     iced stream gcn --policy iced        streaming run
+     iced report                          headline design comparison *)
+
+open Cmdliner
+open Iced_arch
+module Design = Iced.Design
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                    *)
+
+let kernel_conv =
+  let parse s =
+    match Iced_kernels.Registry.by_name s with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown kernel %s (try: %s)" s
+             (String.concat " " (Iced_kernels.Registry.names ()))))
+  in
+  Arg.conv (parse, fun fmt (k : Iced_kernels.Kernel.t) -> Format.pp_print_string fmt k.name)
+
+let point_conv =
+  let parse s =
+    match
+      List.find_opt (fun p -> Design.point_to_string p = s) Design.all_points
+    with
+    | Some p -> Ok p
+    | None -> Error (`Msg "expected one of: baseline, baseline+pg, per-tile dvfs+pg, iced")
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Design.point_to_string p))
+
+let kernel_arg =
+  Arg.(required & pos 0 (some kernel_conv) None & info [] ~docv:"KERNEL")
+
+let point_arg =
+  Arg.(value & opt point_conv Design.Iced & info [ "point" ] ~docv:"POINT"
+         ~doc:"Design point: baseline, baseline+pg, 'per-tile dvfs+pg', or iced.")
+
+let unroll_arg =
+  Arg.(value & opt int 1 & info [ "unroll" ] ~docv:"N" ~doc:"Unroll factor (1 or 2).")
+
+let size_arg =
+  Arg.(value & opt int 6 & info [ "size" ] ~docv:"N" ~doc:"Fabric is NxN tiles.")
+
+(* ------------------------------------------------------------------ *)
+(* subcommands                                                         *)
+
+let kernels_cmd =
+  let run () =
+    let t =
+      Iced_util.Table.create ~title:"Table I workloads"
+        ~columns:[ "kernel"; "domain"; "nodes"; "edges"; "RecMII" ]
+    in
+    List.iter
+      (fun (k : Iced_kernels.Kernel.t) ->
+        let n, e, r = Iced_kernels.Kernel.stats k.dfg in
+        Iced_util.Table.add_row t
+          [ k.name; Iced_kernels.Kernel.domain_to_string k.domain; string_of_int n;
+            string_of_int e; string_of_int r ])
+      Iced_kernels.Registry.all;
+    Iced_util.Table.print t
+  in
+  Cmd.v (Cmd.info "kernels" ~doc:"List the benchmark kernels") Term.(const run $ const ())
+
+let dot_arg =
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+         ~doc:"Write the kernel's DFG to FILE in Graphviz format.")
+
+let floorplan_arg =
+  Arg.(value & flag & info [ "floorplan" ]
+         ~doc:"Render the schedule as per-cycle fabric grids (the paper's Figure 1/3 view).")
+
+let config_arg =
+  Arg.(value & flag & info [ "config" ]
+         ~doc:"Print the per-tile configuration-memory contents (control words).")
+
+let map_cmd =
+  let run kernel point unroll size dot floorplan config =
+    let cgra = Cgra.make ~rows:size ~cols:size () in
+    (match dot with
+    | Some path ->
+      Iced_dfg.Dot.write_file ~path (Iced_kernels.Kernel.dfg_at kernel ~factor:unroll);
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    match Design.evaluate ~cgra ~unroll point kernel with
+    | Error msg ->
+      Printf.eprintf "mapping failed: %s\n" msg;
+      exit 1
+    | Ok e ->
+      if floorplan then Iced_mapper.Floorplan.print e.Design.mapping
+      else Format.printf "%a" Iced_mapper.Mapping.pp e.Design.mapping;
+      if config then begin
+        List.iter
+          (fun c ->
+            Format.printf "%a" Iced_mapper.Bitstream.pp c;
+            Printf.printf "  words:%s\n"
+              (String.concat ""
+                 (List.map (Printf.sprintf " %016Lx") (Iced_mapper.Bitstream.words c))))
+          (Iced_mapper.Bitstream.generate e.Design.mapping);
+        Printf.printf "total configuration: %d bits\n"
+          (Iced_mapper.Bitstream.total_bits e.Design.mapping)
+      end;
+      Printf.printf "II = %d, speedup vs CPU = %.2fx\n" e.Design.ii e.Design.speedup_vs_cpu;
+      Printf.printf "avg utilization = %.2f, avg DVFS level = %.2f, power = %.1f mW\n"
+        e.Design.avg_utilization e.Design.avg_dvfs e.Design.power_mw
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Map a kernel onto the CGRA and print the schedule")
+    Term.(
+      const run $ kernel_arg $ point_arg $ unroll_arg $ size_arg $ dot_arg $ floorplan_arg
+      $ config_arg)
+
+let iterations_arg =
+  Arg.(value & opt int 25 & info [ "iterations" ] ~docv:"N" ~doc:"Loop iterations to run.")
+
+let vcd_arg =
+  Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE"
+         ~doc:"Dump a value-change-dump waveform of the traced execution to FILE.")
+
+let simulate_cmd =
+  let run (kernel : Iced_kernels.Kernel.t) point unroll iterations vcd =
+    match Design.evaluate ~unroll point kernel with
+    | Error msg ->
+      Printf.eprintf "mapping failed: %s\n" msg;
+      exit 1
+    | Ok e ->
+      let result =
+        Iced_sim.Sim.run ~binding:kernel.binding e.Design.mapping ~iterations
+      in
+      let golden =
+        Iced_sim.Sim.interpret ~binding:kernel.binding
+          e.Design.mapping.Iced_mapper.Mapping.dfg ~iterations
+      in
+      Printf.printf "%d iterations in %d cycles (%d op instances)\n" iterations
+        result.Iced_sim.Sim.cycles result.Iced_sim.Sim.executed;
+      Printf.printf "stores: %d, timing violations: %d, matches interpreter: %b\n"
+        (List.length result.Iced_sim.Sim.stores)
+        (List.length result.Iced_sim.Sim.violations)
+        (result.Iced_sim.Sim.stores = golden);
+      (match vcd with
+      | Some path ->
+        Iced_sim.Trace.write_vcd ~path e.Design.mapping ~iterations:(min iterations 8);
+        Printf.printf "wrote %s\n" path
+      | None -> ());
+      if result.Iced_sim.Sim.stores <> golden || result.Iced_sim.Sim.violations <> []
+      then exit 1
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Execute a mapped kernel and check it functionally")
+    Term.(const run $ kernel_arg $ point_arg $ unroll_arg $ iterations_arg $ vcd_arg)
+
+let app_arg =
+  Arg.(required & pos 0 (some (enum [ ("gcn", `Gcn); ("lu", `Lu) ])) None
+       & info [] ~docv:"APP" ~doc:"Streaming application: gcn or lu.")
+
+let policy_arg =
+  Arg.(value
+       & opt (enum [ ("static", Iced_stream.Runner.Static);
+                     ("iced", Iced_stream.Runner.Iced_dvfs);
+                     ("drips", Iced_stream.Runner.Drips) ])
+           Iced_stream.Runner.Iced_dvfs
+       & info [ "policy" ] ~docv:"POLICY" ~doc:"Runtime policy: static, iced, or drips.")
+
+let stream_cmd =
+  let run app policy =
+    let cgra = Cgra.iced_6x6 in
+    let pipeline, inputs =
+      match app with
+      | `Gcn ->
+        ( Iced_stream.Pipeline.gcn (),
+          List.map Iced_stream.Pipeline.of_gcn_graph
+            (Iced_stream.Workload.enzyme_graphs ~seed:42 ()) )
+      | `Lu ->
+        ( Iced_stream.Pipeline.lu (),
+          List.map Iced_stream.Pipeline.of_lu_matrix
+            (Iced_stream.Workload.ufl_matrices ~seed:7 ()) )
+    in
+    let profile =
+      let step = max 1 (List.length inputs / 50) in
+      List.filteri (fun i _ -> i mod step = 0) inputs
+    in
+    match Iced_stream.Partition.prepare cgra pipeline ~profile with
+    | Error msg ->
+      Printf.eprintf "partitioning failed: %s\n" msg;
+      exit 1
+    | Ok partition ->
+      let reports = Iced_stream.Runner.run partition policy inputs in
+      let t =
+        Iced_util.Table.create
+          ~title:
+            (Printf.sprintf "%s under the %s policy" pipeline.Iced_stream.Pipeline.name
+               (Iced_stream.Runner.policy_to_string policy))
+          ~columns:[ "window"; "inputs/s"; "power mW"; "inputs/s/W" ]
+      in
+      List.iter
+        (fun (w : Iced_stream.Runner.window_report) ->
+          Iced_util.Table.add_row t
+            [ string_of_int w.index;
+              Printf.sprintf "%.0f" w.throughput_per_s;
+              Printf.sprintf "%.1f" w.power_mw;
+              Printf.sprintf "%.0f" w.efficiency ])
+        reports;
+      let totals = Iced_stream.Runner.aggregate reports in
+      Iced_util.Table.add_row t
+        [ "OVERALL";
+          Printf.sprintf "%.0f" totals.Iced_stream.Runner.overall_throughput_per_s;
+          Printf.sprintf "%.1f"
+            (totals.Iced_stream.Runner.total_energy_uj
+            /. totals.Iced_stream.Runner.total_time_us *. 1000.0);
+          Printf.sprintf "%.0f" totals.Iced_stream.Runner.overall_efficiency ];
+      Iced_util.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "stream" ~doc:"Run a streaming application over its input dataset")
+    Term.(const run $ app_arg $ policy_arg)
+
+let report_cmd =
+  let run size =
+    let cgra = Cgra.make ~rows:size ~cols:size () in
+    let t =
+      Iced_util.Table.create
+        ~title:(Printf.sprintf "design-point comparison on %dx%d (means over 10 kernels)" size size)
+        ~columns:[ "design"; "avg util"; "avg dvfs"; "power mW" ]
+    in
+    List.iter
+      (fun point ->
+        let evals =
+          List.filter_map
+            (fun k ->
+              match Design.evaluate ~cgra point k with Ok e -> Some e | Error _ -> None)
+            Iced_kernels.Registry.standalone
+        in
+        let mean f = Iced_util.Stats.mean (List.map f evals) in
+        Iced_util.Table.add_row t
+          [ Design.point_to_string point;
+            Printf.sprintf "%.2f" (mean (fun e -> e.Design.avg_utilization));
+            Printf.sprintf "%.2f" (mean (fun e -> e.Design.avg_dvfs));
+            Printf.sprintf "%.1f" (mean (fun e -> e.Design.power_mw)) ])
+      Design.all_points;
+    Iced_util.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Compare the four design points on the kernel suite")
+    Term.(const run $ size_arg)
+
+let () =
+  let doc = "ICED: DVFS-aware CGRA mapping, simulation, and evaluation" in
+  let info = Cmd.info "iced" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ kernels_cmd; map_cmd; simulate_cmd; stream_cmd; report_cmd ]))

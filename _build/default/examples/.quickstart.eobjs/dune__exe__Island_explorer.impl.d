@@ -1,0 +1,1 @@
+examples/island_explorer.ml: Array Cgra Iced Iced_arch Iced_dfg Iced_kernels Iced_mapper Iced_util List Printf String Sys

@@ -1,0 +1,1 @@
+examples/island_explorer.mli:

@@ -1,0 +1,1 @@
+examples/lu_pipeline.ml: Iced_arch Iced_stream Iced_util List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Cgra Floorplan Format Graph Iced_arch Iced_dfg Iced_mapper Iced_power Iced_sim Levels List Mapper Mapping Op Printf Validate

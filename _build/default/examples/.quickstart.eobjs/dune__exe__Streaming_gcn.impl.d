@@ -1,0 +1,1 @@
+examples/streaming_gcn.ml: Iced_arch Iced_stream Iced_util List Printf String

@@ -1,0 +1,63 @@
+(* Design-space exploration: how the DVFS island size and fabric size
+   trade performance against energy (the paper's Figures 4 and 12).
+
+   For a chosen kernel this sweeps fabric sizes and island shapes and
+   reports the II, the average DVFS level, and the chip power for the
+   full ICED flow, plus the II under committed-island mapping (the
+   constraint study behind Figure 4).
+
+   Run with:  dune exec examples/island_explorer.exe -- [kernel]   *)
+
+open Iced_arch
+module Design = Iced.Design
+module Mapper = Iced_mapper.Mapper
+
+let () =
+  let kernel_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "spmv" in
+  match Iced_kernels.Registry.by_name kernel_name with
+  | None ->
+    Printf.eprintf "unknown kernel %s; try one of: %s\n" kernel_name
+      (String.concat " " (Iced_kernels.Registry.names ()))
+  | Some kernel ->
+    Printf.printf "exploring %s (%d nodes, RecMII %d)\n\n" kernel.name
+      (Iced_dfg.Graph.node_count kernel.dfg)
+      (Iced_dfg.Analysis.rec_mii kernel.dfg);
+    (* fabric sweep at 2x2 islands: the Figure 12 axis *)
+    let fabric_table =
+      Iced_util.Table.create ~title:"fabric sweep (2x2 islands, full ICED flow)"
+        ~columns:[ "fabric"; "II"; "avg util"; "avg dvfs"; "power mW" ]
+    in
+    List.iter
+      (fun n ->
+        let cgra = Cgra.make ~rows:n ~cols:n () in
+        match Design.evaluate ~cgra Design.Iced kernel with
+        | Error _ -> Iced_util.Table.add_row fabric_table
+                       [ Printf.sprintf "%dx%d" n n; "-"; "-"; "-"; "-" ]
+        | Ok e ->
+          Iced_util.Table.add_row fabric_table
+            [ Printf.sprintf "%dx%d" n n;
+              string_of_int e.Design.ii;
+              Printf.sprintf "%.2f" e.Design.avg_utilization;
+              Printf.sprintf "%.2f" e.Design.avg_dvfs;
+              Printf.sprintf "%.1f" e.Design.power_mw ])
+      [ 4; 6; 8 ];
+    Iced_util.Table.print fabric_table;
+    (* island-shape sweep on an 8x8 fabric: the Figure 4 axis *)
+    let island_table =
+      Iced_util.Table.create
+        ~title:"island sweep on 8x8 (islands committed to labeled levels)"
+        ~columns:[ "island"; "committed II"; "free-flow II" ]
+    in
+    let base = Cgra.make ~rows:8 ~cols:8 () in
+    List.iter
+      (fun (r, c) ->
+        let cgra = Cgra.with_island base (r, c) in
+        let run commit =
+          match Mapper.map (Mapper.request ~commit_islands:commit cgra) kernel.dfg with
+          | Ok m -> string_of_int m.Iced_mapper.Mapping.ii
+          | Error _ -> "-"
+        in
+        Iced_util.Table.add_row island_table
+          [ Printf.sprintf "%dx%d" r c; run true; run false ])
+      [ (1, 1); (2, 2); (3, 3); (4, 4) ];
+    Iced_util.Table.print island_table

@@ -1,0 +1,1 @@
+lib/arch/cgra.ml: Dir Format List Option

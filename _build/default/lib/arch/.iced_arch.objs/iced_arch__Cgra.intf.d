@@ -1,0 +1,1 @@
+lib/arch/cgra.mli: Dir Format

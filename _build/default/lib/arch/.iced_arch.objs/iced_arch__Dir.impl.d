@@ -1,0 +1,1 @@
+lib/arch/dir.ml: Format Int

@@ -1,0 +1,1 @@
+lib/arch/dvfs.mli: Format

@@ -1,0 +1,15 @@
+type t = North | South | East | West
+
+let all = [ North; South; East; West ]
+
+let opposite = function North -> South | South -> North | East -> West | West -> East
+
+let offset = function North -> (-1, 0) | South -> (1, 0) | East -> (0, 1) | West -> (0, -1)
+
+let to_string = function North -> "N" | South -> "S" | East -> "E" | West -> "W"
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+let compare a b =
+  let rank = function North -> 0 | South -> 1 | East -> 2 | West -> 3 in
+  Int.compare (rank a) (rank b)

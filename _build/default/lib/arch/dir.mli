@@ -1,0 +1,14 @@
+(** Mesh directions of the CGRA interconnect. *)
+
+type t = North | South | East | West
+
+val all : t list
+
+val opposite : t -> t
+
+val offset : t -> int * int
+(** (row delta, col delta); North decreases the row index. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int

@@ -1,0 +1,60 @@
+type level = Power_gated | Rest | Relax | Normal
+
+let all = [ Power_gated; Rest; Relax; Normal ]
+let active = [ Rest; Relax; Normal ]
+
+let is_active = function Power_gated -> false | Rest | Relax | Normal -> true
+
+let multiplier = function
+  | Normal -> 1
+  | Relax -> 2
+  | Rest -> 4
+  | Power_gated -> invalid_arg "Dvfs.multiplier: power-gated island has no clock"
+
+let of_multiplier = function 1 -> Some Normal | 2 -> Some Relax | 4 -> Some Rest | _ -> None
+
+let frequency_mhz = function
+  | Normal -> 434.0
+  | Relax -> 217.0
+  | Rest -> 108.5
+  | Power_gated -> 0.0
+
+let voltage = function
+  | Normal -> 0.70
+  | Relax -> 0.50
+  | Rest -> 0.42
+  | Power_gated -> 0.0
+
+let fraction = function Normal -> 1.0 | Relax -> 0.5 | Rest -> 0.25 | Power_gated -> 0.0
+
+let rank = function Power_gated -> 0 | Rest -> 1 | Relax -> 2 | Normal -> 3
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let faster a b = rank a > rank b
+
+let at_most a b = rank a <= rank b
+
+let step_up = function
+  | Power_gated -> Rest
+  | Rest -> Relax
+  | Relax -> Normal
+  | Normal -> Normal
+
+let step_down ?(floor = Rest) level =
+  let lowered =
+    match level with
+    | Normal -> Relax
+    | Relax -> Rest
+    | Rest -> Rest
+    | Power_gated -> Power_gated
+  in
+  if rank lowered < rank floor then floor else lowered
+
+let to_string = function
+  | Power_gated -> "power-gated"
+  | Rest -> "rest"
+  | Relax -> "relax"
+  | Normal -> "normal"
+
+let pp fmt level = Format.pp_print_string fmt (to_string level)

@@ -1,0 +1,1 @@
+lib/core/design.ml: Cgra Iced_arch Iced_kernels Iced_mapper Iced_power Iced_sim Levels List Mapper Mapping Printf String Validate

@@ -1,0 +1,1 @@
+lib/core/design.mli: Cgra Iced_arch Iced_kernels Iced_mapper Iced_power Mapping

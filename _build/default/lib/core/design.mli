@@ -1,0 +1,61 @@
+(** One-call evaluation of a kernel on one of the paper's four design
+    points.  This is the facade the benchmark harness, the examples,
+    and the CLI share: it picks the mapping strategy, island geometry,
+    level-assignment policy, and power-model overheads that define each
+    design, so every figure compares exactly the same four systems.
+
+    - {b Baseline}: conventional CGRA — utilization-oblivious mapping,
+      no DVFS hardware, every tile always at nominal V/F.
+    - {b Baseline_gated}: same mapping; idle islands power-gated.
+    - {b Per_tile}: the "improved UE-CGRA" — conventional mapping on a
+      1x1-island fabric, every tile lowered to its soundest level or
+      gated, one DVFS controller per tile (>30 % of a tile in power and
+      area).
+    - {b Iced}: DVFS-aware mapping (Algorithms 1 and 2), per-island
+      level assignment, one controller per island. *)
+
+open Iced_arch
+open Iced_mapper
+
+type point = Baseline | Baseline_gated | Per_tile | Iced
+
+val all_points : point list
+val point_to_string : point -> string
+
+type evaluation = {
+  point : point;
+  kernel : string;
+  unroll : int;
+  mapping : Mapping.t;
+  ii : int;
+  avg_utilization : float;  (** paper Figures 2 and 9 *)
+  avg_dvfs : float;  (** paper Figures 10 and 12 *)
+  power_mw : float;  (** paper Figure 11 *)
+  speedup_vs_cpu : float;
+}
+
+val evaluate :
+  ?cgra:Cgra.t ->
+  ?params:Iced_power.Params.t ->
+  ?unroll:int ->
+  point ->
+  Iced_kernels.Kernel.t ->
+  (evaluation, string) result
+(** Map and evaluate a kernel ([unroll] 1 or 2, default 1) on the
+    design point.  [cgra] defaults to the 6x6 ICED prototype; for
+    [Per_tile] the same fabric is re-islanded 1x1. *)
+
+val evaluate_exn :
+  ?cgra:Cgra.t ->
+  ?params:Iced_power.Params.t ->
+  ?unroll:int ->
+  point ->
+  Iced_kernels.Kernel.t ->
+  evaluation
+(** @raise Failure when mapping fails. *)
+
+val functional_check :
+  ?iterations:int -> Iced_kernels.Kernel.t -> Mapping.t -> (unit, string) result
+(** Run the mapped schedule and the golden DFG interpreter on the
+    kernel's data binding and compare store traces ([iterations]
+    defaults to 25). *)

@@ -1,0 +1,1 @@
+lib/dfg/analysis.ml: Graph Hashtbl List Op

@@ -1,0 +1,1 @@
+lib/dfg/dot.ml: Analysis Buffer Fun Graph List Op Printf

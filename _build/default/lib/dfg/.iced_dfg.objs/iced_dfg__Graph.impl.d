@@ -1,0 +1,1 @@
+lib/dfg/graph.ml: Format Hashtbl Int List Map Op Printf String

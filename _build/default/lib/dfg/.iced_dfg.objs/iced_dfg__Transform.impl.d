@@ -1,0 +1,1 @@
+lib/dfg/transform.ml: Graph Hashtbl List Op Printf

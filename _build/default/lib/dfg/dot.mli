@@ -1,0 +1,9 @@
+(** Graphviz export of DFGs, for debugging mappings and documenting
+    kernels.  Loop-carried edges are dashed and annotated with their
+    distance; critical (RecMII) nodes are highlighted. *)
+
+val to_string : ?name:string -> Graph.t -> string
+(** Render as a [digraph].  [name] defaults to "dfg". *)
+
+val write_file : path:string -> Graph.t -> unit
+(** Write [to_string] output to [path]. *)

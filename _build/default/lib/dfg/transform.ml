@@ -1,0 +1,124 @@
+type spec = { factor : int; shared : int list; serial_phis : int list }
+
+(* Instance bookkeeping for unrolling.  Instance (old_id, k) is the k-th
+   copy of node [old_id]; shared nodes collapse every k to copy 0, and
+   (in serial mode) phi copies k > 0 are elided entirely, their value
+   being forwarded from the carried producer of the previous copy. *)
+
+let unroll g ~spec =
+  if spec.factor < 1 then invalid_arg "Transform.unroll: factor < 1";
+  (match Graph.validate g with
+  | Error msg -> invalid_arg ("Transform.unroll: invalid input graph: " ^ msg)
+  | Ok () -> ());
+  if spec.factor = 1 then g
+  else begin
+    let f = spec.factor in
+    let is_shared id = List.mem id spec.shared in
+    let is_phi id = (Graph.node g id).op = Op.Phi in
+    (* A serial phi is elided (SSA renaming chains the copies, growing
+       the recurrence); any other phi keeps one copy per unrolled body,
+       forming [f] independent (re-associated / wavefront-parallel)
+       recurrences. *)
+    let elide_phi id = List.mem id spec.serial_phis && is_phi id && not (is_shared id) in
+    let carried_input id =
+      List.find_opt (fun (e : Graph.edge) -> e.distance > 0) (Graph.predecessors g id)
+    in
+    (* Allocate instances. *)
+    let instance = Hashtbl.create 64 in
+    let out = ref Graph.empty in
+    let alloc old_id k =
+      let n = Graph.node g old_id in
+      let label = if f = 1 || (is_shared old_id) then n.label else Printf.sprintf "%s.%d" n.label k in
+      let g', id = Graph.add_node ~label !out n.op in
+      out := g';
+      Hashtbl.replace instance (old_id, k) id
+    in
+    List.iter
+      (fun old_id ->
+        if is_shared old_id then alloc old_id 0
+        else if elide_phi old_id then alloc old_id 0
+        else
+          for k = 0 to f - 1 do
+            alloc old_id k
+          done)
+      (Graph.node_ids g);
+    (* Resolve the producer instance for old node [id] at copy offset
+       [k] (which may be negative, i.e. a previous unrolled iteration).
+       Returns (new_id, extra_distance in unrolled iterations).  Elided
+       phis forward to their carried input recursively. *)
+    let rec resolve id k fuel =
+      if fuel = 0 then
+        (* Pathological chain of elided phis: fall back to the retained
+           copy-0 instance with a one-iteration distance. *)
+        (Hashtbl.find instance (id, 0), 1)
+      else begin
+        let block = if k >= 0 then 0 else -((-k + f - 1) / f) in
+        let k_in_block = k - (block * f) in
+        let extra = -block in
+        if is_shared id then (Hashtbl.find instance (id, 0), extra)
+        else if elide_phi id && k_in_block > 0 then
+          match carried_input id with
+          | None -> (Hashtbl.find instance (id, 0), extra)
+          | Some e ->
+            let producer, inner_extra = resolve e.src (k - e.distance) (fuel - 1) in
+            (producer, inner_extra)
+        else (Hashtbl.find instance (id, k_in_block), extra)
+      end
+    in
+    (* Re-create edges. *)
+    List.iter
+      (fun (e : Graph.edge) ->
+        let consumer_copies =
+          if is_shared e.dst || elide_phi e.dst then [ 0 ] else List.init f (fun k -> k)
+        in
+        List.iter
+          (fun k ->
+            let dst_inst = Hashtbl.find instance (e.dst, k) in
+            if
+              e.distance > 0 && is_phi e.dst
+              && not (is_shared e.dst)
+              && not (List.mem e.dst spec.serial_phis)
+            then begin
+              (* Parallel accumulators: each copy closes its own cycle
+                 with the original distance. *)
+              let src_inst, extra = resolve e.src k 8 in
+              out := Graph.add_edge ~distance:(e.distance + extra) !out src_inst dst_inst
+            end
+            else begin
+              let src_inst, extra = resolve e.src (k - e.distance) 8 in
+              let distance = extra in
+              (* Shared consumers (e.g. a reduction store) read the last
+                 copy's producer; copies beyond 0 were skipped above, so
+                 read from copy f-1 for carried inputs and every copy
+                 for intra inputs. *)
+              if is_shared e.dst && e.distance = 0 then
+                for k' = 0 to f - 1 do
+                  let src_inst, extra = resolve e.src k' 8 in
+                  ignore extra;
+                  out := Graph.add_edge ~distance:0 !out src_inst dst_inst
+                done
+              else out := Graph.add_edge ~distance !out src_inst dst_inst
+            end)
+          consumer_copies)
+      (Graph.edges g);
+    !out
+  end
+
+let dead_code_eliminate g ~keep =
+  let roots =
+    keep
+    @ List.filter_map
+        (fun (n : Graph.node) -> if n.op = Op.Store then Some n.id else None)
+        (Graph.nodes g)
+  in
+  let live = Hashtbl.create 64 in
+  let rec mark id =
+    if not (Hashtbl.mem live id) then begin
+      Hashtbl.add live id ();
+      List.iter (fun (e : Graph.edge) -> mark e.src) (Graph.predecessors g id)
+    end
+  in
+  List.iter (fun id -> if Graph.mem_node g id then mark id) roots;
+  List.fold_left
+    (fun acc id -> if Hashtbl.mem live id then acc else Graph.remove_node acc id)
+    g (Graph.node_ids g)

@@ -1,0 +1,36 @@
+(** DFG transforms applied before mapping: loop unrolling and dead-code
+    elimination.
+
+    Unrolling models what the paper's LLVM front-end does to the loop
+    body.  Two behaviours are supported, because Table I shows both:
+
+    - {b re-associated reductions}: accumulator recurrences through
+      associative operations are split into [factor] parallel partial
+      accumulators, so RecMII does not grow (fir, latnrm, conv, ...);
+    - {b serial recurrences}: non-reassociable loop-carried chains are
+      unrolled by SSA renaming — the [Phi] of every copy but the first
+      is elided and its consumers take the previous copy's producer
+      directly, so a cycle of length L and distance 1 becomes a cycle of
+      length [factor]*L - ([factor]-1) (spmv and gemm: 4 -> 7). *)
+
+type spec = {
+  factor : int;  (** unroll factor; 1 = identity *)
+  shared : int list;
+      (** node ids instantiated once rather than per copy: induction
+          variables, loop-invariant address math, constants *)
+  serial_phis : int list;
+      (** phis whose recurrence must stay serial (non-reassociable
+          loop-carried dependences): their copies beyond the first are
+          elided by SSA renaming, chaining the cycle through every
+          copy.  All other phis are duplicated into independent
+          per-copy recurrences (re-associated reductions / wavefront
+          parallelism), keeping RecMII flat. *)
+}
+
+val unroll : Graph.t -> spec:spec -> Graph.t
+(** Unroll the loop body.  @raise Invalid_argument if [factor < 1] or
+    the graph fails [Graph.validate]. *)
+
+val dead_code_eliminate : Graph.t -> keep:int list -> Graph.t
+(** Remove nodes from which no node in [keep] (nor any [Store]) is
+    reachable through any edge. *)

@@ -1,0 +1,1 @@
+lib/kernels/builders.ml: Graph Iced_dfg List Op

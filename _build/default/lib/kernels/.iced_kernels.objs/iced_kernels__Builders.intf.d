@@ -1,0 +1,1 @@
+lib/kernels/builders.mli: Graph Iced_dfg Op

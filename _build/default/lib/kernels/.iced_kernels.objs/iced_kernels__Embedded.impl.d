@@ -1,0 +1,1 @@
+lib/kernels/embedded.ml: Builders Graph Iced_dfg Iced_sim Kernel Op

@@ -1,0 +1,1 @@
+lib/kernels/gcn.ml: Builders Embedded Graph Iced_dfg Kernel Op

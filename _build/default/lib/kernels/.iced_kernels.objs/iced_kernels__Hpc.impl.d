@@ -1,0 +1,1 @@
+lib/kernels/hpc.ml: Builders Embedded Graph Iced_dfg Iced_sim Kernel Op

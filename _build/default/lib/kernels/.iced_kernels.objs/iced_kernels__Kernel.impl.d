@@ -1,0 +1,1 @@
+lib/kernels/kernel.ml: Analysis Graph Iced_dfg Iced_sim Printf Transform

@@ -1,0 +1,1 @@
+lib/kernels/kernel.mli: Graph Iced_dfg Iced_sim

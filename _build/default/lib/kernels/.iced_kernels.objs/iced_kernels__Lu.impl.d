@@ -1,0 +1,1 @@
+lib/kernels/lu.ml: Builders Embedded Graph Iced_dfg Kernel Op

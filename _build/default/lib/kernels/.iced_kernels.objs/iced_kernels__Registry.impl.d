@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: Embedded Gcn Hpc Kernel List Lu Ml_kernels

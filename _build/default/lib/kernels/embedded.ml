@@ -1,0 +1,205 @@
+(* Embedded-domain DSP kernels (UTDSP): fir, latnrm, fft, dtw.
+
+   Each builder constructs the partial-predication DFG of the kernel's
+   inner loop.  Structure and statistics (nodes/edges/RecMII at unroll
+   factors 1 and 2) follow Table I of the paper; the RecMII-4 recurrence
+   is the predicated induction chain produced when control flow is
+   converted to dataflow, with accumulators/state recurrences forming
+   the shorter secondary cycles. *)
+
+open Iced_dfg
+open Builders
+
+let table ~n1 ~e1 ~r1 ~n2 ~e2 ~r2 =
+  {
+    Kernel.nodes1 = n1;
+    edges1 = e1;
+    rec_mii1 = r1;
+    nodes2 = n2;
+    edges2 = e2;
+    rec_mii2 = r2;
+  }
+
+(* y[i] = sum_j c[j] * x[i-j], flattened: acc += c[i] * x[i]. *)
+let fir =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:64 g in
+  let g, ld_x = load ~label:"x" ~addr:[ ind.phi ] g in
+  let g, ld_c = load ~label:"c" ~addr:[ ind.phi ] g in
+  let g, mul = op ~label:"prod" Op.Mul ~inputs:[ ld_x; ld_c ] g in
+  let g, acc = accumulator ~input:mul g in
+  let g, _st = store ~label:"y" ~inputs:[ acc.add; ind.phi ] g in
+  let binding =
+    {
+      Iced_sim.Sim.load =
+        (fun ~label ~iter ~operands:_ ->
+          match label with
+          | "x" -> (3 * iter) + 1
+          | "c" -> (iter mod 7) - 3
+          | _ -> 0);
+      phi_init = (fun ~label:_ -> 0);
+    }
+  in
+  Kernel.make ~name:"fir" ~domain:Kernel.Embedded ~data:"64"
+    ~dfg:g
+    ~unroll_shared:[ ind.phi; ind.step; ind.bound; ind.next ]
+    ~table:(table ~n1:12 ~e1:16 ~r1:4 ~n2:20 ~e2:26 ~r2:4)
+    ~binding ~iterations:64 ()
+
+(* Normalized lattice filter: one stage of the lattice recurrence
+   state' = state * k[i] + x[i]. *)
+let latnrm =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:32 g in
+  let g, ld_x = load ~label:"x" ~addr:[ ind.phi ] g in
+  let g, ld_k = load ~label:"k" ~addr:[ ind.phi ] g in
+  let g, state = Graph.add_node ~label:"state" g Op.Phi in
+  let g, mul = op ~label:"state.k" Op.Mul ~inputs:[ state; ld_k ] g in
+  let g, add = op ~label:"state.next" Op.Add ~inputs:[ mul; ld_x ] g in
+  let g = Graph.add_edge ~distance:1 g add state in
+  let g, _st = store ~label:"out" ~inputs:[ add; ind.phi ] g in
+  let binding =
+    {
+      Iced_sim.Sim.load =
+        (fun ~label ~iter ~operands:_ ->
+          match label with "x" -> iter + 1 | "k" -> if iter mod 2 = 0 then 1 else -1 | _ -> 0);
+      phi_init = (fun ~label:_ -> 0);
+    }
+  in
+  Kernel.make ~name:"latnrm" ~domain:Kernel.Embedded ~data:"32"
+    ~dfg:g
+    ~unroll_shared:[ ind.phi; ind.step; ind.bound; ind.next; ld_k ]
+    ~table:(table ~n1:12 ~e1:16 ~r1:4 ~n2:19 ~e2:25 ~r2:4)
+    ~binding ~iterations:32 ()
+
+(* Radix-2 FFT butterfly with strided index arithmetic and a complex
+   twiddle multiply. *)
+let fft =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:512 g in
+  let g, c_mask = Graph.add_node ~label:"mask" g (Op.Const 15) in
+  let g, c_s = Graph.add_node ~label:"logstride" g (Op.Const 4) in
+  let g, c_half = Graph.add_node ~label:"half" g (Op.Const 512) in
+  (* index math: j = i & mask; k = i >> s; base = k << s; a = base + j *)
+  let g, j = op ~label:"j" Op.And ~inputs:[ ind.phi; c_mask ] g in
+  let g, k = op ~label:"k" Op.Shr ~inputs:[ ind.phi; c_s ] g in
+  let g, base = op ~label:"base" Op.Shl ~inputs:[ k; c_s ] g in
+  let g, idx_a = op ~label:"idx.a" Op.Add ~inputs:[ base; j ] g in
+  let g, idx_b = op ~label:"idx.b" Op.Add ~inputs:[ idx_a; c_half ] g in
+  let g, tw = op ~label:"idx.w" Op.Shl ~inputs:[ j; c_s ] g in
+  (* loads, three of them through explicit geps *)
+  let g, gep_ar = op ~label:"gep.ar" Op.Gep ~inputs:[ idx_a ] g in
+  let g, ar = load ~label:"ar" ~addr:[ gep_ar ] g in
+  let g, ai = load ~label:"ai" ~addr:[ idx_a ] g in
+  let g, gep_br = op ~label:"gep.br" Op.Gep ~inputs:[ idx_b ] g in
+  let g, br = load ~label:"br" ~addr:[ gep_br ] g in
+  let g, bi = load ~label:"bi" ~addr:[ idx_b ] g in
+  let g, gep_wr = op ~label:"gep.wr" Op.Gep ~inputs:[ tw ] g in
+  let g, wr = load ~label:"wr" ~addr:[ gep_wr ] g in
+  let g, wi = load ~label:"wi" ~addr:[ tw ] g in
+  (* complex twiddle: t = b * w *)
+  let g, m1 = op ~label:"m1" Op.Mul ~inputs:[ br; wr ] g in
+  let g, m2 = op ~label:"m2" Op.Mul ~inputs:[ bi; wi ] g in
+  let g, m3 = op ~label:"m3" Op.Mul ~inputs:[ br; wi ] g in
+  let g, m4 = op ~label:"m4" Op.Mul ~inputs:[ bi; wr ] g in
+  let g, tr = op ~label:"tr" Op.Sub ~inputs:[ m1; m2 ] g in
+  let g, ti = op ~label:"ti" Op.Add ~inputs:[ m3; m4 ] g in
+  (* butterfly outputs *)
+  let g, o1 = op ~label:"o1" Op.Add ~inputs:[ ar; tr ] g in
+  let g, o2 = op ~label:"o2" Op.Add ~inputs:[ ai; ti ] g in
+  let g, o3 = op ~label:"o3" Op.Sub ~inputs:[ ar; tr ] g in
+  let g, o4 = op ~label:"o4" Op.Sub ~inputs:[ ai; ti ] g in
+  (* stores through per-store geps *)
+  let g, gep1 = op ~label:"gep.s1" Op.Gep ~inputs:[ idx_a ] g in
+  let g, _s1 = store ~label:"xr" ~inputs:[ o1; gep1 ] g in
+  let g, gep2 = op ~label:"gep.s2" Op.Gep ~inputs:[ idx_a ] g in
+  let g, _s2 = store ~label:"xi" ~inputs:[ o2; gep2 ] g in
+  let g, gep3 = op ~label:"gep.s3" Op.Gep ~inputs:[ idx_b ] g in
+  let g, _s3 = store ~label:"yr" ~inputs:[ o3; gep3 ] g in
+  let g, gep4 = op ~label:"gep.s4" Op.Gep ~inputs:[ idx_b ] g in
+  let g, _s4 = store ~label:"yi" ~inputs:[ o4; gep4 ] g in
+  let binding =
+    {
+      Iced_sim.Sim.load =
+        (fun ~label ~iter ~operands ->
+          let addr = match operands with a :: _ -> a | [] -> iter in
+          match label with
+          | "ar" -> addr + 1
+          | "ai" -> addr + 2
+          | "br" -> addr + 3
+          | "bi" -> addr + 5
+          | "wr" -> (addr mod 13) - 6
+          | "wi" -> (addr mod 11) - 5
+          | _ -> 0);
+      phi_init = (fun ~label:_ -> 0);
+    }
+  in
+  Kernel.make ~name:"fft" ~domain:Kernel.Embedded ~data:"1024"
+    ~dfg:g
+    ~unroll_shared:
+      [ ind.phi; ind.step; ind.bound; ind.next; c_mask; c_s; c_half; j; k; base; idx_a; idx_b; tw ]
+    ~table:(table ~n1:42 ~e1:60 ~r1:4 ~n2:71 ~e2:100 ~r2:4)
+    ~binding ~iterations:512 ()
+
+(* Dynamic time warping: cell cost = |x - y| + min(up, diag, left),
+   with the left neighbour loop-carried. *)
+let dtw =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:128 g in
+  let g, c_zero = Graph.add_node ~label:"zero" g (Op.Const 0) in
+  let g, c_n = Graph.add_node ~label:"rowlen" g (Op.Const 128) in
+  (* previous-row indices *)
+  let g, idx_up = op ~label:"idx.up" Op.Sub ~inputs:[ ind.phi; c_n ] g in
+  let g, idx_diag = op ~label:"idx.diag" Op.Sub ~inputs:[ idx_up; ind.step ] g in
+  (* loads (through geps) *)
+  let g, gep_x = op ~label:"gep.x" Op.Gep ~inputs:[ ind.phi ] g in
+  let g, ld_x = load ~label:"x" ~addr:[ gep_x ] g in
+  let g, gep_y = op ~label:"gep.y" Op.Gep ~inputs:[ ind.phi ] g in
+  let g, ld_y = load ~label:"y" ~addr:[ gep_y ] g in
+  let g, gep_up = op ~label:"gep.up" Op.Gep ~inputs:[ idx_up ] g in
+  let g, ld_up = load ~label:"up" ~addr:[ gep_up ] g in
+  let g, gep_diag = op ~label:"gep.diag" Op.Gep ~inputs:[ idx_diag ] g in
+  let g, ld_diag = load ~label:"diag" ~addr:[ gep_diag ] g in
+  (* |x - y| *)
+  let g, diff = op ~label:"diff" Op.Sub ~inputs:[ ld_x; ld_y ] g in
+  let g, is_neg = op ~label:"isneg" (Op.Cmp Op.Lt) ~inputs:[ diff ] g in
+  let g, neg = op ~label:"neg" Op.Sub ~inputs:[ c_zero; diff ] g in
+  let g, abs = op ~label:"abs" Op.Select ~inputs:[ is_neg; neg; diff ] g in
+  (* min(up, diag, left) with left loop-carried *)
+  let g, left = Graph.add_node ~label:"left" g Op.Phi in
+  let g, cmp1 = op ~label:"cmp1" (Op.Cmp Op.Lt) ~inputs:[ ld_up; ld_diag ] g in
+  let g, min1 = op ~label:"min1" Op.Select ~inputs:[ cmp1; ld_up; ld_diag ] g in
+  let g, cmp2 = op ~label:"cmp2" (Op.Cmp Op.Lt) ~inputs:[ min1; left ] g in
+  let g, min2 = op ~label:"min2" Op.Select ~inputs:[ cmp2; min1; left ] g in
+  let g, cost = op ~label:"cost" Op.Add ~inputs:[ abs; min2 ] g in
+  let g = Graph.add_edge ~distance:1 g cost left in
+  let g, _st = store ~label:"cost" ~inputs:[ cost; ind.phi ] g in
+  (* backtracking direction, stored alongside the cost *)
+  let g, dir1 = op ~label:"dir1" Op.Select ~inputs:[ cmp1; ind.step; c_n ] g in
+  let g, dir2 = op ~label:"dir2" Op.Select ~inputs:[ cmp2; dir1 ] g in
+  let g, _st2 = store ~label:"dir" ~inputs:[ dir2; ind.phi ] g in
+  let binding =
+    {
+      Iced_sim.Sim.load =
+        (fun ~label ~iter ~operands ->
+          let addr = match operands with a :: _ -> a | [] -> iter in
+          match label with
+          | "x" -> (iter * 5) mod 97
+          | "y" -> (iter * 7) mod 89
+          | "up" -> (addr * 3) mod 61
+          | "diag" -> (addr * 2) mod 53
+          | _ -> 0);
+      phi_init = (fun ~label:_ -> 0);
+    }
+  in
+  Kernel.make ~name:"dtw" ~domain:Kernel.Embedded ~data:"128^2"
+    ~dfg:g
+    ~unroll_shared:
+      [
+        ind.phi; ind.step; ind.bound; ind.next; c_zero; c_n; idx_up; idx_diag; gep_x; ld_x;
+        gep_up; ld_up; gep_diag;
+      ]
+    ~table:(table ~n1:32 ~e1:49 ~r1:4 ~n2:51 ~e2:84 ~r2:4)
+    ~binding ~iterations:128 ()
+
+let all = [ fir; latnrm; fft; dtw ]

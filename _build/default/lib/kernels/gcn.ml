@@ -1,0 +1,140 @@
+(* The five unique kernels of the 2-layer GCN streaming application
+   (Table I): compress, aggregate (instantiated twice in the pipeline),
+   combine, combrelu, and pooling.
+
+   All five carry a serial data-dependent recurrence (sparse row
+   accumulation or running max), so their RecMII grows from 4 to 7
+   under unrolling, as Table I reports.  Their per-input execution time
+   varies with the input graph's edge count, which is what makes the
+   GCN pipeline imbalanced (paper Section II-B). *)
+
+open Iced_dfg
+open Builders
+
+let table = Embedded.table
+
+(* CSR compression of the input feature matrix: gather non-zeros,
+   count them, and write the compacted stream. *)
+let compress =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:256 g in
+  let g, c_base = Graph.add_node ~label:"base" g (Op.Const 1024) in
+  let g, idx = op ~label:"idx" Op.Add ~inputs:[ ind.phi; c_base ] g in
+  let g, gep_ptr = op ~label:"gep.ptr" Op.Gep ~inputs:[ ind.phi ] g in
+  let g, ld_ptr = load ~label:"ptr" ~addr:[ gep_ptr ] g in
+  let g, gep_idx = op ~label:"gep.idx" Op.Gep ~inputs:[ ld_ptr ] g in
+  let g, ld_idx = load ~label:"colidx" ~addr:[ gep_idx ] g in
+  let g, gep_f = op ~label:"gep.f" Op.Gep ~inputs:[ ld_idx ] g in
+  let g, ld_f = load ~label:"feat" ~addr:[ gep_f ] g in
+  let g, nz = op ~label:"nz" (Op.Cmp Op.Ne) ~inputs:[ ld_f ] g in
+  let g, gated = op ~label:"gated" Op.Select ~inputs:[ nz; ld_f ] g in
+  let g, pacc = predicated_accumulator ~pred:nz ~input:gated g in
+  let g, _cnt = accumulator ~input:nz g in
+  let g, _st = store ~label:"packed" ~inputs:[ pacc.commit; idx ] g in
+  let g, _st2 = store ~label:"colout" ~inputs:[ ld_idx; ind.phi ] g in
+  Kernel.make ~name:"compress" ~domain:Kernel.Gcn ~data:"ENZYME graphs"
+    ~dfg:g
+    ~unroll_shared:[ c_base ]
+    ~serial_phis:[ pacc.phi ]
+    ~table:(table ~n1:24 ~e1:32 ~r1:4 ~n2:46 ~e2:65 ~r2:7)
+    ~iterations:256 ()
+
+(* agg[v] = sum over neighbours u of A[v,u] * feat[u] / deg[v]:
+   sparse matrix times dense feature, normalized. *)
+let aggregate =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:256 g in
+  let g, gep_ptr = op ~label:"gep.ptr" Op.Gep ~inputs:[ ind.phi ] g in
+  let g, ld_ptr = load ~label:"ptr" ~addr:[ gep_ptr ] g in
+  let g, gep_col = op ~label:"gep.col" Op.Gep ~inputs:[ ld_ptr ] g in
+  let g, ld_col = load ~label:"col" ~addr:[ gep_col ] g in
+  let g, gep_val = op ~label:"gep.val" Op.Gep ~inputs:[ ld_ptr ] g in
+  let g, ld_val = load ~label:"val" ~addr:[ gep_val ] g in
+  let g, gep_f = op ~label:"gep.f" Op.Gep ~inputs:[ ld_col ] g in
+  let g, gep_ff = op ~label:"gep.ff" Op.Gep ~inputs:[ gep_f ] g in
+  let g, ld_f = load ~label:"feat" ~addr:[ gep_ff ] g in
+  let g, prod = op ~label:"prod" Op.Mul ~inputs:[ ld_val; ld_f ] g in
+  let g, nz = op ~label:"nz" (Op.Cmp Op.Ne) ~inputs:[ ld_val ] g in
+  let g, gated = op ~label:"gated" Op.Select ~inputs:[ nz; prod ] g in
+  let g, pacc = predicated_accumulator ~pred:nz ~input:gated g in
+  let g, gep_deg = op ~label:"gep.deg" Op.Gep ~inputs:[ ind.phi ] g in
+  let g, ld_deg = load ~label:"deg" ~addr:[ gep_deg ] g in
+  let g, scale = op ~label:"scale" Op.Gep ~inputs:[ pacc.commit ] g in
+  let g, norm = op ~label:"norm" Op.Div ~inputs:[ scale; ld_deg ] g in
+  let g, _st = store ~label:"agg" ~inputs:[ norm ] g in
+  Kernel.make ~name:"aggregate" ~domain:Kernel.Gcn ~data:"ENZYME graphs"
+    ~dfg:g
+    ~serial_phis:[ pacc.phi ]
+    ~table:(table ~n1:27 ~e1:34 ~r1:4 ~n2:53 ~e2:69 ~r2:7)
+    ~iterations:256 ()
+
+(* h[v][j] = bias[j] + sum_k W[k][j] * agg[v][k]: dense combine over
+   two output features per iteration. *)
+let combine_body g =
+  let g, ind = induction ~bound:256 g in
+  let g, c_dim = Graph.add_node ~label:"dim" g (Op.Const 64) in
+  let g, row = op ~label:"row" Op.Mul ~inputs:[ ind.phi; c_dim ] g in
+  let g, gep_w = op ~label:"gep.w" Op.Gep ~inputs:[ row ] g in
+  let g, ld_w = load ~label:"w" ~addr:[ gep_w ] g in
+  let g, gep_a = op ~label:"gep.a" Op.Gep ~inputs:[ ind.phi ] g in
+  let g, ld_a = load ~label:"agg" ~addr:[ gep_a ] g in
+  let g, prod = op ~label:"prod" Op.Mul ~inputs:[ ld_w; ld_a ] g in
+  let g, pacc = predicated_accumulator ~pred:ind.cmp ~input:prod g in
+  let g, ld_b = load ~label:"bias" ~addr:[ ind.phi ] g in
+  let g, sum = op ~label:"sum" Op.Add ~inputs:[ pacc.commit; ld_b ] g in
+  let g, idx2 = op ~label:"idx2" Op.Gep ~inputs:[ row ] g in
+  let g, ld_w2 = load ~label:"w2" ~addr:[ idx2 ] g in
+  let g, prod2 = op ~label:"prod2" Op.Mul ~inputs:[ ld_w2; ld_a ] g in
+  let g, acc2 = accumulator ~input:prod2 g in
+  (g, ind, pacc, sum, acc2, row)
+
+let combine =
+  let g = Graph.empty in
+  let g, ind, pacc, sum, acc2, _row = combine_body g in
+  let g, _st = store ~label:"h" ~inputs:[ sum; ind.phi ] g in
+  let g, _st2 = store ~label:"h2" ~inputs:[ acc2.add ] g in
+  Kernel.make ~name:"combine" ~domain:Kernel.Gcn ~data:"ENZYME graphs"
+    ~dfg:g
+    ~serial_phis:[ pacc.phi ]
+    ~table:(table ~n1:26 ~e1:35 ~r1:4 ~n2:51 ~e2:71 ~r2:7)
+    ~iterations:256 ()
+
+(* combine fused with relu on both output features. *)
+let combrelu =
+  let g = Graph.empty in
+  let g, ind, pacc, sum, acc2, row = combine_body g in
+  let g, is_pos = op ~label:"ispos" (Op.Cmp Op.Gt) ~inputs:[ sum ] g in
+  let g, relu = op ~label:"relu" Op.Select ~inputs:[ is_pos; sum ] g in
+  let g, is_pos2 = op ~label:"ispos2" (Op.Cmp Op.Gt) ~inputs:[ acc2.add ] g in
+  let g, relu2 = op ~label:"relu2" Op.Select ~inputs:[ is_pos2; acc2.add ] g in
+  let g, _st = store ~label:"h" ~inputs:[ relu; ind.phi; row ] g in
+  let g, _st2 = store ~label:"h2" ~inputs:[ relu2 ] g in
+  Kernel.make ~name:"combrelu" ~domain:Kernel.Gcn ~data:"ENZYME graphs"
+    ~dfg:g
+    ~serial_phis:[ pacc.phi ]
+    ~table:(table ~n1:30 ~e1:42 ~r1:4 ~n2:59 ~e2:85 ~r2:7)
+    ~iterations:256 ()
+
+(* Global max-pooling over node features, with an argmax side output.
+   The running max is a serial recurrence. *)
+let pooling =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:256 g in
+  let g, c_base = Graph.add_node ~label:"base" g (Op.Const 2048) in
+  let g, gep_f = op ~label:"gep.f" Op.Gep ~inputs:[ ind.phi; c_base ] g in
+  let g, ld_f = load ~label:"feat" ~addr:[ gep_f ] g in
+  let g, phi_max = Graph.add_node ~label:"max" g Op.Phi in
+  let g, is_gt = op ~label:"isgt" (Op.Cmp Op.Gt) ~inputs:[ ld_f; phi_max ] g in
+  let g, sel = op ~label:"newmax" Op.Select ~inputs:[ is_gt; ld_f ] g in
+  let g, commit = op ~label:"commit" Op.Select ~inputs:[ ind.cmp; sel ] g in
+  let g = Graph.add_edge ~distance:1 g commit phi_max in
+  let g, _st = store ~label:"pooled" ~inputs:[ commit ] g in
+  let g, arg = op ~label:"arg" Op.Select ~inputs:[ is_gt; ind.phi ] g in
+  let g, _st2 = store ~label:"argmax" ~inputs:[ arg ] g in
+  Kernel.make ~name:"pooling" ~domain:Kernel.Gcn ~data:"ENZYME graphs"
+    ~dfg:g
+    ~serial_phis:[ phi_max ]
+    ~table:(table ~n1:16 ~e1:21 ~r1:4 ~n2:31 ~e2:43 ~r2:7)
+    ~iterations:256 ()
+
+let all = [ compress; aggregate; combine; combrelu; pooling ]

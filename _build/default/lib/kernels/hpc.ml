@@ -1,0 +1,111 @@
+(* HPC kernels (PolyBench / Parboil): histogram, mvt, gemm.
+
+   gemm's k-loop accumulation is kept serial under unrolling (the
+   paper reports RecMII 4 -> 7); histogram and mvt re-associate. *)
+
+open Iced_dfg
+open Builders
+
+let table = Embedded.table
+
+(* count[x[i] >> shift & mask]++ : indirect load-modify-store. *)
+let histogram =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:2048 g in
+  let g, c_shift = Graph.add_node ~label:"shift" g (Op.Const 4) in
+  let g, c_mask = Graph.add_node ~label:"mask" g (Op.Const 63) in
+  let g, ld_x = load ~label:"x" ~addr:[ ind.phi ] g in
+  let g, shr = op ~label:"shr" Op.Shr ~inputs:[ ld_x; c_shift ] g in
+  let g, bin = op ~label:"bin" Op.And ~inputs:[ shr; c_mask ] g in
+  let g, gep_cnt = op ~label:"gep.cnt" Op.Gep ~inputs:[ bin ] g in
+  let g, ld_cnt = load ~label:"count" ~addr:[ gep_cnt ] g in
+  let g, inc = op ~label:"inc" Op.Add ~inputs:[ ld_cnt; ind.step ] g in
+  let g, _st = store ~label:"count" ~inputs:[ inc ] g in
+  let binding =
+    {
+      Iced_sim.Sim.load =
+        (fun ~label ~iter ~operands ->
+          let addr = match operands with a :: _ -> a | [] -> iter in
+          match label with
+          | "x" -> (iter * 131) mod 1021
+          | "count" -> addr mod 7
+          | _ -> 0);
+      phi_init = (fun ~label:_ -> 0);
+    }
+  in
+  Kernel.make ~name:"histogram" ~domain:Kernel.Hpc ~data:"2048"
+    ~dfg:g
+    ~unroll_shared:[ ind.phi; ind.step; ind.bound; ind.next; c_shift; c_mask; ld_x ]
+    ~table:(table ~n1:15 ~e1:17 ~r1:4 ~n2:23 ~e2:26 ~r2:4)
+    ~binding ~iterations:2048 ()
+
+(* Matrix-vector product and transpose: y += A[i][j]*x[j] and
+   xt += A[i][j]*y2[i], sharing the A element. *)
+let mvt =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:128 g in
+  let g, c_n = Graph.add_node ~label:"n" g (Op.Const 128) in
+  let g, gep_a = op ~label:"gep.a" Op.Gep ~inputs:[ ind.phi ] g in
+  let g, ld_a = load ~label:"a" ~addr:[ gep_a ] g in
+  let g, ld_x = load ~label:"x" ~addr:[ ind.phi ] g in
+  let g, prod1 = op ~label:"prod1" Op.Mul ~inputs:[ ld_a; ld_x ] g in
+  let g, acc1 = accumulator ~input:prod1 g in
+  let g, _st1 = store ~label:"y" ~inputs:[ acc1.add; ind.phi; gep_a ] g in
+  let g, idx2 = op ~label:"idx.t" Op.Add ~inputs:[ ind.phi; c_n ] g in
+  let g, ld_y2 = load ~label:"y2" ~addr:[ idx2 ] g in
+  let g, prod2 = op ~label:"prod2" Op.Mul ~inputs:[ ld_a; ld_y2 ] g in
+  let g, acc2 = accumulator ~input:prod2 g in
+  let g, _st2 = store ~label:"xt" ~inputs:[ acc2.add; ind.phi; idx2 ] g in
+  let binding =
+    {
+      Iced_sim.Sim.load =
+        (fun ~label ~iter ~operands ->
+          let addr = match operands with a :: _ -> a | [] -> iter in
+          match label with
+          | "a" -> ((addr * 19) mod 29) - 14
+          | "x" -> (iter mod 11) - 5
+          | "y2" -> (addr mod 13) - 6
+          | _ -> 0);
+      phi_init = (fun ~label:_ -> 0);
+    }
+  in
+  Kernel.make ~name:"mvt" ~domain:Kernel.Hpc ~data:"128^2"
+    ~dfg:g
+    ~unroll_shared:[ ind.step; ind.bound; c_n ]
+    ~table:(table ~n1:20 ~e1:29 ~r1:4 ~n2:37 ~e2:54 ~r2:4)
+    ~binding ~iterations:128 ()
+
+(* C[i][j] += A[i][k] * B[k][j]: the k-loop with a serial predicated
+   accumulator. *)
+let gemm =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:128 g in
+  let g, c_n = Graph.add_node ~label:"n" g (Op.Const 128) in
+  let g, idx_b = op ~label:"idx.b" Op.Mul ~inputs:[ ind.phi; c_n ] g in
+  let g, gep_a = op ~label:"gep.a" Op.Gep ~inputs:[ ind.phi ] g in
+  let g, ld_a = load ~label:"a" ~addr:[ gep_a ] g in
+  let g, ld_b = load ~label:"b" ~addr:[ idx_b ] g in
+  let g, prod = op ~label:"prod" Op.Mul ~inputs:[ ld_a; ld_b ] g in
+  let g, pacc = predicated_accumulator ~pred:ind.cmp ~input:prod g in
+  let g, _st = store ~label:"c" ~inputs:[ pacc.commit; ind.phi; idx_b ] g in
+  let binding =
+    {
+      Iced_sim.Sim.load =
+        (fun ~label ~iter ~operands ->
+          let addr = match operands with a :: _ -> a | [] -> iter in
+          match label with
+          | "a" -> ((addr * 7) mod 19) - 9
+          | "b" -> ((addr * 3) mod 23) - 11
+          | _ -> 0);
+      phi_init = (fun ~label:_ -> 0);
+    }
+  in
+  Kernel.make ~name:"gemm" ~domain:Kernel.Hpc ~data:"128^2"
+    ~dfg:g
+    ~unroll_shared:
+      [ ind.phi; ind.step; ind.bound; ind.next; ind.cmp; ind.sel; c_n; idx_b; gep_a; ld_a ]
+    ~serial_phis:[ pacc.phi ]
+    ~table:(table ~n1:17 ~e1:24 ~r1:4 ~n2:23 ~e2:37 ~r2:7)
+    ~binding ~iterations:128 ()
+
+let all = [ histogram; mvt; gemm ]

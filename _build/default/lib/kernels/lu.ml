@@ -1,0 +1,172 @@
+(* The six kernels of the synthesized LU-decomposition streaming
+   application (Table I): init, decompose, solver0, solver1, invert,
+   determinant.
+
+   The triangular solvers carry long serial recurrences (RecMII 8 and
+   12 at unroll 1, 15 and 23 unrolled); determinant's predicated pivot
+   product is a length-7 serial cycle; init and decompose carry the
+   standard length-4 predicated accumulation; invert is fully
+   re-associable. *)
+
+open Iced_dfg
+open Builders
+
+let table = Embedded.table
+
+(* Row initialization with a predicated running sum. *)
+let init =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:100 g in
+  let g, ld = load ~label:"a" ~addr:[ ind.phi ] g in
+  let g, pacc = predicated_accumulator ~pred:ind.cmp ~input:ld g in
+  Kernel.make ~name:"init" ~domain:Kernel.Lu ~data:"UFL matrices"
+    ~dfg:g
+    ~serial_phis:[ pacc.phi ]
+    ~table:(table ~n1:11 ~e1:15 ~r1:4 ~n2:21 ~e2:32 ~r2:7)
+    ~iterations:100 ()
+
+(* a[i][j] -= a[i][k] * a[k][j], predicated on the pivot column. *)
+let decompose =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:100 g in
+  let g, c_n = Graph.add_node ~label:"n" g (Op.Const 100) in
+  let g, ld_a = load ~label:"aik" ~addr:[ ind.phi; c_n ] g in
+  let g, ld_b = load ~label:"akj" ~addr:[ ind.phi; c_n ] g in
+  let g, prod = op ~label:"prod" Op.Mul ~inputs:[ ld_a; ld_b ] g in
+  let g, phi_a = Graph.add_node ~label:"aij" g Op.Phi in
+  let g, s1 = op ~label:"keep" Op.Select ~inputs:[ ind.cmp; phi_a; c_n ] g in
+  let g, sub = op ~label:"update" Op.Sub ~inputs:[ s1; prod ] g in
+  let g, s2 = op ~label:"commit" Op.Select ~inputs:[ ind.cmp; sub; phi_a ] g in
+  let g = Graph.add_edge ~distance:1 g s2 phi_a in
+  let g, _st = store ~label:"aout" ~inputs:[ s2; ind.phi; c_n ] g in
+  Kernel.make ~name:"decompose" ~domain:Kernel.Lu ~data:"UFL matrices"
+    ~dfg:g
+    ~unroll_shared:[ c_n; ld_b ]
+    ~serial_phis:[ phi_a ]
+    ~table:(table ~n1:15 ~e1:25 ~r1:4 ~n2:27 ~e2:50 ~r2:7)
+    ~iterations:100 ()
+
+(* Forward substitution: a length-8 serial recurrence through gate,
+   multiply, subtract, divide, add, multiply, and commit. *)
+let solver0 =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:100 g in
+  let g, c_n = Graph.add_node ~label:"n" g (Op.Const 100) in
+  let g, row = op ~label:"row" Op.Mul ~inputs:[ ind.phi; c_n ] g in
+  let g, gep1 = op ~label:"gep.l" Op.Gep ~inputs:[ row ] g in
+  let g, ld1 = load ~label:"l" ~addr:[ gep1 ] g in
+  let g, gep_b = op ~label:"gep.b" Op.Gep ~inputs:[ ind.phi ] g in
+  let g, ld_b = load ~label:"b" ~addr:[ gep_b ] g in
+  let g, gep_d = op ~label:"gep.d" Op.Gep ~inputs:[ row ] g in
+  let g, ld_d = load ~label:"diag" ~addr:[ gep_d ] g in
+  let g, gep2 = op ~label:"gep.u" Op.Gep ~inputs:[ row ] g in
+  let g, ld2 = load ~label:"u" ~addr:[ gep2 ] g in
+  let g, phi_s = Graph.add_node ~label:"x" g Op.Phi in
+  let g, g1 = op ~label:"gate" Op.Select ~inputs:[ ind.cmp; phi_s ] g in
+  let g, m1 = op ~label:"m1" Op.Mul ~inputs:[ g1; ld1 ] g in
+  let g, sb = op ~label:"sb" Op.Sub ~inputs:[ m1; ld_b ] g in
+  let g, dv = op ~label:"dv" Op.Div ~inputs:[ sb; ld_d ] g in
+  let g, a2 = op ~label:"a2" Op.Add ~inputs:[ dv; ld2 ] g in
+  let g, m2 = op ~label:"m2" Op.Mul ~inputs:[ a2; ld1 ] g in
+  let g, cm = op ~label:"commit" Op.Select ~inputs:[ ind.cmp; m2 ] g in
+  let g = Graph.add_edge ~distance:1 g cm phi_s in
+  let g, _st = store ~label:"x" ~inputs:[ cm; ind.phi ] g in
+  (* residual lane *)
+  let g, ld3 = load ~label:"r" ~addr:[ row; gep1 ] g in
+  let g, m3 = op ~label:"m3" Op.Mul ~inputs:[ ld3; dv ] g in
+  let g, acc3 = accumulator ~input:m3 g in
+  let g, _st2 = store ~label:"res" ~inputs:[ acc3.add; ind.phi ] g in
+  let g, is_z = op ~label:"isz" (Op.Cmp Op.Ne) ~inputs:[ ld_d ] g in
+  let g, safe = op ~label:"safe" Op.Select ~inputs:[ is_z; dv ] g in
+  let g, _st3 = store ~label:"xsafe" ~inputs:[ safe; row; dv ] g in
+  Kernel.make ~name:"solver0" ~domain:Kernel.Lu ~data:"UFL matrices"
+    ~dfg:g
+    ~serial_phis:[ phi_s ]
+    ~table:(table ~n1:33 ~e1:49 ~r1:8 ~n2:65 ~e2:98 ~r2:15)
+    ~iterations:100 ()
+
+(* Backward substitution: a length-12 serial recurrence. *)
+let solver1 =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:100 g in
+  let g, c_n = Graph.add_node ~label:"n" g (Op.Const 100) in
+  let g, row = op ~label:"row" Op.Mul ~inputs:[ ind.phi; c_n ] g in
+  let g, gep1 = op ~label:"gep.u" Op.Gep ~inputs:[ row ] g in
+  let g, ld1 = load ~label:"u" ~addr:[ gep1 ] g in
+  let g, gep_b = op ~label:"gep.b" Op.Gep ~inputs:[ ind.phi ] g in
+  let g, ld_b = load ~label:"b" ~addr:[ gep_b ] g in
+  let g, gep_d = op ~label:"gep.d" Op.Gep ~inputs:[ row ] g in
+  let g, ld_d = load ~label:"diag" ~addr:[ gep_d ] g in
+  let g, gep2 = op ~label:"gep.l" Op.Gep ~inputs:[ row ] g in
+  let g, ld2 = load ~label:"l" ~addr:[ gep2; c_n ] g in
+  let g, phi_s = Graph.add_node ~label:"x" g Op.Phi in
+  let g, g1 = op ~label:"gate" Op.Select ~inputs:[ ind.cmp; phi_s ] g in
+  let g, m1 = op ~label:"m1" Op.Mul ~inputs:[ g1; ld1 ] g in
+  let g, s1 = op ~label:"s1" Op.Sub ~inputs:[ m1; ld_b ] g in
+  let g, d1 = op ~label:"d1" Op.Div ~inputs:[ s1; ld_d ] g in
+  let g, a1 = op ~label:"a1" Op.Add ~inputs:[ d1; ld2 ] g in
+  let g, m2 = op ~label:"m2" Op.Mul ~inputs:[ a1; ld1 ] g in
+  let g, s2b = op ~label:"s2" Op.Sub ~inputs:[ m2; ld_b ] g in
+  let g, a2 = op ~label:"a2" Op.Add ~inputs:[ s2b; ld2 ] g in
+  let g, m3 = op ~label:"m3" Op.Mul ~inputs:[ a2; ld_d ] g in
+  let g, x1 = op ~label:"x1" Op.Xor ~inputs:[ m3; ld1 ] g in
+  let g, cm = op ~label:"commit" Op.Select ~inputs:[ ind.cmp; x1 ] g in
+  let g = Graph.add_edge ~distance:1 g cm phi_s in
+  let g, _st = store ~label:"x" ~inputs:[ cm; ind.phi ] g in
+  (* residual lane *)
+  let g, ld3 = load ~label:"r" ~addr:[ row ] g in
+  let g, m4 = op ~label:"m4" Op.Mul ~inputs:[ ld3; d1 ] g in
+  let g, acc3 = accumulator ~input:m4 g in
+  let g, is_z = op ~label:"isz" (Op.Cmp Op.Ne) ~inputs:[ ld_d; row ] g in
+  let g, _st2 = store ~label:"res" ~inputs:[ acc3.add; ind.phi; is_z ] g in
+  Kernel.make ~name:"solver1" ~domain:Kernel.Lu ~data:"UFL matrices"
+    ~dfg:g
+    ~serial_phis:[ phi_s ]
+    ~table:(table ~n1:35 ~e1:54 ~r1:12 ~n2:69 ~e2:108 ~r2:23)
+    ~iterations:100 ()
+
+(* Reciprocal of the diagonal with a zero guard; fully parallel. *)
+let invert =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:100 g in
+  let g, c_one = Graph.add_node ~label:"one" g (Op.Const 1) in
+  let g, ld_a = load ~label:"diag" ~addr:[ ind.phi ] g in
+  let g, quot = op ~label:"recip" Op.Div ~inputs:[ c_one; ld_a ] g in
+  let g, is_z = op ~label:"isz" (Op.Cmp Op.Ne) ~inputs:[ ld_a; c_one ] g in
+  let g, safe = op ~label:"safe" Op.Select ~inputs:[ is_z; quot; c_one ] g in
+  let g, acc = accumulator ~input:safe g in
+  let g = Graph.add_edge g quot acc.add in
+  let g, _st = store ~label:"inv" ~inputs:[ safe; ind.phi; acc.add ] g in
+  Kernel.make ~name:"invert" ~domain:Kernel.Lu ~data:"UFL matrices"
+    ~dfg:g
+    ~unroll_shared:[ c_one; ld_a; quot; is_z ]
+    ~table:(table ~n1:14 ~e1:22 ~r1:4 ~n2:24 ~e2:37 ~r2:4)
+    ~iterations:100 ()
+
+(* Predicated product of pivots: a length-7 serial recurrence. *)
+let determinant =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:100 g in
+  let g, gep = op ~label:"gep.a" Op.Gep ~inputs:[ ind.phi ] g in
+  let g, ld_a = load ~label:"a" ~addr:[ gep ] g in
+  let g, ld_b = load ~label:"b" ~addr:[ ind.phi; gep ] g in
+  let g, ld_c = load ~label:"c" ~addr:[ ind.phi ] g in
+  let g, phi_d = Graph.add_node ~label:"det" g Op.Phi in
+  let g, g1 = op ~label:"gate" Op.Select ~inputs:[ ind.cmp; phi_d ] g in
+  let g, m1 = op ~label:"m1" Op.Mul ~inputs:[ g1; ld_a ] g in
+  let g, a1 = op ~label:"a1" Op.Add ~inputs:[ m1; ld_b ] g in
+  let g, m2 = op ~label:"m2" Op.Mul ~inputs:[ a1; ld_c ] g in
+  let g, x1 = op ~label:"x1" Op.Xor ~inputs:[ m2; ld_a ] g in
+  let g, cm = op ~label:"commit" Op.Select ~inputs:[ ind.cmp; x1 ] g in
+  let g = Graph.add_edge ~distance:1 g cm phi_d in
+  let g, _st = store ~label:"det" ~inputs:[ cm; ind.phi ] g in
+  let g, _st2 = store ~label:"trace" ~inputs:[ m1; m2; a1; x1; ind.phi ] g in
+  let g, _st3 = store ~label:"pivots" ~inputs:[ g1; cm; ld_b; ind.phi ] g in
+  Kernel.make ~name:"determinant" ~domain:Kernel.Lu ~data:"UFL matrices"
+    ~dfg:g
+    ~unroll_shared:[ gep ]
+    ~serial_phis:[ phi_d ]
+    ~table:(table ~n1:20 ~e1:36 ~r1:7 ~n2:38 ~e2:71 ~r2:13)
+    ~iterations:100 ()
+
+let all = [ init; decompose; solver0; solver1; invert; determinant ]

@@ -1,0 +1,111 @@
+(* Machine-learning kernels: spmv, conv, relu.
+
+   spmv's accumulation over the CSR row is a non-reassociable serial
+   recurrence (row boundaries are data-dependent), so its predicated
+   accumulator phi is marked serial and RecMII grows from 4 to 7 under
+   unrolling, exactly as Table I reports.  conv and relu re-associate. *)
+
+open Iced_dfg
+open Builders
+
+let table = Embedded.table
+
+(* y[row] += val[j] * x[col[j]], CSR inner loop with a data-dependent
+   row-boundary reset. *)
+let spmv =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:512 g in
+  let g, c_zero = Graph.add_node ~label:"zero" g (Op.Const 0) in
+  let g, ld_col = load ~label:"col" ~addr:[ ind.phi ] g in
+  let g, ld_val = load ~label:"val" ~addr:[ ind.phi ] g in
+  let g, gep_x = op ~label:"gep.x" Op.Gep ~inputs:[ ld_col ] g in
+  let g, ld_x = load ~label:"x" ~addr:[ gep_x ] g in
+  let g, prod = op ~label:"prod" Op.Mul ~inputs:[ ld_val; ld_x ] g in
+  let g, ld_row = load ~label:"rowid" ~addr:[ ind.phi ] g in
+  let g, is_new = op ~label:"isnew" (Op.Cmp Op.Ne) ~inputs:[ ld_row ] g in
+  (* serial predicated accumulation with row reset *)
+  let g, phi_acc = Graph.add_node ~label:"acc" g Op.Phi in
+  let g, s1 = op ~label:"acc.keep" Op.Select ~inputs:[ is_new; c_zero; phi_acc ] g in
+  let g, add = op ~label:"acc.step" Op.Add ~inputs:[ s1; prod ] g in
+  let g, s2 = op ~label:"acc.commit" Op.Select ~inputs:[ is_new; add ] g in
+  let g = Graph.add_edge ~distance:1 g s2 phi_acc in
+  let g, _st = store ~label:"y" ~inputs:[ s2 ] g in
+  let binding =
+    {
+      Iced_sim.Sim.load =
+        (fun ~label ~iter ~operands ->
+          let addr = match operands with a :: _ -> a | [] -> iter in
+          match label with
+          | "col" -> (iter * 13) mod 512
+          | "val" -> (iter mod 9) + 1
+          | "x" -> (addr mod 17) - 8
+          | "rowid" -> iter / 8
+          | _ -> 0);
+      phi_init = (fun ~label:_ -> 0);
+    }
+  in
+  Kernel.make ~name:"spmv" ~domain:Kernel.Machine_learning ~data:"512"
+    ~dfg:g ~serial_phis:[ phi_acc ]
+    ~table:(table ~n1:19 ~e1:24 ~r1:4 ~n2:37 ~e2:50 ~r2:7)
+    ~binding ~iterations:512 ()
+
+(* acc += img[i + w] * weight[i]: 2D convolution window walk. *)
+let conv =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:1024 g in
+  let g, c_w = Graph.add_node ~label:"width" g (Op.Const 32) in
+  let g, c_base = Graph.add_node ~label:"imgbase" g (Op.Const 4096) in
+  let g, idx_img = op ~label:"idx.img" Op.Add ~inputs:[ ind.phi; c_w ] g in
+  let g, gep_img = op ~label:"gep.img" Op.Gep ~inputs:[ idx_img; c_base ] g in
+  let g, ld_img = load ~label:"img" ~addr:[ gep_img ] g in
+  let g, gep_w = op ~label:"gep.w" Op.Gep ~inputs:[ ind.phi; c_base ] g in
+  let g, ld_w = load ~label:"w" ~addr:[ gep_w ] g in
+  let g, prod = op ~label:"prod" Op.Mul ~inputs:[ ld_img; ld_w ] g in
+  let g, acc = accumulator ~input:prod g in
+  let g, _st = store ~label:"out" ~inputs:[ acc.add; ind.phi; idx_img ] g in
+  let binding =
+    {
+      Iced_sim.Sim.load =
+        (fun ~label ~iter ~operands ->
+          let addr = match operands with a :: _ -> a | [] -> iter in
+          match label with
+          | "img" -> (addr mod 23) - 11
+          | "w" -> (iter mod 5) - 2
+          | _ -> 0);
+      phi_init = (fun ~label:_ -> 0);
+    }
+  in
+  Kernel.make ~name:"conv" ~domain:Kernel.Machine_learning ~data:"32^2"
+    ~dfg:g
+    ~unroll_shared:
+      [ ind.phi; ind.step; ind.bound; ind.next; c_w; c_base; idx_img; gep_img; gep_w; ld_w ]
+    ~table:(table ~n1:17 ~e1:23 ~r1:4 ~n2:24 ~e2:34 ~r2:4)
+    ~binding ~iterations:1024 ()
+
+(* y[i] = max(x[i], 0), plus a predicated count of active lanes —
+   the paper keeps relu standalone to exercise control flow. *)
+let relu =
+  let g = Graph.empty in
+  let g, ind = induction ~bound:1024 g in
+  let g, c_zero = Graph.add_node ~label:"zero" g (Op.Const 0) in
+  let g, gep_x = op ~label:"gep.x" Op.Gep ~inputs:[ ind.phi ] g in
+  let g, ld_x = load ~label:"x" ~addr:[ gep_x ] g in
+  let g, is_pos = op ~label:"ispos" (Op.Cmp Op.Gt) ~inputs:[ ld_x ] g in
+  let g, sel = op ~label:"max0" Op.Select ~inputs:[ is_pos; ld_x; c_zero ] g in
+  let g, cnt = accumulator ~input:is_pos g in
+  let g, _st = store ~label:"y" ~inputs:[ sel; ind.phi; cnt.add ] g in
+  let binding =
+    {
+      Iced_sim.Sim.load =
+        (fun ~label ~iter ~operands:_ ->
+          match label with "x" -> ((iter * 37) mod 41) - 20 | _ -> 0);
+      phi_init = (fun ~label:_ -> 0);
+    }
+  in
+  Kernel.make ~name:"relu" ~domain:Kernel.Machine_learning ~data:"1024"
+    ~dfg:g
+    ~unroll_shared:[ ind.phi; ind.step; ind.bound; ind.next; c_zero ]
+    ~table:(table ~n1:14 ~e1:19 ~r1:4 ~n2:23 ~e2:32 ~r2:4)
+    ~binding ~iterations:1024 ()
+
+let all = [ spmv; conv; relu ]

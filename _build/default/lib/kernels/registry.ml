@@ -1,0 +1,11 @@
+let standalone = Embedded.all @ Ml_kernels.all @ Hpc.all
+
+let gcn = Gcn.all
+
+let lu = Lu.all
+
+let all = standalone @ gcn @ lu
+
+let by_name name = List.find_opt (fun (k : Kernel.t) -> k.name = name) all
+
+let names () = List.map (fun (k : Kernel.t) -> k.name) all

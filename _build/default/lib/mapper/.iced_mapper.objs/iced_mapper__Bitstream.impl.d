@@ -1,0 +1,1 @@
+lib/mapper/bitstream.ml: Array Cgra Dir Format Graph Iced_arch Iced_dfg Int64 List Mapping Op Printf String

@@ -1,0 +1,1 @@
+lib/mapper/bitstream.mli: Dir Format Iced_arch Iced_dfg Mapping Op

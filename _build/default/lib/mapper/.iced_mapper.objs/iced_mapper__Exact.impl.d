@@ -1,0 +1,1 @@
+lib/mapper/exact.ml: Analysis Cgra Graph Hashtbl Iced_arch Iced_dfg Iced_mrrg List Op Router

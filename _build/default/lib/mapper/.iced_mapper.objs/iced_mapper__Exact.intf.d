@@ -1,0 +1,1 @@
+lib/mapper/exact.mli: Cgra Graph Iced_arch Iced_dfg

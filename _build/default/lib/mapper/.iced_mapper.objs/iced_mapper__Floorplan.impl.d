@@ -1,0 +1,1 @@
+lib/mapper/floorplan.ml: Buffer Cgra Dvfs Graph Iced_arch Iced_dfg List Mapping Printf String

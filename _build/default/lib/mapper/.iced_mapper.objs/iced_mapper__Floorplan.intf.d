@@ -1,0 +1,1 @@
+lib/mapper/floorplan.mli: Mapping

@@ -1,0 +1,1 @@
+lib/mapper/labeling.ml: Analysis Cgra Dvfs Graph Hashtbl Iced_arch Iced_dfg List

@@ -1,0 +1,1 @@
+lib/mapper/labeling.mli: Cgra Dvfs Graph Iced_arch Iced_dfg

@@ -1,0 +1,1 @@
+lib/mapper/levels.ml: Analysis Cgra Dvfs Iced_arch Iced_dfg List Mapping

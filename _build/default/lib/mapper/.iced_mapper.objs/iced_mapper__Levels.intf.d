@@ -1,0 +1,1 @@
+lib/mapper/levels.mli: Dvfs Iced_arch Mapping

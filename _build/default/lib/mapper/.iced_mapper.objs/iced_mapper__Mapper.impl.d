@@ -1,0 +1,1 @@
+lib/mapper/mapper.ml: Analysis Cgra Dvfs Graph Hashtbl Iced_arch Iced_dfg Iced_mrrg Labeling List Mapping Op Printf Router String Sys

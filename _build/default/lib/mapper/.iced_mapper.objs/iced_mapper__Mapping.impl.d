@@ -1,0 +1,1 @@
+lib/mapper/mapping.ml: Cgra Dir Dvfs Format Graph Iced_arch Iced_dfg Iced_mrrg List Printf String

@@ -1,0 +1,1 @@
+lib/mapper/router.ml: Cgra Graph Hashtbl Iced_arch Iced_dfg Iced_mrrg Iced_util List Mapping Printf

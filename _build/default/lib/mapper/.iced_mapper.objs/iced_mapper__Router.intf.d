@@ -1,0 +1,1 @@
+lib/mapper/router.mli: Graph Iced_dfg Iced_mrrg Mapping

@@ -1,0 +1,1 @@
+lib/mapper/validate.ml: Cgra Graph Iced_arch Iced_dfg Levels List Mapping Op Printf String

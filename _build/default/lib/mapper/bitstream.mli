@@ -1,0 +1,57 @@
+(** Configuration-memory generation: the per-tile control words a
+    mapped kernel programs into the fabric.
+
+    Each tile's configuration memory holds one control word per modulo
+    slot (paper Section III: "a configuration memory containing the
+    control signals", loaded through the DMA).  A word selects the FU
+    opcode and its operand sources, and programs the crossbar's output
+    ports.  This module reconstructs those words from a {!Mapping} —
+    operand sources are recovered from the routes (the final hop into
+    the consuming tile) — serializes them into 64-bit words, and can
+    decode them back (tested as a round-trip).
+
+    The island DVFS levels are {e not} part of the per-tile stream:
+    they live in the DVFS Controller's mapTable. *)
+
+open Iced_arch
+open Iced_dfg
+
+type operand_source =
+  | Register  (** produced earlier on this tile (or waited in a buffer) *)
+  | Port of Dir.t  (** arrives through the named input port this cycle *)
+
+type output_select =
+  | From_fu  (** the FU result computed in the previous slot *)
+  | From_port of Dir.t  (** forward the value arriving on an input port *)
+  | From_register  (** a buffered value *)
+
+type slot = {
+  fu : (Op.t * operand_source list) option;
+      (** the operation issued at this slot, with one source per
+          operand (DFG edge order) *)
+  outputs : (Dir.t * output_select) list;
+      (** programmed crossbar output ports *)
+}
+
+type tile_config = { tile : int; slots : slot array  (** length = II *) }
+
+val generate : Mapping.t -> tile_config list
+(** Configurations for every tile with activity, tile-ordered. *)
+
+val encode_slot : slot -> int64
+(** Pack one slot into a control word (field layout in the
+    implementation; lossy only for [Const] immediates, which encode
+    their low bits). *)
+
+val decode_slot : int64 -> slot option
+(** Inverse of [encode_slot] up to opcode identity ([Const] payloads
+    are truncated); [None] for an all-zero (idle) word. *)
+
+val words : tile_config -> int64 list
+(** The tile's config-memory image, one word per slot. *)
+
+val total_bits : Mapping.t -> int
+(** Size of the whole fabric's configuration, in bits — II * 64 per
+    active tile (compare: the prototype's per-tile config memory). *)
+
+val pp : Format.formatter -> tile_config -> unit

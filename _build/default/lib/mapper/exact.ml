@@ -1,0 +1,143 @@
+open Iced_arch
+open Iced_dfg
+module Mrrg = Iced_mrrg.Mrrg
+
+type verdict = Optimal of int | Infeasible | Unknown
+
+exception Found
+exception Budget
+
+(* Depth-first search over placements in topological order, routing
+   every edge to already-placed neighbours as we go (so infeasible
+   partial placements are pruned immediately). *)
+let feasible cgra g ~ii ~budget =
+  match Graph.intra_topological g with
+  | None -> `No
+  | Some order ->
+    let tiles = List.init (Cgra.tile_count cgra) (fun i -> i) in
+    let memory_tiles = Cgra.memory_tiles cgra in
+    let mrrg = Mrrg.create cgra ~ii in
+    let placements : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+    let attempts = ref 0 in
+    let slack (e : Graph.edge) =
+      match (Graph.node g e.src).op with
+      | Op.Const _ -> (e.distance + 2) * ii
+      | _ -> e.distance * ii
+    in
+    (* time window for [node] on [tile] given current placements *)
+    let window node tile =
+      let est = ref 0 and lst = ref max_int in
+      List.iter
+        (fun (e : Graph.edge) ->
+          match Hashtbl.find_opt placements e.src with
+          | Some (src_tile, src_time) ->
+            let d = Cgra.manhattan cgra src_tile tile in
+            est := max !est (src_time + d + 1 - slack e)
+          | None -> ())
+        (Graph.predecessors g node);
+      List.iter
+        (fun (e : Graph.edge) ->
+          match Hashtbl.find_opt placements e.dst with
+          | Some (dst_tile, dst_time) ->
+            let d = Cgra.manhattan cgra tile dst_tile in
+            lst := min !lst (dst_time + slack e - d - 1)
+          | None -> ())
+        (Graph.successors g node);
+      (max 0 !est, !lst)
+    in
+    let route_incident node tile time =
+      let routed = ref [] in
+      let undo () =
+        List.iter (fun (hops, e) -> Router.release mrrg hops e) !routed
+      in
+      let one (e : Graph.edge) ~src_tile ~src_time ~dst_tile ~dst_time =
+        let deadline = dst_time + slack e - 1 in
+        if src_tile = dst_tile then deadline >= src_time
+        else
+          match Router.route mrrg ~edge:e ~src_tile ~src_time ~dst_tile ~deadline with
+          | Ok (hops, _) ->
+            routed := (hops, e) :: !routed;
+            true
+          | Error _ -> false
+      in
+      let ok =
+        List.for_all
+          (fun (e : Graph.edge) ->
+            match Hashtbl.find_opt placements e.src with
+            | None -> true
+            | Some (src_tile, src_time) ->
+              one e ~src_tile ~src_time ~dst_tile:tile ~dst_time:time)
+          (Graph.predecessors g node)
+        && List.for_all
+             (fun (e : Graph.edge) ->
+               match Hashtbl.find_opt placements e.dst with
+               | None -> true
+               | Some (dst_tile, dst_time) ->
+                 one e ~src_tile:tile ~src_time:time ~dst_tile ~dst_time)
+             (Graph.successors g node)
+      in
+      if ok then `Routed !routed
+      else begin
+        undo ();
+        `Failed
+      end
+    in
+    let rec search = function
+      | [] -> raise Found
+      | node :: rest ->
+        let op = (Graph.node g node).op in
+        let eligible =
+          if Op.needs_memory op then memory_tiles else tiles
+        in
+        List.iter
+          (fun tile ->
+            let est, lst = window node tile in
+            let upper = min (est + ii - 1) lst in
+            let rec times t =
+              if t > upper then ()
+              else begin
+                incr attempts;
+                if !attempts > budget then raise Budget;
+                if Mrrg.is_free mrrg ~tile ~time:t Mrrg.Fu then begin
+                  (match Mrrg.reserve mrrg ~tile ~time:t Mrrg.Fu (Mrrg.Op_node node) with
+                  | Error _ -> ()
+                  | Ok () ->
+                    (match route_incident node tile t with
+                    | `Routed routed ->
+                      Hashtbl.replace placements node (tile, t);
+                      search rest;
+                      Hashtbl.remove placements node;
+                      List.iter (fun (hops, e) -> Router.release mrrg hops e) routed
+                    | `Failed -> ());
+                    Mrrg.release mrrg ~tile ~time:t Mrrg.Fu)
+                end;
+                times (t + 1)
+              end
+            in
+            times est)
+          eligible
+    in
+    (try
+       search order;
+       `No
+     with
+    | Found -> `Yes
+    | Budget -> `Budget)
+
+let minimal_ii ?(max_ii = 16) ?(budget = 200_000) cgra g =
+  match Graph.validate g with
+  | Error _ -> Infeasible
+  | Ok () ->
+    if Graph.node_count g = 0 then Infeasible
+    else begin
+      let start = Analysis.min_ii g ~tiles:(Cgra.tile_count cgra) in
+      let rec try_ii ii hit_budget =
+        if ii > max_ii then if hit_budget then Unknown else Infeasible
+        else
+          match feasible cgra g ~ii ~budget with
+          | `Yes -> Optimal ii
+          | `No -> try_ii (ii + 1) hit_budget
+          | `Budget -> try_ii (ii + 1) true
+      in
+      try_ii start false
+    end

@@ -1,0 +1,23 @@
+(** Exact (branch-and-bound) modulo mapping for small DFGs.
+
+    The paper contrasts its two-step heuristic against ILP-based
+    mapping (CGRA-ME), which finds optimal IIs but takes hours.  This
+    module plays that reference role: it exhaustively searches
+    placements (with full routing feasibility at every step) for the
+    smallest II admitting a valid mapping, within a node budget that
+    keeps the search tractable.  Tests use it to certify that the
+    heuristic mapper reaches the optimal II on small kernels. *)
+
+open Iced_arch
+open Iced_dfg
+
+type verdict =
+  | Optimal of int  (** the smallest feasible II *)
+  | Infeasible  (** no mapping up to [max_ii] *)
+  | Unknown  (** search budget exhausted before an answer *)
+
+val minimal_ii :
+  ?max_ii:int -> ?budget:int -> Cgra.t -> Graph.t -> verdict
+(** Smallest II with a complete, routed modulo mapping on the fabric.
+    [max_ii] defaults to 16; [budget] (placement attempts per II)
+    defaults to 200_000.  Intended for DFGs of at most ~10 nodes. *)

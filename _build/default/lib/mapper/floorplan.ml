@@ -1,0 +1,77 @@
+open Iced_arch
+open Iced_dfg
+
+let cell_width = 9
+
+let pad cell =
+  let cell =
+    if String.length cell > cell_width then String.sub cell 0 cell_width else cell
+  in
+  cell ^ String.make (cell_width - String.length cell) ' '
+
+let cell_for (m : Mapping.t) ~cycle tile =
+  let events = Mapping.events_of_tile m tile in
+  let here =
+    List.filter_map
+      (fun (time, what) -> if time mod m.Mapping.ii = cycle then Some what else None)
+      events
+  in
+  let fu =
+    List.find_map (function `Fu node -> Some (Graph.node m.Mapping.dfg node).label | _ -> None) here
+  in
+  let hops = List.length (List.filter (function `Hop _ -> true | _ -> false) here) in
+  match (fu, hops) with
+  | Some label, 0 -> label
+  | Some label, _ -> label ^ ">"
+  | None, 0 -> "."
+  | None, n -> String.make (min n cell_width) '>'
+
+let cycle_grid (m : Mapping.t) ~cycle =
+  if cycle < 0 || cycle >= m.Mapping.ii then invalid_arg "Floorplan.cycle_grid: bad cycle";
+  let cgra = m.Mapping.cgra in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "cycle %d:\n" cycle);
+  for row = 0 to cgra.Cgra.rows - 1 do
+    Buffer.add_string buf "  ";
+    for col = 0 to cgra.Cgra.cols - 1 do
+      let tile = Cgra.tile_id cgra ~row ~col in
+      Buffer.add_string buf (pad (cell_for m ~cycle tile))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let level_letter = function
+  | Dvfs.Normal -> 'N'
+  | Dvfs.Relax -> 'r'
+  | Dvfs.Rest -> 's'
+  | Dvfs.Power_gated -> '-'
+
+let level_grid (m : Mapping.t) =
+  let cgra = m.Mapping.cgra in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "DVFS map (N=normal r=relax s=rest -=gated):\n";
+  for row = 0 to cgra.Cgra.rows - 1 do
+    Buffer.add_string buf "  ";
+    for col = 0 to cgra.Cgra.cols - 1 do
+      let tile = Cgra.tile_id cgra ~row ~col in
+      Buffer.add_char buf (level_letter (Mapping.level_of_tile m tile));
+      Buffer.add_char buf ' '
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let render (m : Mapping.t) =
+  let buf = Buffer.create 1024 in
+  for cycle = 0 to m.Mapping.ii - 1 do
+    Buffer.add_string buf (cycle_grid m ~cycle)
+  done;
+  Buffer.add_string buf (level_grid m);
+  Buffer.add_string buf
+    (Printf.sprintf "II=%d, %d nodes on %d tiles\n" m.Mapping.ii
+       (List.length m.Mapping.placements)
+       (List.length (Mapping.used_tiles m)));
+  Buffer.contents buf
+
+let print m = print_string (render m)

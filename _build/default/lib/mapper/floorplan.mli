@@ -1,0 +1,24 @@
+(** Text rendering of a mapped schedule as per-cycle fabric snapshots —
+    the view the paper's Figures 1 and 3 draw: one grid per modulo
+    cycle with the operation (or routed edge) on each tile, plus a
+    DVFS-level map of the islands.
+
+    Used by the CLI (`iced map --floorplan`) and the examples to make
+    mappings inspectable. *)
+
+val cycle_grid : Mapping.t -> cycle:int -> string
+(** One modulo cycle as a tile grid.  Cells show the node label
+    executing on the tile's FU at that slot, ['>'] markers for route
+    hops, or ['.'] when idle.  @raise Invalid_argument if [cycle] is
+    outside [0, ii). *)
+
+val level_grid : Mapping.t -> string
+(** The island DVFS map: one cell per tile with the first letter of its
+    level (N/r/s/-, for normal/relax/rest/power-gated) — the "last row"
+    maps of the paper's Figure 3. *)
+
+val render : Mapping.t -> string
+(** All [ii] cycle grids followed by the level map and a summary
+    line. *)
+
+val print : Mapping.t -> unit

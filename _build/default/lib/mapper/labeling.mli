@@ -1,0 +1,34 @@
+(** Algorithm 1 of the paper: LabelDVFSLevel.
+
+    Assigns each DFG node a {e preferred} DVFS level before mapping:
+
+    - nodes on the longest recurrence cycles -> [Normal];
+    - nodes on recurrence cycles at most half as long -> [Relax];
+    - remaining nodes -> [Rest] while whole islands' worth of
+      tile-time capacity remains for them, then [Relax] while any
+      capacity remains, then [Normal] (slowing a node multiplies the
+      tile-time it occupies, so over-labeling would destroy the
+      mapping's feasibility — paper Section IV-A).
+
+    Labels only guide the mapper's cost function; the post-mapping
+    level assignment ({!Levels}) decides the final island levels. *)
+
+open Iced_arch
+open Iced_dfg
+
+val label :
+  ?floor:Dvfs.level ->
+  Graph.t ->
+  cgra:Cgra.t ->
+  tiles:int list ->
+  ii:int ->
+  (int * Dvfs.level) list
+(** Label every node.  [tiles] is the (sub-)fabric the kernel may use;
+    [ii] the target initiation interval.  [floor] (default [Rest])
+    raises the lowest label used — streaming kernels pass [Relax]
+    because island levels must keep one step of downward headroom at
+    runtime (paper Section IV-B).
+    @raise Invalid_argument if [tiles] is empty or [ii <= 0]. *)
+
+val capacity_slots : tiles:int list -> ii:int -> int
+(** Total tile-time slots available per II: [length tiles * ii]. *)

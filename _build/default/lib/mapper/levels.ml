@@ -1,0 +1,124 @@
+open Iced_arch
+open Iced_dfg
+
+(* Events of a recurrence cycle: the FU executions of its member nodes
+   plus the route hops of the edges between consecutive members.  Each
+   event lives on some tile; its latency under a level assignment is the
+   multiplier of that tile's island. *)
+let cycle_event_tiles mapping (cycle : Analysis.cycle) =
+  let members = cycle.Analysis.members in
+  let member_pairs =
+    match members with
+    | [] -> []
+    | first :: _ ->
+      let rec pairs = function
+        | [] -> []
+        | [ last ] -> [ (last, first) ]
+        | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+      in
+      pairs members
+  in
+  let fu_tiles =
+    List.filter_map
+      (fun id ->
+        match List.assoc_opt id mapping.Mapping.placements with
+        | Some (tile, _) -> Some tile
+        | None -> None)
+      members
+  in
+  let hop_tiles =
+    List.concat_map
+      (fun (src, dst) ->
+        mapping.Mapping.routes
+        |> List.filter (fun (r : Mapping.route) -> r.edge.src = src && r.edge.dst = dst)
+        |> List.concat_map (fun (r : Mapping.route) ->
+               List.map (fun (h : Mapping.hop) -> h.tile) r.hops))
+      member_pairs
+  in
+  fu_tiles @ hop_tiles
+
+let multiplier_of level = if Dvfs.is_active level then Dvfs.multiplier level else 0
+
+let island_events mapping island =
+  Cgra.island_tiles mapping.Mapping.cgra island
+  |> List.concat_map (fun tile -> Mapping.events_of_tile mapping tile)
+  |> List.map fst
+
+let legal mapping island_levels =
+  let ii = mapping.Mapping.ii in
+  let level_of island =
+    match List.assoc_opt island island_levels with Some l -> l | None -> Dvfs.Normal
+  in
+  let island_ok island =
+    let times = island_events mapping island in
+    match level_of island with
+    | Dvfs.Power_gated -> times = []
+    | Dvfs.Normal -> true
+    | (Dvfs.Relax | Dvfs.Rest) as level ->
+      let m = Dvfs.multiplier level in
+      ii mod m = 0
+      && (match times with
+         | [] -> true
+         | first :: rest ->
+           let phase = first mod m in
+           List.for_all (fun t -> t mod m = phase) rest)
+  in
+  let cycle_ok (cycle : Analysis.cycle) =
+    let tiles = cycle_event_tiles mapping cycle in
+    let effective_length =
+      List.fold_left
+        (fun acc tile ->
+          let level = level_of (Cgra.island_of mapping.Mapping.cgra tile) in
+          acc + max 1 (multiplier_of level))
+        0 tiles
+    in
+    effective_length <= ii * cycle.Analysis.distance
+  in
+  List.for_all island_ok (Cgra.islands mapping.Mapping.cgra)
+  && List.for_all cycle_ok (Analysis.recurrence_cycles mapping.Mapping.dfg)
+
+let assign ?(floor = Dvfs.Rest) ?(allow_gating = true) mapping =
+  let cgra = mapping.Mapping.cgra in
+  let busy island = List.length (island_events mapping island) in
+  let initial =
+    List.map
+      (fun island ->
+        if island_events mapping island = [] then
+          (island, if allow_gating then Dvfs.Power_gated else floor)
+        else (island, Dvfs.Normal))
+      (Cgra.islands cgra)
+  in
+  let order =
+    Cgra.islands cgra
+    |> List.filter (fun island -> island_events mapping island <> [])
+    |> List.sort (fun a b -> compare (busy a, a) (busy b, b))
+  in
+  let try_levels =
+    List.filter (fun level -> Dvfs.at_most floor level) [ Dvfs.Rest; Dvfs.Relax ]
+  in
+  let final =
+    List.fold_left
+      (fun levels island ->
+        let candidate level = (island, level) :: List.remove_assoc island levels in
+        let rec attempt = function
+          | [] -> levels
+          | level :: rest ->
+            let trial = candidate level in
+            if legal mapping trial then trial else attempt rest
+        in
+        attempt try_levels)
+      initial order
+  in
+  Mapping.with_levels mapping final
+
+let all_normal mapping =
+  Mapping.with_levels mapping
+    (List.map (fun island -> (island, Dvfs.Normal)) (Cgra.islands mapping.Mapping.cgra))
+
+let normal_with_gating mapping =
+  Mapping.with_levels mapping
+    (List.map
+       (fun island ->
+         if island_events mapping island = [] then (island, Dvfs.Power_gated)
+         else (island, Dvfs.Normal))
+       (Cgra.islands mapping.Mapping.cgra))

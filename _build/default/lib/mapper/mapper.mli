@@ -1,0 +1,67 @@
+(** Algorithm 2 of the paper: heuristic DVFS-aware modulo mapping.
+
+    Starting from II = max(RecMII, ResMII), the mapper places nodes in
+    topological order onto the MRRG, routing every incident dependence
+    with Dijkstra as it goes, and bumps the II on failure (paper
+    Algorithm 2, line 26).
+
+    Two placement-cost strategies are provided:
+
+    - [Conventional]: the utilization-oblivious baseline — minimize
+      routing cost and balance load across tiles.  This is the mapping
+      the no-DVFS baseline and the per-tile DVFS design use (the paper's
+      "naive per-tile mapping does not consider utilization").
+    - [Dvfs_aware]: ICED's mapping — a node labeled at level L may only
+      use an island whose tentatively-assigned level is at least L
+      (Algorithm 2, line 17); islands are opened reluctantly; placing a
+      node on an island faster than its label is penalized; dependent
+      nodes pack into busy tiles so whole islands stay idle or slow. *)
+
+open Iced_arch
+open Iced_dfg
+
+type strategy = Conventional | Dvfs_aware
+
+type knobs = {
+  island_affinity : bool;
+      (** prefer islands whose tentative level matches the node label *)
+  packing : bool;  (** pull slowable nodes onto busy tiles *)
+  phase_alignment : bool;
+      (** keep slowed islands' events on one clock phase *)
+  conventional_fallback : bool;
+      (** retry an II with the conventional cost model before bumping *)
+}
+(** Ablation switches for the DVFS-aware cost model (the bench's
+    ablation study disables them one at a time). *)
+
+val all_knobs : knobs
+(** Every feature on — the production configuration. *)
+
+type request = {
+  cgra : Cgra.t;
+  strategy : strategy;
+  tiles : int list option;  (** sub-fabric; default: the whole fabric *)
+  memory_tiles : int list option;
+      (** default: westmost column of the (sub-)fabric *)
+  label_floor : Dvfs.level;  (** lowest label Algorithm 1 may use *)
+  max_ii : int;  (** give up past this II *)
+  knobs : knobs;
+  commit_islands : bool;
+      (** Figure 4 study: pre-commit islands to levels from the label
+          quota; slowed tiles then cost multiplier-many slots per op
+          and per route hop, so over-large islands degrade the II *)
+}
+
+val request : ?strategy:strategy -> ?tiles:int list -> ?memory_tiles:int list ->
+  ?label_floor:Dvfs.level -> ?max_ii:int -> ?knobs:knobs -> ?commit_islands:bool ->
+  Cgra.t -> request
+(** Build a request with defaults: [Dvfs_aware], whole fabric,
+    westmost-column memory, floor [Rest], [max_ii] 64. *)
+
+val map : request -> Graph.t -> (Mapping.t, string) result
+(** Map a kernel.  The result carries Algorithm 1's labels and an
+    all-[Normal] island assignment; apply {!Levels.assign} to lower the
+    islands.  The result always passes {!Validate.check}. *)
+
+val map_exn : request -> Graph.t -> Mapping.t
+(** @raise Failure when no mapping is found within [max_ii]. *)

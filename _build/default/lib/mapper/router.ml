@@ -1,0 +1,115 @@
+open Iced_arch
+open Iced_dfg
+module Mrrg = Iced_mrrg.Mrrg
+
+let hop_cost = 100
+
+(* State encoding for the Dijkstra visited set: (tile, time) packed into
+   one int.  Horizons are small (deadline <= a few II), so time fits
+   comfortably. *)
+let encode ~tiles tile time = (time * tiles) + tile
+
+let route ?(extra_cost = fun ~tile:_ ~time:_ -> 0) ?(hop_width = fun _ -> 1) mrrg ~edge
+    ~src_tile ~src_time ~dst_tile ~deadline =
+  let cgra = Mrrg.cgra mrrg in
+  let tiles = Cgra.tile_count cgra in
+  if deadline < src_time then
+    Error
+      (Printf.sprintf "edge n%d->n%d: deadline %d precedes producer time %d" edge.Graph.src
+         edge.Graph.dst deadline src_time)
+  else begin
+    (* dist and parent pointers for path reconstruction *)
+    let best = Hashtbl.create 64 in
+    let parent = Hashtbl.create 64 in
+    let frontier = Iced_util.Heap.create () in
+    let start = encode ~tiles src_tile src_time in
+    Hashtbl.replace best start 0;
+    Iced_util.Heap.push frontier 0 (src_tile, src_time);
+    let found = ref None in
+    let rec search () =
+      match Iced_util.Heap.pop frontier with
+      | None -> ()
+      | Some (cost, (tile, time)) ->
+        let state = encode ~tiles tile time in
+        if Hashtbl.find_opt best state <> Some cost then search () (* stale entry *)
+        else if tile = dst_tile then found := Some (tile, time)
+        else if time >= deadline then search ()
+        else begin
+          let relax next_tile next_time next_cost via =
+            let next_state = encode ~tiles next_tile next_time in
+            let improves =
+              match Hashtbl.find_opt best next_state with
+              | None -> true
+              | Some existing -> next_cost < existing
+            in
+            if improves then begin
+              Hashtbl.replace best next_state next_cost;
+              Hashtbl.replace parent next_state ((tile, time), via);
+              Iced_util.Heap.push frontier next_cost (next_tile, next_time)
+            end
+          in
+          (* wait in place *)
+          relax tile (time + 1) (cost + 1) None;
+          (* hop to a neighbour: the output port is busy for
+             hop_width(tile) slots on a slowed tile (capacity), but the
+             elastic buffers hide the extra latency *)
+          let width = max 1 (hop_width tile) in
+          List.iter
+            (fun (dir, next_tile) ->
+              let free =
+                Mrrg.allowed mrrg next_tile
+                && List.for_all
+                     (fun k -> Mrrg.is_free mrrg ~tile ~time:(time + 1 + k) (Mrrg.Port dir))
+                     (List.init width (fun k -> k))
+              in
+              if free then
+                let penalty = extra_cost ~tile ~time:(time + 1) in
+                relax next_tile (time + 1) (cost + hop_cost + width + penalty) (Some dir))
+            (Cgra.neighbors cgra tile);
+          search ()
+        end
+    in
+    search ();
+    match !found with
+    | None ->
+      Error
+        (Printf.sprintf "edge n%d->n%d: no route from tile %d (t=%d) to tile %d by t=%d"
+           edge.Graph.src edge.Graph.dst src_tile src_time dst_tile deadline)
+    | Some goal ->
+      (* Reconstruct hops by walking parents back to the start. *)
+      let rec walk (tile, time) acc =
+        let state = encode ~tiles tile time in
+        match Hashtbl.find_opt parent state with
+        | None -> acc
+        | Some ((prev_tile, prev_time), via) ->
+          let acc =
+            match via with
+            | None -> acc
+            | Some dir -> { Mapping.tile = prev_tile; dir; time } :: acc
+          in
+          walk (prev_tile, prev_time) acc
+      in
+      let hops = walk goal [] in
+      let cost = Hashtbl.find best (encode ~tiles (fst goal) (snd goal)) in
+      (* Reserve all hop ports; roll back on an (unexpected) conflict. *)
+      let rec reserve done_hops = function
+        | [] -> Ok ()
+        | (h : Mapping.hop) :: rest -> (
+          match
+            Mrrg.reserve mrrg ~tile:h.tile ~time:h.time (Mrrg.Port h.dir)
+              (Mrrg.Route { src = edge.Graph.src; dst = edge.Graph.dst })
+          with
+          | Ok () -> reserve (h :: done_hops) rest
+          | Error msg ->
+            List.iter
+              (fun (d : Mapping.hop) -> Mrrg.release mrrg ~tile:d.tile ~time:d.time (Mrrg.Port d.dir))
+              done_hops;
+            Error msg)
+      in
+      (match reserve [] hops with Ok () -> Ok (hops, cost) | Error msg -> Error msg)
+  end
+
+let release mrrg hops _edge =
+  List.iter
+    (fun (h : Mapping.hop) -> Mrrg.release mrrg ~tile:h.tile ~time:h.time (Mrrg.Port h.dir))
+    hops

@@ -1,0 +1,33 @@
+(** Dijkstra router over the MRRG (Algorithm 2 uses Dijkstra's
+    algorithm to route data between mapped operations).
+
+    The search space is (tile, absolute time): at each step a value may
+    wait in the tile's bypass buffer (free of MRRG resources, tiny cost)
+    or hop to a mesh neighbour, claiming the source tile's output port
+    at the hop time.  A route succeeds when the value reaches the
+    destination tile no later than the consumer's read deadline. *)
+
+open Iced_dfg
+
+val hop_cost : int
+(** Cost of one hop (waits cost 1); exposed so the mapper's placement
+    cost can weigh routing against its own terms. *)
+
+val route :
+  ?extra_cost:(tile:int -> time:int -> int) ->
+  ?hop_width:(int -> int) ->
+  Iced_mrrg.Mrrg.t ->
+  edge:Graph.edge ->
+  src_tile:int ->
+  src_time:int ->
+  dst_tile:int ->
+  deadline:int ->
+  (Mapping.hop list * int, string) result
+(** Find and {e reserve} a minimum-cost route for [edge] departing the
+    producer tile after [src_time] (the producer's execute cycle) and
+    present at [dst_tile] by the end of [deadline].  Returns the hops
+    (empty when producer and consumer share a tile) and the path cost.
+    On [Error] nothing is reserved. *)
+
+val release : Iced_mrrg.Mrrg.t -> Mapping.hop list -> Graph.edge -> unit
+(** Undo a successful [route]'s reservations. *)

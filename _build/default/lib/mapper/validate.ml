@@ -1,0 +1,100 @@
+open Iced_arch
+open Iced_dfg
+
+let check mapping =
+  let problems = ref [] in
+  let fail fmt = Printf.ksprintf (fun msg -> problems := msg :: !problems) fmt in
+  let { Mapping.dfg; cgra; ii; tiles; memory_tiles; placements; _ } = mapping in
+  if ii <= 0 then fail "non-positive II %d" ii;
+  (match Graph.validate dfg with
+  | Ok () -> ()
+  | Error msg -> fail "invalid DFG: %s" msg);
+  (* Placement completeness and tile constraints *)
+  List.iter
+    (fun id ->
+      match List.assoc_opt id placements with
+      | None -> fail "node n%d not placed" id
+      | Some (tile, time) ->
+        if not (List.mem tile tiles) then fail "node n%d on disallowed tile %d" id tile;
+        if time < 0 then fail "node n%d scheduled at negative time %d" id time;
+        let op = (Graph.node dfg id).op in
+        if Op.needs_memory op && not (List.mem tile memory_tiles) then
+          fail "memory op n%d on tile %d without SPM port" id tile)
+    (Graph.node_ids dfg);
+  let placed_ids = List.map fst placements in
+  if List.length placed_ids <> List.length (List.sort_uniq compare placed_ids) then
+    fail "duplicate placements";
+  List.iter
+    (fun id -> if not (Graph.mem_node dfg id) then fail "placement of unknown node n%d" id)
+    placed_ids;
+  (* Resource conflicts *)
+  (match Mapping.to_mrrg mapping with
+  | Ok _ -> ()
+  | Error msg -> fail "resource conflict: %s" msg);
+  (* Dependences and route integrity *)
+  let check_edge (e : Graph.edge) =
+    match (List.assoc_opt e.src placements, List.assoc_opt e.dst placements) with
+    | None, _ | _, None -> () (* reported above *)
+    | Some (src_tile, src_time), Some (dst_tile, dst_time) -> (
+      (* Edges from Const nodes are iteration-invariant: the consumer
+         may read a copy produced in an earlier iteration, so they get
+         extra modulo slack (mirrored by the mapper and simulator). *)
+      let slack =
+        match (Graph.node dfg e.src).op with
+        | Op.Const _ -> (e.distance + 2) * ii
+        | _ -> e.distance * ii
+      in
+      let deadline = dst_time + slack - 1 in
+      match Mapping.route_of_edge mapping e with
+      | None ->
+        if src_tile <> dst_tile then
+          fail "edge n%d->n%d spans tiles %d->%d without a route" e.src e.dst src_tile dst_tile
+        else if deadline < src_time then
+          fail "edge n%d->n%d: consumer at t=%d too early for producer at t=%d" e.src e.dst
+            dst_time src_time
+      | Some r ->
+        (match r.hops with
+        | [] ->
+          if src_tile <> dst_tile then
+            fail "edge n%d->n%d has an empty route across tiles" e.src e.dst;
+          if deadline < src_time then
+            fail "edge n%d->n%d: consumer too early (hopless)" e.src e.dst
+        | (first : Mapping.hop) :: rest ->
+          if first.tile <> src_tile then
+            fail "edge n%d->n%d: route starts at tile %d, producer on %d" e.src e.dst first.tile
+              src_tile;
+          if first.time < src_time + 1 then
+            fail "edge n%d->n%d: first hop at t=%d before producer result (t=%d)" e.src e.dst
+              first.time src_time;
+          (* [tile]/[time]: where the value sits and when it arrived *)
+          let rec walk tile time = function
+            | [] ->
+              if tile <> dst_tile then
+                fail "edge n%d->n%d: route ends at tile %d, consumer on %d" e.src e.dst tile
+                  dst_tile;
+              if time > deadline then
+                fail "edge n%d->n%d: arrives at t=%d after deadline t=%d" e.src e.dst time
+                  deadline
+            | (h : Mapping.hop) :: rest ->
+              if h.tile <> tile then
+                fail "edge n%d->n%d: hop from tile %d but value at tile %d" e.src e.dst h.tile
+                  tile;
+              if h.time <= time then fail "edge n%d->n%d: non-increasing hop times" e.src e.dst;
+              (match Cgra.neighbor cgra h.tile h.dir with
+              | None -> fail "edge n%d->n%d: hop off the fabric edge" e.src e.dst
+              | Some next -> walk next h.time rest)
+          in
+          (match Cgra.neighbor cgra first.tile first.dir with
+          | None -> fail "edge n%d->n%d: first hop off the fabric" e.src e.dst
+          | Some next -> walk next first.time rest)))
+  in
+  List.iter check_edge (Graph.edges dfg);
+  (* DVFS soundness *)
+  if not (Levels.legal mapping mapping.Mapping.island_levels) then
+    fail "island DVFS level assignment is not sound";
+  match !problems with [] -> Ok () | msgs -> Error (List.rev msgs)
+
+let check_exn mapping =
+  match check mapping with
+  | Ok () -> ()
+  | Error msgs -> failwith (String.concat "; " msgs)

@@ -1,0 +1,1 @@
+lib/mrrg/mrrg.ml: Array Cgra Dir Format Hashtbl Iced_arch List Printf

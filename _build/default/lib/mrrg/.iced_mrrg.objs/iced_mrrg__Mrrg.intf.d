@@ -1,0 +1,1 @@
+lib/mrrg/mrrg.mli: Cgra Dir Format Iced_arch

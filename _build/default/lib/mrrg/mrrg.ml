@@ -1,0 +1,91 @@
+open Iced_arch
+
+type resource = Fu | Port of Dir.t
+
+type occupant = Op_node of int | Route of { src : int; dst : int }
+
+type key = { tile : int; slot : int; res : resource }
+
+type t = {
+  cgra : Cgra.t;
+  ii : int;
+  tiles : bool array; (* allowed sub-fabric, indexed by tile id *)
+  table : (key, occupant) Hashtbl.t;
+}
+
+let create ?tiles cgra ~ii =
+  if ii <= 0 then invalid_arg "Mrrg.create: non-positive II";
+  let allowed = Array.make (Cgra.tile_count cgra) (tiles = None) in
+  (match tiles with
+  | None -> ()
+  | Some ids ->
+    List.iter
+      (fun id ->
+        if id < 0 || id >= Cgra.tile_count cgra then invalid_arg "Mrrg.create: unknown tile";
+        allowed.(id) <- true)
+      ids);
+  { cgra; ii; tiles = allowed; table = Hashtbl.create 256 }
+
+let cgra t = t.cgra
+let ii t = t.ii
+
+let allowed t tile = tile >= 0 && tile < Array.length t.tiles && t.tiles.(tile)
+
+let allowed_tiles t =
+  List.filter (allowed t) (List.init (Cgra.tile_count t.cgra) (fun i -> i))
+
+let slot t time =
+  if time < 0 then invalid_arg "Mrrg.slot: negative time";
+  time mod t.ii
+
+let key t ~tile ~time res = { tile; slot = slot t time; res }
+
+let occupant t ~tile ~time res = Hashtbl.find_opt t.table (key t ~tile ~time res)
+
+let is_free t ~tile ~time res = occupant t ~tile ~time res = None
+
+let occupant_to_string = function
+  | Op_node id -> Printf.sprintf "op n%d" id
+  | Route { src; dst } -> Printf.sprintf "route n%d->n%d" src dst
+
+let reserve t ~tile ~time res who =
+  if not (allowed t tile) then Error (Printf.sprintf "tile %d outside the sub-fabric" tile)
+  else
+    let k = key t ~tile ~time res in
+    match Hashtbl.find_opt t.table k with
+    | None ->
+      Hashtbl.replace t.table k who;
+      Ok ()
+    | Some existing when existing = who -> Ok () (* fan-out shares the wire *)
+    | Some existing ->
+      Error
+        (Printf.sprintf "tile %d slot %d busy with %s" tile k.slot (occupant_to_string existing))
+
+let release t ~tile ~time res = Hashtbl.remove t.table (key t ~tile ~time res)
+
+let busy t ~tile =
+  Hashtbl.fold
+    (fun k who acc -> if k.tile = tile then (k.slot, k.res, who) :: acc else acc)
+    t.table []
+  |> List.sort compare
+
+let busy_slots t ~tile =
+  busy t ~tile |> List.map (fun (s, _, _) -> s) |> List.sort_uniq compare
+
+let tile_is_idle t tile = busy t ~tile = []
+
+let clone t = { t with table = Hashtbl.copy t.table }
+
+let resource_to_string = function Fu -> "fu" | Port d -> "port." ^ Dir.to_string d
+
+let pp fmt t =
+  Format.fprintf fmt "mrrg ii=%d@." t.ii;
+  let entries =
+    Hashtbl.fold (fun k who acc -> (k, who) :: acc) t.table []
+    |> List.sort (fun (a, _) (b, _) -> compare (a.tile, a.slot, a.res) (b.tile, b.slot, b.res))
+  in
+  List.iter
+    (fun (k, who) ->
+      Format.fprintf fmt "  t%d@@%d %s: %s@." k.tile k.slot (resource_to_string k.res)
+        (occupant_to_string who))
+    entries

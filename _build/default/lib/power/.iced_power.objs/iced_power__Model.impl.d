@@ -1,0 +1,1 @@
+lib/power/model.ml: Cgra Dvfs Float Iced_arch List Params Printf

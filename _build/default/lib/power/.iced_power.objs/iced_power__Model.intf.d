@@ -1,0 +1,1 @@
+lib/power/model.mli: Cgra Dvfs Iced_arch Params

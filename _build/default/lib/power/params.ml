@@ -1,0 +1,64 @@
+open Iced_arch
+
+type tile = { clock_mw : float; dyn_max_mw : float; static_mw : float; area_mm2 : float }
+
+type controller = { power_mw : float; area_mm2 : float }
+
+type sram = { leak_mw : float; dyn_max_mw : float; area_mm2 : float; kbytes : int; banks : int }
+
+type t = {
+  f_normal_mhz : float;
+  v_normal : float;
+  tile : tile;
+  island_controller : controller;
+  per_tile_controller : controller;
+  sram : sram;
+}
+
+(* Calibration (see Params docstring and DESIGN.md):
+   - 36 tiles at ~60 % average activity plus 9 island controllers
+     reproduce Figure 8's 113.95 mW:
+     36 * (0.8 + 0.6 * 1.8 + 1.3) + 9 * 0.9 = 110.7 mW
+     (clock tree ~25 % of a fully-active tile's power, a typical
+     post-layout share; the shared all-digital LDO+ADPLL serves four
+     tiles, so it runs well under the per-tile controller's cost);
+   - tile area 0.163 mm^2 * 36 + 9 island controllers * 0.085 mm^2
+     = 6.63 mm^2 (Figure 8);
+   - per-tile controller at 1.15 mW / 0.052 mm^2 is ~30 % of a tile's
+     power (3.9 mW fully active) and ~32 % of its area, matching the
+     ">30 % of a tile" overhead the paper attributes to UE-CGRA-style
+     per-tile DVFS;
+   - SRAM leak + dynamic max = 62.653 mW, 0.559 mm^2 (Section V-A). *)
+let default =
+  {
+    f_normal_mhz = 434.0;
+    v_normal = 0.70;
+    tile = { clock_mw = 0.8; dyn_max_mw = 1.8; static_mw = 1.3; area_mm2 = 0.163 };
+    island_controller = { power_mw = 0.9; area_mm2 = 0.085 };
+    per_tile_controller = { power_mw = 1.15; area_mm2 = 0.052 };
+    sram = { leak_mw = 14.0; dyn_max_mw = 48.653; area_mm2 = 0.559; kbytes = 32; banks = 8 };
+  }
+
+let voltage_scale t level =
+  let v = Dvfs.voltage level /. t.v_normal in
+  v *. v
+
+let frequency_scale t level = Dvfs.frequency_mhz level /. t.f_normal_mhz
+
+let leakage_scale t level =
+  if Dvfs.is_active level then Dvfs.voltage level /. t.v_normal else 0.0
+
+let sram_scaled t ~kbytes ~banks =
+  if kbytes <= 0 || banks <= 0 then invalid_arg "Params.sram_scaled: non-positive size";
+  let ratio = float_of_int kbytes /. float_of_int t.sram.kbytes in
+  {
+    t with
+    sram =
+      {
+        leak_mw = t.sram.leak_mw *. ratio;
+        dyn_max_mw = t.sram.dyn_max_mw *. ratio;
+        area_mm2 = t.sram.area_mm2 *. ratio;
+        kbytes;
+        banks;
+      };
+  }

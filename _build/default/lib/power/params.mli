@@ -1,0 +1,67 @@
+(** Power/area model parameters.
+
+    The paper obtains its numbers from a placed-and-routed 6x6 ICED in
+    the predictive ASAP7 FinFET library (Synopsys DC + Cadence Innovus)
+    and SRAM numbers from CACTI 6.5 at 22 nm.  Neither tool exists here,
+    so this module substitutes an analytical model calibrated to every
+    scalar the paper publishes (see DESIGN.md, "Substitutions"):
+
+    - 6x6 CGRA without SRAM: 6.63 mm^2, 113.95 mW average at 0.7 V /
+      434 MHz (Figure 8);
+    - 32 KB / 8-bank SPM: 0.559 mm^2, up to 62.653 mW (Section V-A);
+    - per-tile DVFS support costs more than 30 % of a tile in both
+      power and area (Sections II-B and VI);
+    - V/F pairs per level as in {!Iced_arch.Dvfs}. *)
+
+type tile = {
+  clock_mw : float;
+      (** always-on dynamic power at nominal V/F: clock tree,
+          configuration logic — burnt every cycle the tile is clocked,
+          busy or not; the main lever DVFS has over power-gating *)
+  dyn_max_mw : float;
+      (** additional dynamic power at nominal V/F with every local
+          cycle busy (FU + crossbar + register switching) *)
+  static_mw : float;  (** leakage at nominal voltage *)
+  area_mm2 : float;
+}
+
+type controller = {
+  power_mw : float;  (** LDO + ADPLL + DVFS control unit, always-on *)
+  area_mm2 : float;
+}
+
+type sram = {
+  leak_mw : float;
+  dyn_max_mw : float;  (** at one access per bank per cycle *)
+  area_mm2 : float;
+  kbytes : int;
+  banks : int;
+}
+
+type t = {
+  f_normal_mhz : float;
+  v_normal : float;
+  tile : tile;
+  island_controller : controller;
+      (** one per island: sized to supply 4 tiles *)
+  per_tile_controller : controller;
+      (** one per tile in the UE-CGRA-style baseline *)
+  sram : sram;
+}
+
+val default : t
+(** ASAP7-calibrated values reproducing the paper's scalars for the
+    6x6 prototype. *)
+
+val voltage_scale : t -> Iced_arch.Dvfs.level -> float
+(** (V/V_nominal)^2 — the dynamic-power voltage factor of Eq. 2. *)
+
+val frequency_scale : t -> Iced_arch.Dvfs.level -> float
+(** f/f_nominal. *)
+
+val leakage_scale : t -> Iced_arch.Dvfs.level -> float
+(** Leakage roughly tracks voltage (V/V_nominal); zero when gated. *)
+
+val sram_scaled : t -> kbytes:int -> banks:int -> t
+(** Linearly re-scale the SRAM block for a different capacity (used
+    when modeling CGRAs of other sizes). *)

@@ -1,0 +1,1 @@
+lib/sim/eval.ml: Iced_dfg List Op Printf

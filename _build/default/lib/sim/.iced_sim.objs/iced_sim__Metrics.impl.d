@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Cgra Dvfs Graph Hashtbl Iced_arch Iced_dfg Iced_mapper Iced_power Iced_util List Mapping Op Option

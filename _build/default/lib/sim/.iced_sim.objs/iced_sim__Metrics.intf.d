@@ -1,0 +1,1 @@
+lib/sim/metrics.mli: Dvfs Iced_arch Iced_mapper Iced_power Mapping

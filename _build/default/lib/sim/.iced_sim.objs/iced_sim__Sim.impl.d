@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Eval Graph Hashtbl Iced_dfg Iced_mapper List Metrics Op Printf

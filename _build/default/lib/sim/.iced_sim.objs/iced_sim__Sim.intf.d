@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Graph Iced_dfg Iced_mapper

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer Char Fun Graph Hashtbl Iced_dfg Iced_mapper List Mapping Option Printf String

@@ -1,0 +1,51 @@
+open Iced_dfg
+
+let arity_fail op n =
+  invalid_arg (Printf.sprintf "Eval.apply: %s with %d operands" (Op.to_string op) n)
+
+let binary op operands f =
+  match operands with [ a; b ] -> f a b | _ -> arity_fail op (List.length operands)
+
+let bool_of b = if b then 1 else 0
+
+let apply op operands =
+  match op with
+  | Op.Add -> List.fold_left ( + ) 0 operands
+  | Op.Mul -> List.fold_left ( * ) 1 operands
+  | Op.And -> ( match operands with [] -> arity_fail op 0 | x :: rest -> List.fold_left ( land ) x rest)
+  | Op.Or -> ( match operands with [] -> arity_fail op 0 | x :: rest -> List.fold_left ( lor ) x rest)
+  | Op.Xor -> ( match operands with [] -> arity_fail op 0 | x :: rest -> List.fold_left ( lxor ) x rest)
+  | Op.Sub -> binary op operands ( - )
+  | Op.Div -> binary op operands (fun a b -> if b = 0 then 0 else a / b)
+  | Op.Rem -> binary op operands (fun a b -> if b = 0 then 0 else a mod b)
+  | Op.Shl -> binary op operands (fun a b -> a lsl (b land 63))
+  | Op.Shr -> binary op operands (fun a b -> a asr (b land 63))
+  | Op.Cmp c ->
+    let compare a b =
+      bool_of
+        (match c with
+        | Op.Eq -> a = b
+        | Op.Ne -> a <> b
+        | Op.Lt -> a < b
+        | Op.Le -> a <= b
+        | Op.Gt -> a > b
+        | Op.Ge -> a >= b)
+    in
+    (* Unary form compares against an immediate zero. *)
+    (match operands with
+    | [ a ] -> compare a 0
+    | [ a; b ] -> compare a b
+    | n -> arity_fail op (List.length n))
+  | Op.Select -> (
+    (* Binary form has an immediate-zero else-operand. *)
+    match operands with
+    | [ predicate; if_true ] -> if predicate <> 0 then if_true else 0
+    | [ predicate; if_true; if_false ] -> if predicate <> 0 then if_true else if_false
+    | n -> arity_fail op (List.length n))
+  | Op.Const k ->
+    if operands <> [] then arity_fail op (List.length operands);
+    k
+  | Op.Gep -> List.fold_left ( + ) 0 operands
+  | Op.Route -> (
+    match operands with [ x ] -> x | n -> arity_fail op (List.length n))
+  | Op.Phi | Op.Load | Op.Store -> invalid_arg ("Eval.apply: " ^ Op.to_string op)

@@ -1,0 +1,16 @@
+(** Functional semantics of DFG operations, used by the simulator to
+    execute mapped kernels on real data and compare against golden
+    reference implementations. *)
+
+open Iced_dfg
+
+val apply : Op.t -> int list -> int
+(** [apply op operands] evaluates a non-memory, non-phi operation.
+    Operand order follows the DFG's edge insertion order.  Comparisons
+    yield 0/1 (unary form compares against 0); [Select] takes
+    [predicate; if_true; if_false] ([if_false] defaults to an immediate
+    0 in the binary form); division
+    and remainder by zero yield 0 (predicated-off lanes may feed
+    garbage); [Route] and single-operand passthroughs are identity.
+    @raise Invalid_argument for [Phi]/[Load]/[Store] (handled by the
+    simulator) or arity mismatch. *)

@@ -1,0 +1,66 @@
+(** Static metrics of a mapped kernel: utilization, average DVFS level,
+    memory activity, cycle counts — the quantities Figures 2, 9, 10 and
+    12 plot.
+
+    Utilization follows the paper: it counts both FU and crossbar
+    occupancy and is "computed at each island according to its
+    frequency" — a tile at period multiplier m with k busy base-clock
+    slots per II has k * m of its II local slots occupied, i.e.
+    utilization k * m / II.  The average excludes power-gated tiles
+    (whose work was consolidated elsewhere); the average {e DVFS level}
+    by contrast counts gated tiles as 0 %, exactly as Figure 10's
+    caption prescribes. *)
+
+open Iced_arch
+open Iced_mapper
+
+type tile_metrics = {
+  tile : int;
+  level : Dvfs.level;
+  busy_slots : int;  (** distinct busy base-clock slots per II *)
+  utilization : float;  (** busy_slots * multiplier / II, in [0,1]; 0 when gated *)
+}
+
+val per_tile : Mapping.t -> tile_metrics list
+(** One entry per tile of the fabric (or of the sub-fabric for a
+    partition mapping). *)
+
+val average_utilization : Mapping.t -> float
+(** Mean utilization over non-power-gated tiles of the (sub-)fabric. *)
+
+val average_dvfs_fraction : Mapping.t -> float
+(** Mean of {!Dvfs.fraction} over every tile (gated = 0), Figure 10's
+    metric. *)
+
+val tile_states : Mapping.t -> Iced_power.Model.tile_state list
+(** Per-tile (level, activity) for the power model; activity equals
+    utilization. *)
+
+val sram_activity : Mapping.t -> float
+(** Memory operations per cycle per SPM bank, capped at 1. *)
+
+val schedule_depth : Mapping.t -> int
+(** Latest scheduled event time + 1 (pipeline-fill depth). *)
+
+val total_cycles : Mapping.t -> iterations:int -> int
+(** Base-clock cycles to run [iterations] loop iterations:
+    (iterations - 1) * II + schedule depth, with DVFS pipeline-fill
+    stretch on slowed tiles already subsumed by the predication model
+    (extra invalid warm-up iterations, not extra steady-state cycles).
+    @raise Invalid_argument if [iterations <= 0]. *)
+
+val speedup_vs_cpu : Mapping.t -> float
+(** nodes / II — the paper's Figure 1 speedup metric over a
+    single-issue in-order CPU. *)
+
+val buffer_occupancy : Mapping.t -> (int * int * int) list
+(** Steady-state bypass-buffer pressure: for every (tile, modulo slot)
+    with live values, how many values are resident — a value occupies
+    its producer's (or an intermediate hop's) buffers from the cycle it
+    arrives until the cycle it departs or is consumed, and intervals
+    longer than the II overlap themselves.  Constants are excluded
+    (they live in the configuration memory). *)
+
+val max_buffer_occupancy : Mapping.t -> int
+(** Maximum over tiles and slots of {!buffer_occupancy}; compare
+    against the tile's register-file capacity. *)

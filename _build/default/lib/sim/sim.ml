@@ -1,0 +1,150 @@
+open Iced_dfg
+
+type binding = {
+  load : label:string -> iter:int -> operands:int list -> int;
+  phi_init : label:string -> int;
+}
+
+let zero_binding =
+  { load = (fun ~label:_ ~iter:_ ~operands:_ -> 0); phi_init = (fun ~label:_ -> 0) }
+
+type store_event = { label : string; iter : int; operands : int list }
+
+type result = {
+  iterations : int;
+  cycles : int;
+  stores : store_event list;
+  executed : int;
+  violations : string list;
+}
+
+(* Shared evaluation of one (node, iter) instance given a lookup for
+   already-computed instances.  Returns [None] for predicated-invalid
+   values (an operand from a negative iteration). *)
+let eval_instance binding g lookup node_id iter =
+  let node = Graph.node g node_id in
+  let preds = Graph.predecessors g node_id in
+  let operand (e : Graph.edge) =
+    (* Constants are iteration-invariant and always available. *)
+    match (Graph.node g e.src).op with
+    | Op.Const k -> Some k
+    | _ -> lookup e.src (iter - e.distance)
+  in
+  match node.op with
+  | Op.Phi -> (
+    let carried = List.filter (fun (e : Graph.edge) -> e.distance > 0) preds in
+    let initial = List.filter (fun (e : Graph.edge) -> e.distance = 0) preds in
+    match carried with
+    | c :: _ when iter >= c.distance -> operand c
+    | _ -> (
+      match initial with
+      | e :: _ -> lookup e.src iter
+      | [] -> Some (binding.phi_init ~label:node.label)))
+  | Op.Load ->
+    let operands = List.map operand preds in
+    if List.exists (fun v -> v = None) operands then None
+    else
+      Some
+        (binding.load ~label:node.label ~iter
+           ~operands:(List.filter_map (fun v -> v) operands))
+  | Op.Store ->
+    (* value recorded separately; a store produces nothing *)
+    Some 0
+  | op ->
+    let operands = List.map operand preds in
+    if List.exists (fun v -> v = None) operands then None
+    else Some (Eval.apply op (List.filter_map (fun v -> v) operands))
+
+let store_of binding g lookup node_id iter =
+  ignore binding;
+  let node = Graph.node g node_id in
+  if node.op <> Op.Store then None
+  else begin
+    let operands =
+      List.map
+        (fun (e : Graph.edge) ->
+          match (Graph.node g e.src).op with
+          | Op.Const k -> Some k
+          | _ -> lookup e.src (iter - e.distance))
+        (Graph.predecessors g node_id)
+    in
+    if List.exists (fun v -> v = None) operands then None
+    else Some { label = node.label; iter; operands = List.filter_map (fun v -> v) operands }
+  end
+
+let interpret ?(binding = zero_binding) g ~iterations =
+  (match Graph.validate g with
+  | Error msg -> invalid_arg ("Sim.interpret: " ^ msg)
+  | Ok () -> ());
+  if iterations <= 0 then invalid_arg "Sim.interpret: non-positive iterations";
+  let memo : (int * int, int option) Hashtbl.t = Hashtbl.create 1024 in
+  let rec lookup node iter =
+    if iter < 0 then None
+    else
+      match Hashtbl.find_opt memo (node, iter) with
+      | Some v -> v
+      | None ->
+        (* Cycles always pass through carried edges with distance >= 1,
+           so recursion on (node, iter) terminates: intra edges strictly
+           decrease topological position, carried edges decrease iter. *)
+        let v = eval_instance binding g lookup node iter in
+        Hashtbl.replace memo (node, iter) v;
+        v
+  in
+  let stores = ref [] in
+  for iter = 0 to iterations - 1 do
+    List.iter
+      (fun (n : Graph.node) ->
+        if n.op = Op.Store then
+          match store_of binding g lookup n.id iter with
+          | Some event -> stores := event :: !stores
+          | None -> ())
+      (Graph.nodes g)
+  done;
+  List.sort compare (List.rev !stores)
+
+let run ?(binding = zero_binding) (m : Iced_mapper.Mapping.t) ~iterations =
+  if iterations <= 0 then invalid_arg "Sim.run: non-positive iterations";
+  let g = m.Iced_mapper.Mapping.dfg in
+  let ii = m.Iced_mapper.Mapping.ii in
+  (* All op instances in execution order. *)
+  let instances =
+    List.concat_map
+      (fun (node, (_tile, time)) ->
+        List.init iterations (fun iter -> (time + (iter * ii), node, iter)))
+      m.Iced_mapper.Mapping.placements
+    |> List.sort compare
+  in
+  let memo : (int * int, int option) Hashtbl.t = Hashtbl.create 1024 in
+  let violations = ref [] in
+  let executed = ref 0 in
+  let stores = ref [] in
+  let lookup node iter =
+    if iter < 0 then None
+    else
+      match Hashtbl.find_opt memo (node, iter) with
+      | Some v -> v
+      | None ->
+        (* Producer instance has not executed yet: schedule bug. *)
+        violations :=
+          Printf.sprintf "operand n%d@@iter%d consumed before production" node iter
+          :: !violations;
+        None
+  in
+  List.iter
+    (fun (_time, node, iter) ->
+      incr executed;
+      let v = eval_instance binding g lookup node iter in
+      Hashtbl.replace memo (node, iter) v;
+      if (Graph.node g node).op = Op.Store then
+        match store_of binding g lookup node iter with
+        | Some event -> stores := event :: !stores
+        | None -> ())
+    instances;
+  {
+    iterations;
+    cycles = Metrics.total_cycles m ~iterations;
+    stores = List.sort compare (List.rev !stores);
+    executed = !executed;
+    violations = List.rev !violations;
+  }

@@ -1,0 +1,52 @@
+(** Cycle-level simulation of a mapped kernel.
+
+    Two entry points share one functional semantics:
+
+    - {!interpret} executes the DFG directly, iteration by iteration —
+      the golden model;
+    - {!run} executes the {e mapped} schedule in global time order,
+      checking as it goes that every operand was produced by an earlier
+      cycle (a dynamic re-verification of the modulo schedule's
+      dependences, including loop-carried ones), and accounting busy
+      cycles.
+
+    A mapping is functionally correct when [run] reports no timing
+    violations and produces exactly [interpret]'s store trace.
+
+    Data-dependent predication (paper Figure 1: "the first n8 is
+    executed at cycle1 but its output is invalid") is modeled with
+    option values: an operand reaching before its producing iteration
+    exists is invalid, and invalid stores are suppressed. *)
+
+open Iced_dfg
+
+type binding = {
+  load : label:string -> iter:int -> operands:int list -> int;
+      (** semantic of a [Load] node: [label] is the node's label,
+          [operands] its evaluated address inputs (empty if none) *)
+  phi_init : label:string -> int;
+      (** initial value of a [Phi] for iterations before its carried
+          input exists *)
+}
+
+val zero_binding : binding
+(** Loads return 0, phis start at 0. *)
+
+type store_event = { label : string; iter : int; operands : int list }
+
+type result = {
+  iterations : int;
+  cycles : int;  (** total base-clock cycles, from {!Metrics.total_cycles} *)
+  stores : store_event list;  (** valid stores, in (iter, label) order *)
+  executed : int;  (** op instances executed *)
+  violations : string list;
+      (** operands consumed before production — empty for any mapping
+          accepted by {!Iced_mapper.Validate} *)
+}
+
+val interpret : ?binding:binding -> Graph.t -> iterations:int -> store_event list
+(** Golden DFG interpreter.  @raise Invalid_argument on a graph that
+    fails validation or non-positive [iterations]. *)
+
+val run : ?binding:binding -> Iced_mapper.Mapping.t -> iterations:int -> result
+(** Simulate the mapped schedule. *)

@@ -1,0 +1,34 @@
+(** Cycle-by-cycle execution traces of a mapped kernel, with VCD
+    export.
+
+    [record] replays the modulo schedule for a number of iterations and
+    emits one event per executed operation and per route hop, in cycle
+    order — the equivalent of the waveforms the paper's PyMTL3
+    simulation produces.  [to_vcd] writes an IEEE 1364 value-change
+    dump with one wire per tile (the label of the node executing there,
+    or the routing activity), which any waveform viewer (GTKWave etc.)
+    can open. *)
+
+open Iced_mapper
+
+type event = {
+  cycle : int;  (** absolute base-clock cycle *)
+  tile : int;
+  activity : [ `Execute of string * int | `Route of int * int ];
+      (** [`Execute (label, iteration)] of a DFG node on the tile's FU,
+          or [`Route (src, dst)] for a hop leaving the tile *)
+}
+
+val record : Mapping.t -> iterations:int -> event list
+(** All events of [iterations] loop iterations, cycle-ordered.
+    @raise Invalid_argument if [iterations <= 0]. *)
+
+val busy_histogram : Mapping.t -> iterations:int -> (int * int) list
+(** (tile, busy-cycle count) over the traced window, for quick
+    utilization inspection; agrees with {!Metrics} in steady state. *)
+
+val to_vcd : Mapping.t -> iterations:int -> string
+(** The trace as a VCD document (one string-valued wire per tile plus a
+    clock). *)
+
+val write_vcd : path:string -> Mapping.t -> iterations:int -> unit

@@ -1,0 +1,1 @@
+lib/stream/controller.ml: Dvfs Float Hashtbl Iced_arch Iced_util List

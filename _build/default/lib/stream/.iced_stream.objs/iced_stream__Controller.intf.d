@@ -1,0 +1,1 @@
+lib/stream/controller.mli: Dvfs Iced_arch

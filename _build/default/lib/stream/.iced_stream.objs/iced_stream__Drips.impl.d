@@ -1,0 +1,1 @@
+lib/stream/drips.ml: Float Hashtbl Iced_util List Partition

@@ -1,0 +1,1 @@
+lib/stream/drips.mli: Partition

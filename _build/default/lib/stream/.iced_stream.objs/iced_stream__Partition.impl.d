@@ -1,0 +1,1 @@
+lib/stream/partition.ml: Cgra Dvfs Float Hashtbl Iced_arch Iced_kernels Iced_mapper Iced_util Levels List Mapper Mapping Pipeline Printf

@@ -1,0 +1,1 @@
+lib/stream/partition.mli: Cgra Dvfs Iced_arch Iced_mapper Mapping Pipeline

@@ -1,0 +1,1 @@
+lib/stream/pipeline.ml: Iced_kernels List Workload

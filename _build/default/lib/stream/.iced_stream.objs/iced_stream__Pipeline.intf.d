@@ -1,0 +1,1 @@
+lib/stream/pipeline.mli: Iced_kernels Workload

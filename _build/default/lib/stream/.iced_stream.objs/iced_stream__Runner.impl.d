@@ -1,0 +1,1 @@
+lib/stream/runner.ml: Controller Drips Dvfs Float Iced_arch Iced_mapper Iced_power Iced_sim Iced_util List Partition Pipeline

@@ -1,0 +1,1 @@
+lib/stream/runner.mli: Dvfs Iced_arch Iced_power Partition Pipeline

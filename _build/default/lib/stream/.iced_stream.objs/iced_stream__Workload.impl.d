@@ -1,0 +1,1 @@
+lib/stream/workload.ml: Float Iced_util List Rng Stats

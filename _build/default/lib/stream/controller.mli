@@ -1,0 +1,40 @@
+(** The ICED DVFS Controller (paper Section III-B).
+
+    Maintains an [exeTable] of per-kernel execution times and a
+    [mapTable] of the islands each kernel owns.  Every [window] inputs
+    (the paper uses 10), it identifies the bottleneck kernel, raises
+    its islands one level (toward [Normal]), and lowers the
+    non-bottleneck kernels one level where doing so cannot create a new
+    bottleneck (halving a kernel's frequency doubles its time, so a
+    kernel is lowered only when twice its observed time still fits
+    under the bottleneck with some guard band). *)
+
+open Iced_arch
+
+type t
+
+val create :
+  ?window:int -> ?floor:Dvfs.level -> ?label_floors:(string * Dvfs.level) list ->
+  labels:string list -> unit -> t
+(** [window] defaults to 10 inputs; [floor] (lowest runtime level)
+    defaults to [Rest]; [label_floors] are the compiler's per-kernel
+    eligibility bounds ({!Partition.t.level_floors}). *)
+
+val window : t -> int
+
+val level : t -> string -> Dvfs.level
+(** Current level of a kernel's islands ([Normal] initially).
+    @raise Not_found for unknown labels. *)
+
+val levels : t -> (string * Dvfs.level) list
+
+val observe : t -> label:string -> busy_time:float -> unit
+(** Record one kernel's execution time for the current input (the
+    termination signal updating the exeTable). *)
+
+val input_done : t -> unit
+(** Mark one input fully consumed; on the window boundary, adjust
+    levels and reset the exeTable. *)
+
+val adjustments : t -> int
+(** Number of windows that triggered a level change so far. *)

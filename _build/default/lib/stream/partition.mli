@@ -1,0 +1,62 @@
+(** CGRA partitioning for streaming applications (paper Section IV-B).
+
+    Kernels are mapped at island granularity: every pipeline instance
+    gets at least one island, all islands are allocated, and the
+    partition minimizing the profiled bottleneck stage time is chosen
+    by exhaustive search over island compositions — the paper's offline
+    exhaustive exploration over candidate partitions, using the first
+    50 inputs as the profile.
+
+    Streaming kernel mappings use the [Relax] label floor: island
+    levels must keep downward headroom because the runtime lowers
+    non-bottleneck kernels one level at a time (rest is reached only
+    through runtime adjustment). *)
+
+open Iced_arch
+open Iced_mapper
+
+type candidate = {
+  islands : int;  (** island count this mapping was built for *)
+  mapping : Mapping.t;
+}
+
+type prepared_instance = {
+  instance : Pipeline.instance;
+  candidates : candidate list;  (** one per feasible island count *)
+}
+
+type t = {
+  cgra : Cgra.t;
+  pipeline : Pipeline.t;
+  prepared : prepared_instance list;
+  allocation : (string * int) list;  (** instance label -> island count *)
+  island_ids : (string * int list) list;
+      (** instance label -> the concrete islands it owns (the
+          controller's mapTable) *)
+  level_floors : (string * Dvfs.level) list;
+      (** compile-time DVFS eligibility per instance (the paper's
+          normal-or-relax allocation): the lowest level the runtime may
+          set, derived from each kernel's profiled worst-case share of
+          the bottleneck *)
+}
+
+val candidate_for : prepared_instance -> int -> candidate option
+(** The mapping prepared for a given island count. *)
+
+val ii_for : t -> string -> int -> int
+(** II of an instance when given [count] islands; [max_int] when no
+    mapping exists at that count.  @raise Not_found on unknown label. *)
+
+val allocated : t -> string -> candidate
+(** The candidate selected by the chosen allocation. *)
+
+val prepare :
+  ?max_islands_per_kernel:int ->
+  Cgra.t ->
+  Pipeline.t ->
+  profile:Pipeline.input list ->
+  (t, string) result
+(** Map every instance for every feasible island count, then pick the
+    composition of all islands minimizing the mean profiled bottleneck.
+    Fails when the pipeline has more instances than the fabric has
+    islands, or when some instance cannot map at any count. *)

@@ -1,0 +1,85 @@
+type input = { id : int; features : (string * int) list }
+
+let feature input name =
+  match List.assoc_opt name input.features with
+  | Some v -> v
+  | None -> raise Not_found
+
+type instance = {
+  label : string;
+  kernel : Iced_kernels.Kernel.t;
+  iterations : input -> int;
+}
+
+type stage = instance list
+
+type t = { name : string; stages : stage list }
+
+let kernel name =
+  match Iced_kernels.Registry.by_name name with
+  | Some k -> k
+  | None -> invalid_arg ("Pipeline: unknown kernel " ^ name)
+
+(* GCN feature width kept small so iteration counts stay comparable
+   across stages; the *ratio* between data-dependent (edges) and fixed
+   (vertices) work is what drives bottleneck drift. *)
+let feature_dim = 4
+
+let gcn () =
+  let edges input = feature input "edges" in
+  let vertices input = feature input "vertices" in
+  {
+    name = "gcn";
+    stages =
+      [
+        [ { label = "compress"; kernel = kernel "compress";
+            iterations = (fun i -> vertices i + (edges i / 2)) } ];
+        [ { label = "aggregate.0"; kernel = kernel "aggregate";
+            iterations = (fun i -> edges i * 2) } ];
+        [ { label = "combrelu"; kernel = kernel "combrelu";
+            iterations = (fun i -> vertices i * feature_dim) } ];
+        [ { label = "aggregate.1"; kernel = kernel "aggregate";
+            iterations = (fun i -> edges i * 2) } ];
+        [ { label = "combine"; kernel = kernel "combine";
+            iterations = (fun i -> vertices i * feature_dim) } ];
+        [ { label = "pooling"; kernel = kernel "pooling";
+            iterations = vertices } ];
+      ];
+  }
+
+let lu () =
+  let dim input = feature input "dim" in
+  let nnz input = feature input "nnz" in
+  {
+    name = "lu";
+    stages =
+      [
+        [ { label = "init"; kernel = kernel "init";
+            iterations = (fun i -> dim i * 2) } ];
+        (* decompose's work tracks the non-zeros (data-dependent), the
+           triangular solves are mostly dimension-bound: in dense
+           phases decompose bottlenecks and the solvers idle, in sparse
+           phases the reverse — the drifting imbalance the runtime
+           DVFS exploits *)
+        [ { label = "decompose"; kernel = kernel "decompose";
+            iterations = (fun i -> nnz i * 4) } ];
+        [ { label = "solver0"; kernel = kernel "solver0";
+            iterations = (fun i -> dim i * 4) };
+          { label = "solver1"; kernel = kernel "solver1";
+            iterations = (fun i -> dim i * 4) } ];
+        [ { label = "invert"; kernel = kernel "invert";
+            iterations = dim };
+          { label = "determinant"; kernel = kernel "determinant";
+            iterations = (fun i -> dim i * 2) } ];
+      ];
+  }
+
+let instances t = List.concat t.stages
+
+let of_gcn_graph (g : Workload.gcn_graph) =
+  { id = g.id; features = [ ("vertices", g.vertices); ("edges", g.edges) ] }
+
+let of_lu_matrix (m : Workload.lu_matrix) =
+  { id = m.id; features = [ ("dim", m.dim); ("nnz", m.nnz) ] }
+
+let find t label = List.find (fun i -> i.label = label) (instances t)

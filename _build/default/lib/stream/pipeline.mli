@@ -1,0 +1,43 @@
+(** Streaming applications as pipelines of kernel instances.
+
+    A pipeline is a list of stages processing a stream of inputs; the
+    kernels inside one stage run in parallel on disjoint island sets.
+    Each instance declares how many loop iterations one input costs it —
+    constant for dense kernels, proportional to the input's non-zeros
+    for the data-dependent ones, which is precisely what makes the
+    bottleneck drift between inputs (paper Section II-B). *)
+
+type input = { id : int; features : (string * int) list }
+(** An input instance described by named magnitudes (e.g. "vertices",
+    "edges" for a GCN graph). *)
+
+val feature : input -> string -> int
+(** @raise Not_found for unknown feature names. *)
+
+type instance = {
+  label : string;  (** unique within the pipeline, e.g. "aggregate.1" *)
+  kernel : Iced_kernels.Kernel.t;
+  iterations : input -> int;  (** per-input trip count *)
+}
+
+type stage = instance list
+
+type t = { name : string; stages : stage list }
+
+val gcn : unit -> t
+(** The 2-layer GCN inference pipeline: compress -> aggregate ->
+    combrelu -> aggregate -> combine -> pooling (six instances, five
+    unique kernels, aggregate twice). *)
+
+val lu : unit -> t
+(** The LU application: init -> decompose -> (solver0 || solver1) ->
+    (invert || determinant): six kernels in four stages. *)
+
+val instances : t -> instance list
+(** All instances, pipeline order. *)
+
+val of_gcn_graph : Workload.gcn_graph -> input
+val of_lu_matrix : Workload.lu_matrix -> input
+
+val find : t -> string -> instance
+(** @raise Not_found for unknown labels. *)

@@ -1,0 +1,190 @@
+open Iced_arch
+module Model = Iced_power.Model
+module Params = Iced_power.Params
+module Metrics = Iced_sim.Metrics
+
+type policy = Static | Iced_dvfs | Drips
+
+let policy_to_string = function
+  | Static -> "static"
+  | Iced_dvfs -> "iced"
+  | Drips -> "drips"
+
+type window_report = {
+  index : int;
+  inputs : int;
+  mean_period_us : float;
+  throughput_per_s : float;
+  power_mw : float;
+  efficiency : float;
+  levels : (string * Dvfs.level) list;
+  allocation : (string * int) list;
+}
+
+type instance_cost = {
+  label : string;
+  wall_us : float;  (** execution time of this input on this kernel *)
+  mapping : Iced_mapper.Mapping.t;
+  level : Dvfs.level;
+}
+
+(* Per-input accounting given current allocation and levels. *)
+let account (params : Params.t) (partition : Partition.t) ~allocation ~level_of input =
+  let pipeline = partition.Partition.pipeline in
+  let instance_cost (instance : Pipeline.instance) =
+    let label = instance.Pipeline.label in
+    let count = List.assoc label allocation in
+    let prepared =
+      List.find
+        (fun (p : Partition.prepared_instance) -> p.instance.Pipeline.label = label)
+        partition.Partition.prepared
+    in
+    let candidate =
+      match Partition.candidate_for prepared count with
+      | Some c -> c
+      | None -> Partition.allocated partition label (* fall back to profiled count *)
+    in
+    let level = level_of label in
+    let iters = instance.Pipeline.iterations input in
+    let cycles = candidate.Partition.mapping.Iced_mapper.Mapping.ii * iters in
+    let wall_us =
+      float_of_int (cycles * Dvfs.multiplier level) /. params.Params.f_normal_mhz
+    in
+    { label; wall_us; mapping = candidate.Partition.mapping; level }
+  in
+  let stages = List.map (List.map instance_cost) pipeline.Pipeline.stages in
+  let period_us =
+    List.fold_left
+      (fun acc stage ->
+        Float.max acc (List.fold_left (fun a c -> Float.max a c.wall_us) 0.0 stage))
+      1e-9 stages
+  in
+  let costs = List.concat stages in
+  (* Tile power: mapped activity scaled by the kernel's duty cycle. *)
+  let tiles =
+    List.concat_map
+      (fun cost ->
+        let duty = Float.min 1.0 (cost.wall_us /. period_us) in
+        Metrics.per_tile cost.mapping
+        |> List.map (fun (tm : Metrics.tile_metrics) ->
+               let base_activity =
+                 float_of_int tm.busy_slots
+                 /. float_of_int cost.mapping.Iced_mapper.Mapping.ii
+               in
+               { Model.level = cost.level; activity = base_activity *. duty }))
+      costs
+  in
+  let sram_activity =
+    Float.min 1.0
+      (List.fold_left
+         (fun acc cost ->
+           let duty = Float.min 1.0 (cost.wall_us /. period_us) in
+           acc +. (Metrics.sram_activity cost.mapping *. duty))
+         0.0 costs)
+  in
+  (period_us, costs, tiles, sram_activity)
+
+let run ?(window = 10) ?(params = Params.default) (partition : Partition.t) policy inputs =
+  let labels = List.map fst partition.Partition.allocation in
+  let controller =
+    Controller.create ~window ~label_floors:partition.Partition.level_floors ~labels ()
+  in
+  let drips = Drips.create ~window partition in
+  let design =
+    match policy with
+    | Static | Drips -> Model.Baseline
+    | Iced_dvfs -> Model.Iced
+  in
+  let level_of label =
+    match policy with
+    | Static | Drips -> Dvfs.Normal
+    | Iced_dvfs -> Controller.level controller label
+  in
+  let allocation () =
+    match policy with
+    | Static | Iced_dvfs -> partition.Partition.allocation
+    | Drips -> Drips.allocation drips
+  in
+  let reports = ref [] in
+  let window_periods = ref [] in
+  let window_powers = ref [] in
+  let flush index =
+    if !window_periods <> [] then begin
+      let mean_period = Iced_util.Stats.mean !window_periods in
+      let power = Iced_util.Stats.mean !window_powers in
+      let throughput = 1e6 /. mean_period in
+      reports :=
+        {
+          index;
+          inputs = List.length !window_periods;
+          mean_period_us = mean_period;
+          throughput_per_s = throughput;
+          power_mw = power;
+          efficiency = throughput /. (power /. 1000.0);
+          levels =
+            List.map (fun label -> (label, level_of label)) labels;
+          allocation = allocation ();
+        }
+        :: !reports;
+      window_periods := [];
+      window_powers := []
+    end
+  in
+  List.iteri
+    (fun i input ->
+      let period_us, costs, tiles, sram_activity =
+        account params partition ~allocation:(allocation ()) ~level_of input
+      in
+      let power =
+        Model.total_power_mw params design partition.Partition.cgra ~tiles ~sram_activity
+      in
+      window_periods := period_us :: !window_periods;
+      window_powers := power :: !window_powers;
+      (* feed the runtime monitors *)
+      List.iter
+        (fun cost ->
+          match policy with
+          | Iced_dvfs -> Controller.observe controller ~label:cost.label ~busy_time:cost.wall_us
+          | Drips -> Drips.observe drips ~label:cost.label ~busy_time:cost.wall_us
+          | Static -> ())
+        costs;
+      (match policy with
+      | Iced_dvfs -> Controller.input_done controller
+      | Drips -> Drips.input_done drips
+      | Static -> ());
+      if (i + 1) mod window = 0 then flush (i / window))
+    inputs;
+  flush (List.length inputs / window);
+  List.rev !reports
+
+type totals = {
+  total_inputs : int;
+  total_time_us : float;
+  total_energy_uj : float;
+  overall_throughput_per_s : float;
+  overall_efficiency : float;
+}
+
+let aggregate reports =
+  let total_inputs = List.fold_left (fun acc r -> acc + r.inputs) 0 reports in
+  let total_time_us =
+    List.fold_left (fun acc r -> acc +. (float_of_int r.inputs *. r.mean_period_us)) 0.0 reports
+  in
+  let total_energy_uj =
+    List.fold_left
+      (fun acc r ->
+        acc +. (r.power_mw /. 1000.0 *. float_of_int r.inputs *. r.mean_period_us))
+      0.0 reports
+  in
+  let throughput = float_of_int total_inputs /. total_time_us *. 1e6 in
+  let watts = total_energy_uj /. total_time_us in
+  {
+    total_inputs;
+    total_time_us;
+    total_energy_uj;
+    overall_throughput_per_s = throughput;
+    overall_efficiency = throughput /. watts;
+  }
+
+let mean_efficiency reports =
+  Iced_util.Stats.mean (List.map (fun r -> r.efficiency) reports)

@@ -1,0 +1,59 @@
+(** Streaming execution model: drive a partitioned pipeline over an
+    input stream under one of three runtime policies and account time,
+    power, and energy per observation window (Figure 13's series).
+
+    Time model: one input costs an instance II * iterations(input)
+    kernel-clock cycles, i.e. that many base-clock cycles times the
+    period multiplier of its current DVFS level; a stage's time is the
+    max over its parallel kernels, and the pipeline's per-input period
+    is the bottleneck stage's time.  Power model: every allocated tile
+    burns static power at its level continuously and dynamic power
+    scaled by its mapped activity and its duty cycle (busy fraction of
+    the input period); the SPM and the per-island DVFS controllers (for
+    the ICED policy) are charged per {!Iced_power.Model}. *)
+
+open Iced_arch
+
+type policy =
+  | Static  (** fixed partition, all levels at [Normal], no runtime adaptation *)
+  | Iced_dvfs  (** fixed partition, per-kernel DVFS via {!Controller} *)
+  | Drips  (** dynamic repartitioning via {!Drips}, no DVFS *)
+
+val policy_to_string : policy -> string
+
+type window_report = {
+  index : int;  (** window number, 0-based *)
+  inputs : int;  (** inputs consumed in this window *)
+  mean_period_us : float;  (** mean per-input bottleneck period *)
+  throughput_per_s : float;
+  power_mw : float;  (** mean chip power over the window *)
+  efficiency : float;  (** throughput per watt: inputs/s/W *)
+  levels : (string * Dvfs.level) list;  (** per-kernel level at window end *)
+  allocation : (string * int) list;  (** per-kernel island count at window end *)
+}
+
+val run :
+  ?window:int ->
+  ?params:Iced_power.Params.t ->
+  Partition.t ->
+  policy ->
+  Pipeline.input list ->
+  window_report list
+(** Stream the inputs through the pipeline.  [window] defaults to the
+    paper's 10 inputs. *)
+
+type totals = {
+  total_inputs : int;
+  total_time_us : float;
+  total_energy_uj : float;
+  overall_throughput_per_s : float;
+  overall_efficiency : float;  (** inputs/s/W over the whole stream *)
+}
+
+val aggregate : window_report list -> totals
+(** Whole-stream totals: slow phases dominate total time and energy,
+    so this is the meaningful end-to-end energy-efficiency (Figure 13's
+    headline averages). *)
+
+val mean_efficiency : window_report list -> float
+(** Mean of the per-window efficiencies (the Figure 13 series). *)

@@ -1,0 +1,49 @@
+open Iced_util
+
+type gcn_graph = { id : int; vertices : int; edges : int }
+
+(* Streams are phase-correlated: the dataset is consumed in order, so
+   consecutive inputs resemble each other (protein classes, matrix
+   families).  Density follows a multiplicative random walk in
+   [2, 126] with occasional jumps; this sustained drift of the
+   bottleneck between windows is exactly the phenomenon the DVFS
+   controller (and DRIPS's reshaping) exploits — an i.i.d. stream
+   would leave no window-stable slack (paper Section II-B). *)
+let walk rng ~lo ~hi ~jump current =
+  let next =
+    if Rng.float rng 1.0 < jump then lo +. Rng.float rng (hi -. lo)
+    else current *. exp (Rng.float rng 0.12 -. 0.06)
+  in
+  Float.min hi (Float.max lo next)
+
+let enzyme_graphs ?(count = 600) ~seed () =
+  if count <= 0 then invalid_arg "Workload.enzyme_graphs: non-positive count";
+  let rng = Rng.create (seed lxor 0x6CE) in
+  let degree = ref (2.0 +. Rng.float rng 60.0) in
+  let size = ref (8.0 +. Rng.float rng 60.0) in
+  List.init count (fun id ->
+      degree := walk rng ~lo:2.0 ~hi:126.0 ~jump:0.012 !degree;
+      size := walk rng ~lo:8.0 ~hi:96.0 ~jump:0.012 !size;
+      let vertices = int_of_float !size in
+      let mean_degree = Float.min !degree (float_of_int (vertices - 1)) in
+      let edges = max vertices (int_of_float (float_of_int vertices *. mean_degree /. 2.0)) in
+      { id; vertices; edges })
+
+type lu_matrix = { id : int; dim : int; nnz : int }
+
+let ufl_matrices ?(count = 150) ~seed () =
+  if count <= 0 then invalid_arg "Workload.ufl_matrices: non-positive count";
+  let rng = Rng.create (seed lxor 0x10F) in
+  let density = ref (0.02 +. Rng.float rng 0.2) in
+  let size = ref (12.0 +. Rng.float rng 60.0) in
+  List.init count (fun id ->
+      density := walk rng ~lo:0.02 ~hi:0.4 ~jump:0.015 !density;
+      size := walk rng ~lo:12.0 ~hi:100.0 ~jump:0.015 !size;
+      let dim = int_of_float !size in
+      let nnz = max dim (int_of_float (float_of_int (dim * dim) *. !density)) in
+      { id; dim; nnz })
+
+let mean_degree graphs =
+  graphs
+  |> List.map (fun g -> 2.0 *. float_of_int g.edges /. float_of_int g.vertices)
+  |> Stats.mean

@@ -1,0 +1,31 @@
+(** Synthetic input streams for the two streaming applications.
+
+    The paper uses the ENZYMES protein-graph dataset (600 graphs, node
+    degree 2-126 with mean 32.6) for GCN inference, and 150 sparse
+    matrices up to 100x100 from the UFL collection for LU.  Neither
+    dataset ships here, so these generators produce streams with the
+    same published shape statistics; only the per-instance size/nnz
+    reach the execution-time model, so the shape is all that matters
+    (see DESIGN.md, "Substitutions"). *)
+
+type gcn_graph = {
+  id : int;
+  vertices : int;  (** protein graph size *)
+  edges : int;  (** nnz of the adjacency: drives aggregate's runtime *)
+}
+
+val enzyme_graphs : ?count:int -> seed:int -> unit -> gcn_graph list
+(** [count] defaults to 600.  Degrees are drawn so that the per-graph
+    mean degree spans roughly 2..126 with a grand mean near 32.6. *)
+
+type lu_matrix = {
+  id : int;
+  dim : int;  (** matrix is dim x dim, dim <= 100 *)
+  nnz : int;  (** non-zeros: drives decompose/solver runtimes *)
+}
+
+val ufl_matrices : ?count:int -> seed:int -> unit -> lu_matrix list
+(** [count] defaults to 150. *)
+
+val mean_degree : gcn_graph list -> float
+(** 2 * edges / vertices averaged over the stream (sanity checks). *)

@@ -1,0 +1,58 @@
+type 'a t = { mutable data : (int * 'a) array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let is_empty h = h.size = 0
+
+let size h = h.size
+
+(* [seed] fills fresh capacity so the array stays fully initialized. *)
+let ensure_capacity h seed =
+  if h.size = Array.length h.data then begin
+    let capacity = max 16 (2 * Array.length h.data) in
+    let bigger = Array.make capacity seed in
+    Array.blit h.data 0 bigger 0 h.size;
+    h.data <- bigger
+  end
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if fst h.data.(i) < fst h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.size && fst h.data.(left) < fst h.data.(!smallest) then smallest := left;
+  if right < h.size && fst h.data.(right) < fst h.data.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h priority payload =
+  ensure_capacity h (priority, payload);
+  h.data.(h.size) <- (priority, payload);
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end

@@ -1,0 +1,16 @@
+(** Minimal mutable binary min-heap keyed by integer priority, used by
+    the mapper's Dijkstra router. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> int -> 'a -> unit
+(** [push h priority payload]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-priority entry. *)
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int

@@ -1,0 +1,53 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_raw t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next_raw t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's native int non-negatively *)
+  let raw = Int64.to_int (Int64.shift_right_logical (next_raw t) 2) in
+  raw mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (next_raw t) 11) in
+  bound *. (raw /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_raw t) 1L = 1L
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | items -> List.nth items (int t (List.length items))
+
+let shuffle t items =
+  let arr = Array.of_list items in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p out of (0,1]";
+  let rec draw failures =
+    if failures > 10_000 then failures
+    else if float t 1.0 < p then failures
+    else draw (failures + 1)
+  in
+  draw 0

@@ -1,0 +1,47 @@
+let total samples = List.fold_left ( +. ) 0.0 samples
+
+let mean = function
+  | [] -> nan
+  | samples -> total samples /. float_of_int (List.length samples)
+
+let geomean = function
+  | [] -> nan
+  | samples ->
+    let log_sum =
+      List.fold_left
+        (fun acc sample ->
+          if sample <= 0.0 then invalid_arg "Stats.geomean: non-positive sample";
+          acc +. log sample)
+        0.0 samples
+    in
+    exp (log_sum /. float_of_int (List.length samples))
+
+let stddev = function
+  | [] -> nan
+  | samples ->
+    let mu = mean samples in
+    let var = mean (List.map (fun sample -> (sample -. mu) ** 2.0) samples) in
+    sqrt var
+
+let minimum = function [] -> nan | samples -> List.fold_left min infinity samples
+let maximum = function [] -> nan | samples -> List.fold_left max neg_infinity samples
+
+let percentile p = function
+  | [] -> nan
+  | samples ->
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of [0,100]";
+    let sorted = List.sort compare samples in
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then arr.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+
+let ratio_series numerators denominators =
+  if List.length numerators <> List.length denominators then
+    invalid_arg "Stats.ratio_series: length mismatch";
+  List.map2 ( /. ) numerators denominators

@@ -1,0 +1,26 @@
+(** Summary statistics over float samples, used by the benchmark
+    harness and the streaming evaluation. *)
+
+val mean : float list -> float
+(** Arithmetic mean.  Returns [nan] on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive samples.  Returns [nan] on the empty
+    list.  @raise Invalid_argument if any sample is non-positive. *)
+
+val stddev : float list -> float
+(** Population standard deviation.  Returns [nan] on the empty list. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p samples] with [p] in [\[0,100\]], linear
+    interpolation between order statistics.  Returns [nan] on []. *)
+
+val total : float list -> float
+(** Sum. *)
+
+val ratio_series : float list -> float list -> float list
+(** Element-wise [a /. b]; @raise Invalid_argument on length
+    mismatch. *)

@@ -1,0 +1,27 @@
+(** ASCII table rendering for the benchmark harness.
+
+    The harness prints each paper table/figure as an aligned text table;
+    this module owns the layout so every experiment renders uniformly. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** [create ~title ~columns] starts an empty table with the given
+    header row. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  @raise Invalid_argument if the arity differs from
+    the header. *)
+
+val add_float_row : t -> string -> float list -> unit
+(** [add_float_row t label values] appends [label] followed by each
+    value formatted with 3 significant decimals. *)
+
+val render : t -> string
+(** Render with box-drawing rules and a title line. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val fmt_float : float -> string
+(** Shared float formatting (3 decimals, [nan] printed as "-"). *)

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Cgra Dir Dvfs Iced_arch List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_design.ml: Alcotest Iced Iced_kernels Iced_util List Option Printf

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Analysis Dot Graph Iced_dfg Iced_util List Op Option QCheck QCheck_alcotest String Transform

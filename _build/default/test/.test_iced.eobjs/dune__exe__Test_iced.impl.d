@@ -1,0 +1,1 @@
+test/test_iced.ml: Alcotest Test_arch Test_design Test_dfg Test_kernels Test_mapper Test_mrrg Test_power Test_sim Test_stream Test_util

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Iced_dfg Iced_kernels Iced_sim Kernel List Option Printf Registry

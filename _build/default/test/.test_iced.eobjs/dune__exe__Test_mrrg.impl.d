@@ -1,0 +1,1 @@
+test/test_mrrg.ml: Alcotest Cgra Dir Iced_arch Iced_mrrg List QCheck QCheck_alcotest String

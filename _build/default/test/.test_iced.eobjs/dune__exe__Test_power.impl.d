@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Cgra Dvfs Iced_arch Iced_power List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Graph Iced_arch Iced_dfg Iced_kernels Iced_mapper Iced_sim Iced_util List Op Option String

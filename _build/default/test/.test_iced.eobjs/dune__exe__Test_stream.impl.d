@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Cgra Dvfs Iced_arch Iced_kernels Iced_stream Lazy List

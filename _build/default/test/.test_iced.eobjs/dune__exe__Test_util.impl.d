@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Float Gen Heap Iced_util List QCheck QCheck_alcotest Rng Stats String Table

@@ -1,0 +1,16 @@
+(* Aggregated alcotest entry point for the whole repository. *)
+
+let () =
+  Alcotest.run "iced"
+    [
+      ("util", Test_util.suite);
+      ("dfg", Test_dfg.suite);
+      ("arch", Test_arch.suite);
+      ("mrrg", Test_mrrg.suite);
+      ("mapper", Test_mapper.suite);
+      ("power", Test_power.suite);
+      ("kernels", Test_kernels.suite);
+      ("sim", Test_sim.suite);
+      ("stream", Test_stream.suite);
+      ("design", Test_design.suite);
+    ]

@@ -1,0 +1,238 @@
+(* Tests pinning every Table I statistic and checking kernel semantics
+   against golden OCaml reference implementations. *)
+
+open Iced_kernels
+
+let all = Registry.all
+
+let test_table1_uf1_exact () =
+  List.iter
+    (fun (k : Kernel.t) ->
+      let n, e, r = Kernel.stats k.dfg in
+      let p = k.table in
+      Alcotest.(check (triple int int int))
+        (k.name ^ " uf1 matches Table I")
+        (p.nodes1, p.edges1, p.rec_mii1) (n, e, r))
+    all
+
+let test_table1_uf2_nodes_and_mii_exact () =
+  List.iter
+    (fun (k : Kernel.t) ->
+      let n, _, r = Kernel.stats (Kernel.dfg_at k ~factor:2) in
+      let p = k.table in
+      Alcotest.(check (pair int int))
+        (k.name ^ " uf2 nodes/RecMII match Table I")
+        (p.nodes2, p.rec_mii2) (n, r))
+    all
+
+let test_table1_uf2_edges_close () =
+  (* the generic unroller reproduces edge counts within a few edges of
+     Table I (documented in EXPERIMENTS.md) *)
+  List.iter
+    (fun (k : Kernel.t) ->
+      let _, e, _ = Kernel.stats (Kernel.dfg_at k ~factor:2) in
+      let delta = abs (e - k.table.edges2) in
+      if delta > 6 then
+        Alcotest.failf "%s uf2 edges %d too far from paper %d" k.name e k.table.edges2)
+    all
+
+let test_all_graphs_validate () =
+  List.iter
+    (fun (k : Kernel.t) ->
+      (match Iced_dfg.Graph.validate k.dfg with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s uf1: %s" k.name m);
+      match Iced_dfg.Graph.validate (Kernel.dfg_at k ~factor:2) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s uf2: %s" k.name m)
+    all
+
+let test_registry () =
+  Alcotest.(check int) "21 kernels" 21 (List.length all);
+  Alcotest.(check int) "10 standalone" 10 (List.length Registry.standalone);
+  Alcotest.(check int) "5 gcn" 5 (List.length Registry.gcn);
+  Alcotest.(check int) "6 lu" 6 (List.length Registry.lu);
+  Alcotest.(check bool) "lookup works" true (Registry.by_name "spmv" <> None);
+  Alcotest.(check bool) "unknown none" true (Registry.by_name "nope" = None);
+  Alcotest.(check int) "unique names" 21
+    (List.length (List.sort_uniq compare (Registry.names ())))
+
+let test_unroll_factor_guard () =
+  let fir = Option.get (Registry.by_name "fir") in
+  Alcotest.check_raises "factor 3"
+    (Invalid_argument "Kernel.dfg_at: only unroll factors 1 and 2 are modeled") (fun () ->
+      ignore (Kernel.dfg_at fir ~factor:3))
+
+(* ---------------- Golden semantics ---------------- *)
+
+let interpret (k : Kernel.t) n = Iced_sim.Sim.interpret ~binding:k.binding k.dfg ~iterations:n
+
+(* fir: y[i] = (sum_{j<=i} x[j]*c[j], i) with x/c as in the binding *)
+let test_fir_golden () =
+  let k = Option.get (Registry.by_name "fir") in
+  let n = 16 in
+  let stores = interpret k n in
+  let x i = (3 * i) + 1 and c i = (i mod 7) - 3 in
+  let acc = ref 0 in
+  List.iteri
+    (fun i (ev : Iced_sim.Sim.store_event) ->
+      acc := !acc + (x i * c i);
+      Alcotest.(check string) "label" "y" ev.label;
+      Alcotest.(check int) "iter" i ev.iter;
+      Alcotest.(check (list int))
+        (Printf.sprintf "fir store %d" i)
+        [ !acc; (if i = 0 then 0 else i) ]
+        ev.operands)
+    stores;
+  Alcotest.(check int) "one store per iteration" n (List.length stores)
+
+(* latnrm: state' = state * k[i] + x[i] *)
+let test_latnrm_golden () =
+  let k = Option.get (Registry.by_name "latnrm") in
+  let n = 12 in
+  let stores = interpret k n in
+  let x i = i + 1 and coeff i = if i mod 2 = 0 then 1 else -1 in
+  let state = ref 0 in
+  List.iteri
+    (fun i (ev : Iced_sim.Sim.store_event) ->
+      state := (!state * coeff i) + x i;
+      Alcotest.(check int) "value" !state (List.hd ev.operands))
+    stores
+
+(* relu: y = max(x, 0), active-lane counter alongside *)
+let test_relu_golden () =
+  let k = Option.get (Registry.by_name "relu") in
+  let n = 20 in
+  let stores = interpret k n in
+  let x i = ((i * 37) mod 41) - 20 in
+  let count = ref 0 in
+  List.iteri
+    (fun i (ev : Iced_sim.Sim.store_event) ->
+      let expected = max (x i) 0 in
+      if x i > 0 then incr count;
+      match ev.operands with
+      | [ v; idx; cnt ] ->
+        Alcotest.(check int) "max(x,0)" expected v;
+        Alcotest.(check int) "index" (if i = 0 then 0 else i) idx;
+        Alcotest.(check int) "active count" !count cnt
+      | _ -> Alcotest.fail "relu store arity")
+    stores
+
+(* histogram: count[bin]++ with the binding's stateless count read *)
+let test_histogram_golden () =
+  let k = Option.get (Registry.by_name "histogram") in
+  let n = 10 in
+  let stores = interpret k n in
+  let x i = (i * 131) mod 1021 in
+  List.iteri
+    (fun i (ev : Iced_sim.Sim.store_event) ->
+      let bin = (x i lsr 4) land 63 in
+      let expected = (bin mod 7) + 1 in
+      Alcotest.(check int) "incremented count" expected (List.hd ev.operands))
+    stores
+
+(* mvt golden: two accumulators over a and x / y2 *)
+let test_mvt_golden () =
+  let k = Option.get (Registry.by_name "mvt") in
+  let n = 8 in
+  let stores = interpret k n in
+  let a addr = ((addr * 19) mod 29) - 14 in
+  let x i = (i mod 11) - 5 in
+  let y2 addr = (addr mod 13) - 6 in
+  let acc1 = ref 0 and acc2 = ref 0 in
+  let ys = List.filter (fun (e : Iced_sim.Sim.store_event) -> e.label = "y") stores in
+  let xts = List.filter (fun (e : Iced_sim.Sim.store_event) -> e.label = "xt") stores in
+  List.iteri
+    (fun i (ev : Iced_sim.Sim.store_event) ->
+      acc1 := !acc1 + (a i * x i);
+      Alcotest.(check int) "y accumulator" !acc1 (List.hd ev.operands))
+    ys;
+  List.iteri
+    (fun i (ev : Iced_sim.Sim.store_event) ->
+      acc2 := !acc2 + (a i * y2 (i + 128));
+      Alcotest.(check int) "xt accumulator" !acc2 (List.hd ev.operands))
+    xts;
+  Alcotest.(check int) "both streams present" (2 * n) (List.length stores)
+
+(* spmv: row-reset predicated accumulation *)
+let test_spmv_golden () =
+  let k = Option.get (Registry.by_name "spmv") in
+  let n = 20 in
+  let stores = interpret k n in
+  let col i = (i * 13) mod 512 in
+  let v i = (i mod 9) + 1 in
+  let x addr = (addr mod 17) - 8 in
+  let rowid i = i / 8 in
+  (* faithful dataflow trace: prev = committed value of the previous
+     iteration; s1 = select(is_new, 0, prev); add = s1 + prod;
+     s2 = select(is_new, add) with an implicit-zero else *)
+  let prev = ref 0 in
+  List.iteri
+    (fun i (ev : Iced_sim.Sim.store_event) ->
+      let is_new = rowid i <> 0 in
+      let s1 = if is_new then 0 else !prev in
+      let add = s1 + (v i * x (col i)) in
+      let s2 = if is_new then add else 0 in
+      prev := s2;
+      Alcotest.(check int) (Printf.sprintf "spmv commit %d" i) s2 (List.hd ev.operands))
+    stores
+
+(* conv: acc += img[i+32] * w[i] *)
+let test_conv_golden () =
+  let k = Option.get (Registry.by_name "conv") in
+  let n = 12 in
+  let stores = interpret k n in
+  (* gep.img = (i + 32) + 4096; img addr reaches the binding *)
+  let img addr = (addr mod 23) - 11 in
+  let w i = (i mod 5) - 2 in
+  let acc = ref 0 in
+  List.iteri
+    (fun i (ev : Iced_sim.Sim.store_event) ->
+      acc := !acc + (img (i + 32 + 4096) * w i);
+      Alcotest.(check int) (Printf.sprintf "conv acc %d" i) !acc (List.hd ev.operands))
+    stores
+
+(* gemm: serial predicated accumulator gated by the induction compare *)
+let test_gemm_golden () =
+  let k = Option.get (Registry.by_name "gemm") in
+  let n = 10 in
+  let stores = interpret k n in
+  let a addr = ((addr * 7) mod 19) - 9 in
+  let b addr = ((addr * 3) mod 23) - 11 in
+  let prev = ref 0 in
+  List.iteri
+    (fun i (ev : Iced_sim.Sim.store_event) ->
+      (* cmp = (i+1 < 128) = 1 for these iterations *)
+      let idx = if i = 0 then 0 else i in
+      let prod = a idx * b (idx * 128) in
+      let committed = !prev + prod in
+      prev := committed;
+      Alcotest.(check int) (Printf.sprintf "gemm acc %d" i) committed (List.hd ev.operands))
+    stores
+
+(* determinism: interpret twice gives identical traces for every kernel *)
+let test_all_kernels_deterministic () =
+  List.iter
+    (fun (k : Kernel.t) ->
+      let a = interpret k 6 and b = interpret k 6 in
+      if a <> b then Alcotest.failf "%s non-deterministic" k.name)
+    all
+
+let suite =
+  [
+    ("Table I uf1 exact (21 kernels)", `Quick, test_table1_uf1_exact);
+    ("Table I uf2 nodes+RecMII exact", `Quick, test_table1_uf2_nodes_and_mii_exact);
+    ("Table I uf2 edges within tolerance", `Quick, test_table1_uf2_edges_close);
+    ("all kernel graphs validate", `Quick, test_all_graphs_validate);
+    ("registry structure", `Quick, test_registry);
+    ("unroll factor guard", `Quick, test_unroll_factor_guard);
+    ("fir golden semantics", `Quick, test_fir_golden);
+    ("latnrm golden semantics", `Quick, test_latnrm_golden);
+    ("relu golden semantics", `Quick, test_relu_golden);
+    ("histogram golden semantics", `Quick, test_histogram_golden);
+    ("mvt golden semantics", `Quick, test_mvt_golden);
+    ("spmv golden semantics", `Quick, test_spmv_golden);
+    ("conv golden semantics", `Quick, test_conv_golden);
+    ("gemm golden semantics", `Quick, test_gemm_golden);
+    ("all kernels deterministic", `Quick, test_all_kernels_deterministic);
+  ]

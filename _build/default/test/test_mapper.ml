@@ -1,0 +1,487 @@
+(* Tests for the mapper stack: labeling (Algorithm 1), routing,
+   placement (Algorithm 2), post-mapping level assignment, and the
+   validator. *)
+
+open Iced_arch
+open Iced_dfg
+open Iced_mapper
+
+let cgra = Cgra.iced_6x6
+let fir = Option.get (Iced_kernels.Registry.by_name "fir")
+let all_tiles = List.init (Cgra.tile_count cgra) (fun i -> i)
+
+let map_kernel ?(strategy = Mapper.Dvfs_aware) (k : Iced_kernels.Kernel.t) =
+  Mapper.map_exn (Mapper.request ~strategy cgra) k.dfg
+
+(* ---------------- Labeling (Algorithm 1) ---------------- *)
+
+let test_labeling_critical_normal () =
+  let labels = Labeling.label fir.dfg ~cgra ~tiles:all_tiles ~ii:4 in
+  let critical = Analysis.critical_nodes fir.dfg in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "critical n%d at normal" id)
+        true
+        (List.assoc id labels = Dvfs.Normal))
+    critical
+
+let test_labeling_secondary_relax () =
+  (* fir's accumulator cycle (length 2 <= 4/2) gets relax *)
+  let labels = Labeling.label fir.dfg ~cgra ~tiles:all_tiles ~ii:4 in
+  let secondary = Analysis.secondary_cycle_nodes fir.dfg in
+  Alcotest.(check bool) "fir has a secondary cycle" true (secondary <> []);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "secondary at relax" true (List.assoc id labels = Dvfs.Relax))
+    secondary
+
+let test_labeling_grey_rest () =
+  (* plenty of island capacity on 6x6 at II 4: grey nodes go to rest *)
+  let labels = Labeling.label fir.dfg ~cgra ~tiles:all_tiles ~ii:4 in
+  let rest_count =
+    List.length (List.filter (fun (_, l) -> l = Dvfs.Rest) labels)
+  in
+  Alcotest.(check bool) "some rest labels" true (rest_count > 0)
+
+let test_labeling_floor () =
+  let labels = Labeling.label ~floor:Dvfs.Relax fir.dfg ~cgra ~tiles:all_tiles ~ii:4 in
+  List.iter
+    (fun (_, l) ->
+      Alcotest.(check bool) "no label below relax" true (Dvfs.at_most Dvfs.Relax l))
+    labels
+
+let test_labeling_every_node () =
+  let labels = Labeling.label fir.dfg ~cgra ~tiles:all_tiles ~ii:4 in
+  Alcotest.(check int) "all nodes labeled" (Graph.node_count fir.dfg) (List.length labels)
+
+let test_labeling_invalid () =
+  Alcotest.check_raises "empty tiles" (Invalid_argument "Labeling.label: empty tile set")
+    (fun () -> ignore (Labeling.label fir.dfg ~cgra ~tiles:[] ~ii:4))
+
+(* ---------------- Router ---------------- *)
+
+let test_router_same_tile () =
+  let mrrg = Iced_mrrg.Mrrg.create cgra ~ii:4 in
+  let edge = { Graph.src = 0; dst = 1; distance = 0 } in
+  match Router.route mrrg ~edge ~src_tile:3 ~src_time:0 ~dst_tile:3 ~deadline:2 with
+  | Ok (hops, _) -> Alcotest.(check int) "no hops" 0 (List.length hops)
+  | Error e -> Alcotest.failf "route: %s" e
+
+let test_router_neighbor () =
+  let mrrg = Iced_mrrg.Mrrg.create cgra ~ii:4 in
+  let edge = { Graph.src = 0; dst = 1; distance = 0 } in
+  match Router.route mrrg ~edge ~src_tile:0 ~src_time:0 ~dst_tile:1 ~deadline:3 with
+  | Ok (hops, _) ->
+    Alcotest.(check int) "one hop" 1 (List.length hops);
+    let h = List.hd hops in
+    Alcotest.(check int) "from src" 0 h.Mapping.tile;
+    Alcotest.(check bool) "after producer" true (h.Mapping.time >= 1);
+    (* the port is now reserved *)
+    Alcotest.(check bool) "port reserved" false
+      (Iced_mrrg.Mrrg.is_free mrrg ~tile:0 ~time:h.Mapping.time (Iced_mrrg.Mrrg.Port h.Mapping.dir))
+  | Error e -> Alcotest.failf "route: %s" e
+
+let test_router_deadline_too_tight () =
+  let mrrg = Iced_mrrg.Mrrg.create cgra ~ii:4 in
+  let edge = { Graph.src = 0; dst = 1; distance = 0 } in
+  (* corner to corner needs 10 hops; deadline 3 is impossible *)
+  match Router.route mrrg ~edge ~src_tile:0 ~src_time:0 ~dst_tile:35 ~deadline:3 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "impossible route accepted"
+
+let test_router_failure_reserves_nothing () =
+  let mrrg = Iced_mrrg.Mrrg.create cgra ~ii:4 in
+  let edge = { Graph.src = 0; dst = 1; distance = 0 } in
+  ignore (Router.route mrrg ~edge ~src_tile:0 ~src_time:0 ~dst_tile:35 ~deadline:3);
+  List.iter
+    (fun tile ->
+      Alcotest.(check bool) "clean" true (Iced_mrrg.Mrrg.tile_is_idle mrrg tile))
+    all_tiles
+
+(* ---------------- Mapper (Algorithm 2) ---------------- *)
+
+let test_map_fir_ii () =
+  let m = map_kernel fir in
+  Alcotest.(check int) "fir at RecMII" 4 m.Mapping.ii
+
+let test_map_all_kernels_all_strategies () =
+  List.iter
+    (fun (k : Iced_kernels.Kernel.t) ->
+      List.iter
+        (fun strategy ->
+          let m = map_kernel ~strategy k in
+          match Validate.check (Levels.assign m) with
+          | Ok () -> ()
+          | Error msgs ->
+            Alcotest.failf "%s: invalid mapping: %s" k.name (List.hd msgs))
+        [ Mapper.Conventional; Mapper.Dvfs_aware ])
+    Iced_kernels.Registry.standalone
+
+let test_map_iced_matches_baseline_ii () =
+  (* paper claim: 2x2 islands lose no performance *)
+  List.iter
+    (fun (k : Iced_kernels.Kernel.t) ->
+      let conv = map_kernel ~strategy:Mapper.Conventional k in
+      let iced = map_kernel ~strategy:Mapper.Dvfs_aware k in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: iced II %d <= conv II %d" k.name iced.Mapping.ii
+           conv.Mapping.ii)
+        true
+        (iced.Mapping.ii <= conv.Mapping.ii))
+    Iced_kernels.Registry.standalone
+
+let test_map_memory_constraint () =
+  let m = map_kernel fir in
+  List.iter
+    (fun (n : Graph.node) ->
+      if Op.needs_memory n.op then begin
+        let tile = Mapping.tile_of_node m n.id in
+        Alcotest.(check bool) "memory op on SPM column" true (Cgra.has_memory_port cgra tile)
+      end)
+    (Graph.nodes m.Mapping.dfg)
+
+let test_map_empty_dfg () =
+  match Mapper.map (Mapper.request cgra) Graph.empty with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty DFG must be rejected"
+
+let test_map_sub_fabric () =
+  let tiles = Cgra.restrict cgra ~islands:[ 0; 1 ] in
+  let req = Mapper.request ~tiles cgra in
+  let m = Mapper.map_exn req fir.dfg in
+  List.iter
+    (fun (id, _) ->
+      let tile = Mapping.tile_of_node m id in
+      Alcotest.(check bool) "inside partition" true (List.mem tile tiles))
+    m.Mapping.placements;
+  match Validate.check m with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "sub-fabric mapping invalid: %s" (List.hd msgs)
+
+let test_map_commit_islands () =
+  let req = Mapper.request ~commit_islands:true cgra in
+  match Mapper.map req fir.dfg with
+  | Ok m -> Alcotest.(check bool) "maps under commitment" true (m.Mapping.ii >= 4)
+  | Error e -> Alcotest.failf "commit mode failed on fir: %s" e
+
+(* ---------------- Levels ---------------- *)
+
+let test_levels_all_normal_legal () =
+  let m = map_kernel fir in
+  let m = Levels.all_normal m in
+  Alcotest.(check bool) "legal" true (Levels.legal m m.Mapping.island_levels)
+
+let test_levels_gating_only_idle () =
+  let m = Levels.normal_with_gating (map_kernel fir) in
+  List.iter
+    (fun (island, level) ->
+      let busy =
+        List.exists
+          (fun tile -> Mapping.events_of_tile m tile <> [])
+          (Cgra.island_tiles cgra island)
+      in
+      match level with
+      | Dvfs.Power_gated ->
+        Alcotest.(check bool) "gated islands idle" false busy
+      | _ -> Alcotest.(check bool) "active islands busy" true busy)
+    m.Mapping.island_levels
+
+let test_levels_assign_sound () =
+  List.iter
+    (fun (k : Iced_kernels.Kernel.t) ->
+      let m = Levels.assign (map_kernel k) in
+      Alcotest.(check bool)
+        (k.name ^ " assignment sound")
+        true
+        (Levels.legal m m.Mapping.island_levels))
+    Iced_kernels.Registry.standalone
+
+let test_levels_assign_floor () =
+  let m = Levels.assign ~floor:Dvfs.Relax ~allow_gating:false (map_kernel fir) in
+  List.iter
+    (fun (_, level) ->
+      Alcotest.(check bool) "at least relax" true (Dvfs.at_most Dvfs.Relax level))
+    m.Mapping.island_levels
+
+let test_levels_illegal_detected () =
+  (* slowing an island that hosts the whole critical cycle at II=RecMII
+     must be illegal *)
+  let m = map_kernel fir in
+  let critical = Analysis.critical_nodes m.Mapping.dfg in
+  let islands =
+    List.sort_uniq compare
+      (List.map (fun id -> Cgra.island_of cgra (Mapping.tile_of_node m id)) critical)
+  in
+  let levels =
+    List.map
+      (fun island ->
+        (island, if List.mem island islands then Dvfs.Relax else Dvfs.Normal))
+      (Cgra.islands cgra)
+  in
+  Alcotest.(check bool) "slowed critical island rejected" false (Levels.legal m levels)
+
+(* ---------------- Validator on corrupted mappings ---------------- *)
+
+let test_validate_detects_conflict () =
+  let m = map_kernel fir in
+  (* force two nodes onto the same tile and time *)
+  match m.Mapping.placements with
+  | (n1, (t1, c1)) :: (n2, _) :: rest ->
+    let corrupted =
+      { m with Mapping.placements = (n1, (t1, c1)) :: (n2, (t1, c1)) :: rest }
+    in
+    (match Validate.check corrupted with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "double booking must be rejected")
+  | _ -> Alcotest.fail "expected placements"
+
+let test_validate_detects_missing_placement () =
+  let m = map_kernel fir in
+  let corrupted = { m with Mapping.placements = List.tl m.Mapping.placements } in
+  match Validate.check corrupted with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing placement must be rejected"
+
+let test_validate_detects_broken_route () =
+  let m = map_kernel fir in
+  match
+    List.find_opt (fun (r : Mapping.route) -> r.hops <> []) m.Mapping.routes
+  with
+  | None -> () (* everything same-tile: nothing to corrupt *)
+  | Some r ->
+    let broken_hops =
+      List.map (fun (h : Mapping.hop) -> { h with Mapping.time = h.time + 1000 }) r.hops
+    in
+    let routes =
+      { r with Mapping.hops = broken_hops }
+      :: List.filter (fun (x : Mapping.route) -> x != r) m.Mapping.routes
+    in
+    (match Validate.check { m with Mapping.routes } with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "late route must be rejected")
+
+(* ---------------- Floorplan ---------------- *)
+
+let test_floorplan_renders () =
+  let m = Levels.assign (map_kernel fir) in
+  let text = Floorplan.render m in
+  Alcotest.(check bool) "mentions every cycle" true
+    (List.for_all
+       (fun c ->
+         let needle = Printf.sprintf "cycle %d:" c in
+         let rec scan i =
+           i + String.length needle <= String.length text
+           && (String.sub text i (String.length needle) = needle || scan (i + 1))
+         in
+         scan 0)
+       (List.init m.Mapping.ii (fun i -> i)));
+  Alcotest.check_raises "bad cycle" (Invalid_argument "Floorplan.cycle_grid: bad cycle")
+    (fun () -> ignore (Floorplan.cycle_grid m ~cycle:m.Mapping.ii))
+
+let test_floorplan_level_map () =
+  let m = Levels.assign (map_kernel fir) in
+  let grid = Floorplan.level_grid m in
+  (* a tiny kernel leaves gated islands: the map must contain '-' *)
+  Alcotest.(check bool) "has gated cells" true (String.contains grid '-')
+
+(* ---------------- Exact mapper as optimality reference ------------- *)
+
+let small_loop cycle_len extra =
+  (* one recurrence cycle of [cycle_len] plus [extra] side nodes *)
+  let g = Graph.empty in
+  let g, phi = Graph.add_node g Op.Phi in
+  let g, last =
+    List.fold_left
+      (fun (g, prev) _ ->
+        let g, id = Graph.add_node g Op.Add in
+        (Graph.add_edge g prev id, id))
+      (g, phi)
+      (List.init (cycle_len - 1) (fun i -> i))
+  in
+  let g = Graph.add_edge ~distance:1 g last phi in
+  List.fold_left
+    (fun (g, _) i ->
+      let g, ld = Graph.add_node ~label:(Printf.sprintf "x%d" i) g Op.Load in
+      let g, mul = Graph.add_node g Op.Mul in
+      let g = Graph.add_edge g ld mul in
+      let g = Graph.add_edge g phi mul in
+      (g, mul))
+    (g, phi)
+    (List.init extra (fun i -> i))
+  |> fst
+
+let test_exact_finds_recmii () =
+  let g = small_loop 3 1 in
+  let cgra = Cgra.make ~rows:4 ~cols:4 () in
+  match Exact.minimal_ii cgra g with
+  | Exact.Optimal ii -> Alcotest.(check int) "optimal = RecMII" (Analysis.rec_mii g) ii
+  | Exact.Infeasible -> Alcotest.fail "expected feasible"
+  | Exact.Unknown -> Alcotest.fail "budget too small"
+
+let test_heuristic_matches_exact () =
+  (* on small loops the heuristic must reach the exact optimum *)
+  List.iter
+    (fun (cycle_len, extra) ->
+      let g = small_loop cycle_len extra in
+      let cgra = Cgra.make ~rows:4 ~cols:4 () in
+      match Exact.minimal_ii cgra g with
+      | Exact.Optimal optimal ->
+        let m = Mapper.map_exn (Mapper.request cgra) g in
+        Alcotest.(check int)
+          (Printf.sprintf "heuristic optimal for cycle %d + %d" cycle_len extra)
+          optimal m.Mapping.ii
+      | Exact.Infeasible | Exact.Unknown -> ())
+    [ (2, 1); (3, 1); (4, 2); (5, 1) ]
+
+let test_exact_resource_bound () =
+  (* 6 independent loads on a 2x2 fabric with 2 memory tiles: the FU
+     capacity of the SPM column forces II >= 3 *)
+  let g = Graph.empty in
+  let g, st = Graph.add_node g Op.Store in
+  let g =
+    List.fold_left
+      (fun g i ->
+        let g, ld = Graph.add_node ~label:(Printf.sprintf "x%d" i) g Op.Load in
+        Graph.add_edge g ld st)
+      g
+      (List.init 6 (fun i -> i))
+  in
+  let cgra = Cgra.make ~rows:2 ~cols:2 () in
+  match Exact.minimal_ii cgra g with
+  | Exact.Optimal ii -> Alcotest.(check bool) "memory column binds" true (ii >= 3)
+  | Exact.Infeasible -> Alcotest.fail "feasible at some II"
+  | Exact.Unknown -> Alcotest.fail "budget too small"
+
+let test_exact_empty () =
+  let cgra = Cgra.make ~rows:2 ~cols:2 () in
+  Alcotest.(check bool) "empty infeasible" true
+    (Exact.minimal_ii cgra Graph.empty = Exact.Infeasible)
+
+(* ---------------- Bitstream ---------------- *)
+
+let test_bitstream_covers_schedule () =
+  let m = Levels.assign (map_kernel fir) in
+  let configs = Bitstream.generate m in
+  (* every placed node appears as exactly one FU slot *)
+  let fu_slots =
+    List.fold_left
+      (fun acc (c : Bitstream.tile_config) ->
+        acc
+        + Array.fold_left
+            (fun acc (s : Bitstream.slot) -> if s.fu <> None then acc + 1 else acc)
+            0 c.slots)
+      0 configs
+  in
+  Alcotest.(check int) "one FU slot per node" (Graph.node_count m.Mapping.dfg) fu_slots;
+  (* config tiles = used tiles *)
+  Alcotest.(check int) "one config per active tile"
+    (List.length (Mapping.used_tiles m))
+    (List.length configs)
+
+let test_bitstream_roundtrip () =
+  let m = Levels.assign (map_kernel fir) in
+  List.iter
+    (fun (c : Bitstream.tile_config) ->
+      Array.iter
+        (fun (slot : Bitstream.slot) ->
+          let word = Bitstream.encode_slot slot in
+          match Bitstream.decode_slot word with
+          | None ->
+            if slot.fu <> None || slot.outputs <> [] then
+              Alcotest.fail "non-idle slot decoded as idle"
+          | Some decoded ->
+            (match (slot.fu, decoded.Bitstream.fu) with
+            | None, None -> ()
+            | Some (op, sources), Some (op', sources') ->
+              (match (op, op') with
+              | Op.Const _, Op.Const _ -> ()
+              | a, b ->
+                Alcotest.(check string) "opcode" (Op.to_string a) (Op.to_string b));
+              Alcotest.(check int) "operand sources survive"
+                (min 4 (List.length sources))
+                (List.length sources')
+            | _ -> Alcotest.fail "fu presence changed");
+            let canon outs = List.sort compare outs in
+            Alcotest.(check bool) "outputs survive" true
+              (canon slot.outputs = canon decoded.Bitstream.outputs))
+        c.slots)
+    (Bitstream.generate m)
+
+let test_bitstream_size () =
+  let m = Levels.assign (map_kernel fir) in
+  let bits = Bitstream.total_bits m in
+  Alcotest.(check bool) "non-trivial config" true (bits > 0);
+  Alcotest.(check int) "64 bits per slot per active tile"
+    (64 * m.Mapping.ii * List.length (Bitstream.generate m))
+    bits
+
+(* ---------------- Property: random loops map and validate ---------- *)
+
+let prop_random_loops_map =
+  QCheck.Test.make ~name:"random loops map and validate on 6x6" ~count:40
+    QCheck.(pair (3 -- 10) small_nat)
+    (fun (n, seed) ->
+      let rng = Iced_util.Rng.create seed in
+      let g = Graph.empty in
+      let g, phi = Graph.add_node g Op.Phi in
+      let g, nodes =
+        List.fold_left
+          (fun (g, acc) _ ->
+            (* fold-style ops accept any arity, matching the random
+               single-input wiring *)
+            let op = Iced_util.Rng.choose rng [ Op.Add; Op.Mul; Op.Xor ] in
+            let g, id = Graph.add_node g op in
+            let src = Iced_util.Rng.choose rng (phi :: acc) in
+            let g = Graph.add_edge g src id in
+            (g, id :: acc))
+          (g, []) (List.init n (fun i -> i))
+      in
+      let g = Graph.add_edge ~distance:1 g (List.hd nodes) phi in
+      match Mapper.map (Mapper.request cgra) g with
+      | Error _ -> false
+      | Ok m -> (
+        let m = Levels.assign m in
+        match Validate.check m with
+        | Ok () ->
+          let sim = Iced_sim.Sim.run m ~iterations:6 in
+          sim.Iced_sim.Sim.violations = []
+        | Error _ -> false))
+
+let suite =
+  [
+    ("labeling: critical nodes normal", `Quick, test_labeling_critical_normal);
+    ("labeling: secondary cycles relax", `Quick, test_labeling_secondary_relax);
+    ("labeling: grey nodes rest", `Quick, test_labeling_grey_rest);
+    ("labeling: floor respected", `Quick, test_labeling_floor);
+    ("labeling: covers every node", `Quick, test_labeling_every_node);
+    ("labeling: invalid input", `Quick, test_labeling_invalid);
+    ("router: same tile", `Quick, test_router_same_tile);
+    ("router: neighbor hop", `Quick, test_router_neighbor);
+    ("router: impossible deadline", `Quick, test_router_deadline_too_tight);
+    ("router: failure reserves nothing", `Quick, test_router_failure_reserves_nothing);
+    ("map: fir at II=4", `Quick, test_map_fir_ii);
+    ("map: all kernels, all strategies", `Slow, test_map_all_kernels_all_strategies);
+    ("map: iced II <= conventional II", `Slow, test_map_iced_matches_baseline_ii);
+    ("map: memory ops on SPM column", `Quick, test_map_memory_constraint);
+    ("map: empty DFG rejected", `Quick, test_map_empty_dfg);
+    ("map: sub-fabric", `Quick, test_map_sub_fabric);
+    ("map: committed islands", `Quick, test_map_commit_islands);
+    ("levels: all normal legal", `Quick, test_levels_all_normal_legal);
+    ("levels: gating only idle islands", `Quick, test_levels_gating_only_idle);
+    ("levels: assignment sound for all kernels", `Slow, test_levels_assign_sound);
+    ("levels: floor respected", `Quick, test_levels_assign_floor);
+    ("levels: illegal lowering detected", `Quick, test_levels_illegal_detected);
+    ("validate: double booking", `Quick, test_validate_detects_conflict);
+    ("validate: missing placement", `Quick, test_validate_detects_missing_placement);
+    ("validate: broken route", `Quick, test_validate_detects_broken_route);
+    ("floorplan: renders every cycle", `Quick, test_floorplan_renders);
+    ("floorplan: level map", `Quick, test_floorplan_level_map);
+    ("exact: finds RecMII", `Quick, test_exact_finds_recmii);
+    ("exact: heuristic matches optimum", `Slow, test_heuristic_matches_exact);
+    ("exact: resource-bound II", `Quick, test_exact_resource_bound);
+    ("exact: empty graph", `Quick, test_exact_empty);
+    ("bitstream: covers the schedule", `Quick, test_bitstream_covers_schedule);
+    ("bitstream: encode/decode roundtrip", `Quick, test_bitstream_roundtrip);
+    ("bitstream: size accounting", `Quick, test_bitstream_size);
+  ]

@@ -1,0 +1,117 @@
+(* Tests for the modulo routing resource graph. *)
+
+open Iced_arch
+module Mrrg = Iced_mrrg.Mrrg
+
+let cgra = Cgra.iced_6x6
+
+let test_create_invalid () =
+  Alcotest.check_raises "zero II" (Invalid_argument "Mrrg.create: non-positive II") (fun () ->
+      ignore (Mrrg.create cgra ~ii:0));
+  Alcotest.check_raises "bad tile" (Invalid_argument "Mrrg.create: unknown tile") (fun () ->
+      ignore (Mrrg.create ~tiles:[ 99 ] cgra ~ii:4))
+
+let test_reserve_conflict () =
+  let m = Mrrg.create cgra ~ii:4 in
+  (match Mrrg.reserve m ~tile:3 ~time:2 Mrrg.Fu (Mrrg.Op_node 7) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "first reserve failed: %s" e);
+  (match Mrrg.reserve m ~tile:3 ~time:2 Mrrg.Fu (Mrrg.Op_node 8) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "conflicting reserve must fail");
+  Alcotest.(check bool) "occupant visible" true
+    (Mrrg.occupant m ~tile:3 ~time:2 Mrrg.Fu = Some (Mrrg.Op_node 7))
+
+let test_modulo_wraparound () =
+  let m = Mrrg.create cgra ~ii:4 in
+  (match Mrrg.reserve m ~tile:5 ~time:1 Mrrg.Fu (Mrrg.Op_node 1) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "reserve: %s" e);
+  (* time 5 = slot 1 mod 4: same resource *)
+  (match Mrrg.reserve m ~tile:5 ~time:5 Mrrg.Fu (Mrrg.Op_node 2) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "slot 1 and 5 alias at II=4");
+  Alcotest.(check bool) "is_free at other slot" true (Mrrg.is_free m ~tile:5 ~time:2 Mrrg.Fu)
+
+let test_idempotent_route () =
+  let m = Mrrg.create cgra ~ii:4 in
+  let who = Mrrg.Route { src = 1; dst = 2 } in
+  (match Mrrg.reserve m ~tile:0 ~time:0 (Mrrg.Port Dir.East) who with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "reserve: %s" e);
+  (match Mrrg.reserve m ~tile:0 ~time:0 (Mrrg.Port Dir.East) who with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "same edge should share the wire: %s" e);
+  match Mrrg.reserve m ~tile:0 ~time:0 (Mrrg.Port Dir.East) (Mrrg.Route { src = 1; dst = 3 }) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "different edge must conflict"
+
+let test_ports_independent () =
+  let m = Mrrg.create cgra ~ii:4 in
+  List.iter
+    (fun dir ->
+      match Mrrg.reserve m ~tile:7 ~time:0 (Mrrg.Port dir) (Mrrg.Route { src = 0; dst = dir |> Dir.to_string |> String.length }) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "port %s: %s" (Dir.to_string dir) e)
+    Dir.all;
+  (* FU at the same slot is a separate resource *)
+  match Mrrg.reserve m ~tile:7 ~time:0 Mrrg.Fu (Mrrg.Op_node 9) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fu independent of ports: %s" e
+
+let test_release () =
+  let m = Mrrg.create cgra ~ii:4 in
+  ignore (Mrrg.reserve m ~tile:2 ~time:3 Mrrg.Fu (Mrrg.Op_node 1));
+  Mrrg.release m ~tile:2 ~time:3 Mrrg.Fu;
+  Alcotest.(check bool) "free after release" true (Mrrg.is_free m ~tile:2 ~time:3 Mrrg.Fu)
+
+let test_busy_slots () =
+  let m = Mrrg.create cgra ~ii:4 in
+  ignore (Mrrg.reserve m ~tile:4 ~time:1 Mrrg.Fu (Mrrg.Op_node 1));
+  ignore (Mrrg.reserve m ~tile:4 ~time:1 (Mrrg.Port Dir.North) (Mrrg.Route { src = 0; dst = 1 }));
+  ignore (Mrrg.reserve m ~tile:4 ~time:3 Mrrg.Fu (Mrrg.Op_node 2));
+  Alcotest.(check (list int)) "distinct busy slots" [ 1; 3 ] (Mrrg.busy_slots m ~tile:4);
+  Alcotest.(check int) "busy entries" 3 (List.length (Mrrg.busy m ~tile:4));
+  Alcotest.(check bool) "tile 5 idle" true (Mrrg.tile_is_idle m 5)
+
+let test_sub_fabric () =
+  let tiles = Cgra.restrict cgra ~islands:[ 0 ] in
+  let m = Mrrg.create ~tiles cgra ~ii:4 in
+  Alcotest.(check int) "4 allowed" 4 (List.length (Mrrg.allowed_tiles m));
+  Alcotest.(check bool) "outside not allowed" false (Mrrg.allowed m 35);
+  match Mrrg.reserve m ~tile:35 ~time:0 Mrrg.Fu (Mrrg.Op_node 0) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "reserve outside sub-fabric must fail"
+
+let test_clone_independent () =
+  let m = Mrrg.create cgra ~ii:4 in
+  ignore (Mrrg.reserve m ~tile:1 ~time:0 Mrrg.Fu (Mrrg.Op_node 1));
+  let copy = Mrrg.clone m in
+  Mrrg.release copy ~tile:1 ~time:0 Mrrg.Fu;
+  Alcotest.(check bool) "original untouched" false (Mrrg.is_free m ~tile:1 ~time:0 Mrrg.Fu);
+  Alcotest.(check bool) "copy released" true (Mrrg.is_free copy ~tile:1 ~time:0 Mrrg.Fu)
+
+let prop_reserve_release_roundtrip =
+  QCheck.Test.make ~name:"reserve/release restores freedom" ~count:200
+    QCheck.(triple (0 -- 35) (0 -- 63) (1 -- 12))
+    (fun (tile, time, ii) ->
+      let m = Mrrg.create cgra ~ii in
+      match Mrrg.reserve m ~tile ~time Mrrg.Fu (Mrrg.Op_node 0) with
+      | Error _ -> false
+      | Ok () ->
+        Mrrg.release m ~tile ~time Mrrg.Fu;
+        Mrrg.is_free m ~tile ~time Mrrg.Fu)
+
+let suite =
+  [
+    ("create invalid", `Quick, test_create_invalid);
+    ("reserve conflict", `Quick, test_reserve_conflict);
+    ("modulo wraparound", `Quick, test_modulo_wraparound);
+    ("route sharing idempotent", `Quick, test_idempotent_route);
+    ("resources independent", `Quick, test_ports_independent);
+    ("release", `Quick, test_release);
+    ("busy slots", `Quick, test_busy_slots);
+    ("sub-fabric restriction", `Quick, test_sub_fabric);
+    ("clone independence", `Quick, test_clone_independent);
+    QCheck_alcotest.to_alcotest prop_reserve_release_roundtrip;
+  ]

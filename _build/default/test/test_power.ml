@@ -1,0 +1,120 @@
+(* Tests for the power/area model (Equations 2-4). *)
+
+open Iced_arch
+module Model = Iced_power.Model
+module Params = Iced_power.Params
+
+let params = Params.default
+let cgra = Cgra.iced_6x6
+
+let state level activity = { Model.level; activity }
+
+let test_tile_power_monotone_in_level () =
+  let p level = Model.tile_power_mw params (state level 0.5) in
+  Alcotest.(check bool) "normal > relax" true (p Dvfs.Normal > p Dvfs.Relax);
+  Alcotest.(check bool) "relax > rest" true (p Dvfs.Relax > p Dvfs.Rest);
+  Alcotest.(check bool) "rest > gated" true (p Dvfs.Rest > 0.0);
+  Alcotest.(check (float 1e-9)) "gated is zero" 0.0 (p Dvfs.Power_gated)
+
+let test_tile_power_monotone_in_activity () =
+  let p a = Model.tile_power_mw params (state Dvfs.Normal a) in
+  Alcotest.(check bool) "more activity, more power" true (p 0.9 > p 0.1);
+  Alcotest.(check bool) "idle tile still burns clock+leakage" true (p 0.0 > 0.0)
+
+let test_tile_power_invalid_activity () =
+  Alcotest.(check bool) "rejects negative" true
+    (try
+       ignore (Model.tile_power_mw params (state Dvfs.Normal (-0.1)));
+       false
+     with Invalid_argument _ -> true)
+
+let test_eq2_voltage_frequency_scaling () =
+  (* a fully dynamic comparison: relax dynamic term is v^2 f scaled *)
+  let vf level = Params.voltage_scale params level *. Params.frequency_scale params level in
+  Alcotest.(check (float 1e-6)) "normal scale 1" 1.0 (vf Dvfs.Normal);
+  Alcotest.(check bool) "relax scale ~0.25x" true (vf Dvfs.Relax < 0.3);
+  Alcotest.(check bool) "rest scale ~0.09x" true (vf Dvfs.Rest < 0.1)
+
+let test_controller_counts () =
+  Alcotest.(check int) "baseline none" 0 (Model.controller_count Model.Baseline cgra);
+  Alcotest.(check int) "gated baseline none" 0 (Model.controller_count Model.Baseline_gated cgra);
+  Alcotest.(check int) "per-tile 36" 36 (Model.controller_count Model.Per_tile_dvfs cgra);
+  Alcotest.(check int) "iced 9" 9 (Model.controller_count Model.Iced cgra)
+
+let test_per_tile_overhead_share () =
+  (* paper: per-tile DVFS costs >30% of a tile *)
+  let tile_full = Model.tile_power_mw params (state Dvfs.Normal 1.0) in
+  let ratio = params.Params.per_tile_controller.power_mw /. tile_full in
+  Alcotest.(check bool) "~30% power overhead" true (ratio > 0.25 && ratio < 0.4);
+  let area_ratio =
+    params.Params.per_tile_controller.area_mm2 /. params.Params.tile.area_mm2
+  in
+  Alcotest.(check bool) "~30% area overhead" true (area_ratio > 0.25 && area_ratio < 0.4)
+
+let test_sram_power () =
+  Alcotest.(check (float 1e-6)) "leakage floor" params.Params.sram.leak_mw
+    (Model.sram_power_mw params ~activity:0.0);
+  let max_power = Model.sram_power_mw params ~activity:1.0 in
+  (* paper: up to 62.653 mW *)
+  Alcotest.(check (float 0.01)) "max 62.653" 62.653 max_power
+
+let test_area_totals () =
+  let area = Model.area_mm2 params Model.Iced cgra in
+  let total = List.assoc "total" area in
+  let parts =
+    List.fold_left
+      (fun acc (name, v) -> if name = "total" then acc else acc +. v)
+      0.0 area
+  in
+  Alcotest.(check (float 1e-9)) "total = sum of parts" parts total;
+  (* paper: 6.63 mm^2 without SRAM + 0.559 SRAM *)
+  Alcotest.(check bool) "near paper total" true (total > 6.5 && total < 7.8)
+
+let test_power_breakdown_total () =
+  let tiles = List.init 36 (fun _ -> state Dvfs.Normal 0.6) in
+  let breakdown =
+    Model.power_breakdown_mw params Model.Iced cgra ~tiles ~sram_activity:0.5
+  in
+  let total = List.assoc "total" breakdown in
+  Alcotest.(check (float 1e-6)) "consistent with total_power_mw" total
+    (Model.total_power_mw params Model.Iced cgra ~tiles ~sram_activity:0.5)
+
+let test_energy_linear_in_cycles () =
+  let tiles = List.init 36 (fun _ -> state Dvfs.Normal 0.5) in
+  let e n = Model.energy_uj params Model.Iced cgra ~tiles ~sram_activity:0.2 ~cycles:n in
+  Alcotest.(check (float 1e-9)) "double cycles, double energy" (2.0 *. e 1000) (e 2000)
+
+let test_exec_time () =
+  Alcotest.(check (float 1e-9)) "434 cycles at 434MHz = 1us" 1.0
+    (Model.exec_time_us params ~cycles:434)
+
+let test_sram_scaled () =
+  let p2 = Params.sram_scaled params ~kbytes:64 ~banks:8 in
+  Alcotest.(check (float 1e-6)) "area doubles" (2.0 *. params.Params.sram.area_mm2)
+    p2.Params.sram.area_mm2;
+  Alcotest.check_raises "invalid" (Invalid_argument "Params.sram_scaled: non-positive size")
+    (fun () -> ignore (Params.sram_scaled params ~kbytes:0 ~banks:8))
+
+let prop_power_nonnegative =
+  QCheck.Test.make ~name:"tile power non-negative over level x activity" ~count:200
+    QCheck.(pair (int_bound 3) (float_bound_inclusive 1.0))
+    (fun (level_idx, activity) ->
+      let level = List.nth Dvfs.all level_idx in
+      Model.tile_power_mw params (state level activity) >= 0.0)
+
+let suite =
+  [
+    ("tile power monotone in level", `Quick, test_tile_power_monotone_in_level);
+    ("tile power monotone in activity", `Quick, test_tile_power_monotone_in_activity);
+    ("tile power invalid activity", `Quick, test_tile_power_invalid_activity);
+    ("Eq. 2 v^2 f scaling", `Quick, test_eq2_voltage_frequency_scaling);
+    ("controller counts per design", `Quick, test_controller_counts);
+    ("per-tile overhead ~30%", `Quick, test_per_tile_overhead_share);
+    ("SRAM power (paper 62.653 mW)", `Quick, test_sram_power);
+    ("area totals", `Quick, test_area_totals);
+    ("power breakdown consistent", `Quick, test_power_breakdown_total);
+    ("Eq. 4 energy linear in time", `Quick, test_energy_linear_in_cycles);
+    ("exec time", `Quick, test_exec_time);
+    ("sram scaling", `Quick, test_sram_scaled);
+    QCheck_alcotest.to_alcotest prop_power_nonnegative;
+  ]

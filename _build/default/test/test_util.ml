@@ -1,0 +1,173 @@
+(* Unit and property tests for Iced_util: Rng, Stats, Heap, Table. *)
+
+open Iced_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------- Rng ---------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let seq r = List.init 32 (fun _ -> Rng.int r 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b)
+
+let test_rng_distinct_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let seq r = List.init 16 (fun _ -> Rng.int r 1_000_000) in
+  Alcotest.(check bool) "different seeds diverge" true (seq a <> seq b)
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "Rng.int out of range: %d" v
+  done
+
+let test_rng_int_in () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "Rng.int_in out of range: %d" v
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "Rng.float out of range: %f" v
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  let a = List.init 8 (fun _ -> Rng.int parent 100) in
+  let b = List.init 8 (fun _ -> Rng.int child 100) in
+  Alcotest.(check bool) "split streams differ" true (a <> b)
+
+let test_rng_invalid () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0));
+  Alcotest.check_raises "empty choose" (Invalid_argument "Rng.choose: empty list") (fun () ->
+      ignore (Rng.choose r []))
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, items) ->
+      let r = Rng.create seed in
+      let shuffled = Rng.shuffle r items in
+      List.sort compare shuffled = List.sort compare items)
+
+(* ---------------- Stats ---------------- *)
+
+let test_stats_mean () = check_float "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ])
+
+let test_stats_mean_empty () =
+  Alcotest.(check bool) "mean [] = nan" true (Float.is_nan (Stats.mean []))
+
+let test_stats_geomean () = check_float "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ])
+
+let test_stats_geomean_invalid () =
+  Alcotest.check_raises "non-positive sample"
+    (Invalid_argument "Stats.geomean: non-positive sample") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_stats_stddev () =
+  check_float "stddev of constant" 0.0 (Stats.stddev [ 3.0; 3.0; 3.0 ]);
+  check_float "stddev" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_stats_percentile () =
+  check_float "p0" 1.0 (Stats.percentile 0.0 [ 3.0; 1.0; 2.0 ]);
+  check_float "p100" 3.0 (Stats.percentile 100.0 [ 3.0; 1.0; 2.0 ]);
+  check_float "p50" 2.0 (Stats.percentile 50.0 [ 3.0; 1.0; 2.0 ]);
+  check_float "interpolated" 1.5 (Stats.percentile 25.0 [ 1.0; 2.0; 3.0 ])
+
+let test_stats_minmax () =
+  check_float "min" (-2.0) (Stats.minimum [ 3.0; -2.0; 1.0 ]);
+  check_float "max" 3.0 (Stats.maximum [ 3.0; -2.0; 1.0 ])
+
+let test_ratio_series () =
+  Alcotest.(check (list (float 1e-9)))
+    "elementwise" [ 2.0; 3.0 ]
+    (Stats.ratio_series [ 4.0; 9.0 ] [ 2.0; 3.0 ]);
+  Alcotest.check_raises "mismatch" (Invalid_argument "Stats.ratio_series: length mismatch")
+    (fun () -> ignore (Stats.ratio_series [ 1.0 ] []))
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentile within min..max" ~count:200
+    QCheck.(pair (float_bound_inclusive 100.0) (list_of_size Gen.(1 -- 20) (float_bound_inclusive 50.0)))
+    (fun (p, samples) ->
+      let v = Stats.percentile p samples in
+      v >= Stats.minimum samples -. 1e-9 && v <= Stats.maximum samples +. 1e-9)
+
+(* ---------------- Heap ---------------- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h p p) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some (p, _) -> drain (p :: acc) in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun items ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h p ()) items;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (p, ()) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare items)
+
+(* ---------------- Table ---------------- *)
+
+let test_table_render () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length rendered > 0);
+  Alcotest.(check bool) "contains cell"
+    true
+    (String.length rendered > 10 && String.contains rendered '1')
+
+let test_table_arity () =
+  let t = Table.create ~title:"t" ~columns:[ "a" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+let test_fmt_float () =
+  Alcotest.(check string) "integer" "3" (Table.fmt_float 3.0);
+  Alcotest.(check string) "nan" "-" (Table.fmt_float nan)
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng distinct seeds", `Quick, test_rng_distinct_seeds);
+    ("rng int bounds", `Quick, test_rng_bounds);
+    ("rng int_in bounds", `Quick, test_rng_int_in);
+    ("rng float bounds", `Quick, test_rng_float_bounds);
+    ("rng split", `Quick, test_rng_split_independent);
+    ("rng invalid args", `Quick, test_rng_invalid);
+    QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+    ("stats mean", `Quick, test_stats_mean);
+    ("stats mean empty", `Quick, test_stats_mean_empty);
+    ("stats geomean", `Quick, test_stats_geomean);
+    ("stats geomean invalid", `Quick, test_stats_geomean_invalid);
+    ("stats stddev", `Quick, test_stats_stddev);
+    ("stats percentile", `Quick, test_stats_percentile);
+    ("stats min/max", `Quick, test_stats_minmax);
+    ("stats ratio series", `Quick, test_ratio_series);
+    QCheck_alcotest.to_alcotest prop_percentile_bounded;
+    ("heap order", `Quick, test_heap_order);
+    ("heap empty", `Quick, test_heap_empty);
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    ("table render", `Quick, test_table_render);
+    ("table arity", `Quick, test_table_arity);
+    ("table float format", `Quick, test_fmt_float);
+  ]
