@@ -473,6 +473,58 @@ let ablation () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* Island-granularity design-space exploration: sweep every island    *)
+(* shape tiling the 6x6 fabric — 1x1 per-tile DVFS through the single  *)
+(* whole-fabric island — over the standalone kernels, and report the   *)
+(* (throughput, energy, EDP) Pareto frontier.  The paper fixes 2x2     *)
+(* islands (Section V-A) and argues per-tile DVFS overprovisions       *)
+(* controllers; this experiment makes that comparison a frontier.      *)
+
+let explore () =
+  let module Space = Iced_explore.Space in
+  let module Sweep = Iced_explore.Sweep in
+  let module Outcome = Iced_explore.Outcome in
+  let module Report = Iced_explore.Report in
+  let spec = { Space.default_spec with Space.floors = [ Dvfs.Rest ] } in
+  let points = Space.enumerate spec in
+  let cache = Iced_explore.Cache.in_memory () in
+  let config =
+    { Sweep.default_config with
+      Sweep.workers = min 4 (Domain.recommended_domain_count ()) }
+  in
+  let outcomes, stats = Sweep.run ~config ~cache points kernels in
+  let frontier = Report.frontier_summaries outcomes in
+  let on_frontier (s : Outcome.summary) =
+    List.exists (fun (f : Outcome.summary) -> f.Outcome.point = s.Outcome.point) frontier
+  in
+  let t =
+    Table.create
+      ~title:
+        "Exploration: island granularity on 6x6 (floor rest, uf1, means over 10 kernels)"
+      ~columns:
+        [ "island"; "ctrls"; "mapped"; "geo thpt Mi/s"; "mean energy nJ";
+          "mean EDP nJ*us"; "mean power mW"; "pareto" ]
+  in
+  List.iter
+    (fun (r : Outcome.point_result) ->
+      let s = Outcome.summarize r in
+      let p = r.Outcome.point in
+      Table.add_row t
+        [ Printf.sprintf "%dx%d" p.Space.island_rows p.Space.island_cols;
+          string_of_int (Cgra.island_count (Space.cgra p));
+          Printf.sprintf "%d/%d" s.Outcome.mapped s.Outcome.total;
+          fmt s.Outcome.geo_throughput_mips;
+          fmt s.Outcome.mean_energy_nj;
+          fmt s.Outcome.mean_edp;
+          fmt s.Outcome.mean_power_mw;
+          (if on_frontier s then "*" else "") ])
+    outcomes;
+  Table.print t;
+  Table.print (Report.best_per_kernel_table outcomes);
+  Printf.printf "explored %d points (%d pairs, %d failed)\n" stats.Sweep.points
+    stats.Sweep.pairs stats.Sweep.failed
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure, timing   *)
 (* each experiment's core computation.                                 *)
 
@@ -557,7 +609,7 @@ let perf () =
 let experiments =
   [ ("table1", table1); ("fig2", fig2); ("fig4", fig4); ("fig8", fig8); ("fig9", fig9);
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("fig13", fig13);
-    ("fig14", fig14); ("ablation", ablation); ("perf", perf) ]
+    ("fig14", fig14); ("ablation", ablation); ("explore", explore); ("perf", perf) ]
 
 let () =
   let requested =

@@ -5,7 +5,8 @@
      iced map fir --point iced --unroll 2 map one kernel
      iced simulate gemm --iterations 50   functional simulation
      iced stream gcn --policy iced        streaming run
-     iced report                          headline design comparison *)
+     iced report                          headline design comparison
+     iced explore --workers 4             design-space sweep + Pareto report *)
 
 open Cmdliner
 open Iced_arch
@@ -221,6 +222,174 @@ let stream_cmd =
     (Cmd.info "stream" ~doc:"Run a streaming application over its input dataset")
     Term.(const run $ app_arg $ policy_arg)
 
+(* ------------------------------------------------------------------ *)
+(* explore: design-space sweep with persistent cache + Pareto report   *)
+
+module Explore = Iced_explore
+
+let dims_conv =
+  let parse s =
+    match String.split_on_char 'x' s with
+    | [ a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some r, Some c when r > 0 && c > 0 -> Ok (r, c)
+      | _ -> Error (`Msg (Printf.sprintf "bad dimensions %S (expected RxC)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad dimensions %S (expected RxC)" s))
+  in
+  Arg.conv (parse, fun fmt (r, c) -> Format.fprintf fmt "%dx%d" r c)
+
+let floor_conv =
+  let parse = function
+    | "rest" -> Ok Dvfs.Rest
+    | "relax" -> Ok Dvfs.Relax
+    | "normal" -> Ok Dvfs.Normal
+    | s -> Error (`Msg (Printf.sprintf "bad floor %S (rest, relax, or normal)" s))
+  in
+  Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Dvfs.to_string l))
+
+let explore_cmd =
+  let fabrics_arg =
+    Arg.(value & opt (list dims_conv) [ (6, 6) ]
+         & info [ "fabrics" ] ~docv:"RxC,..." ~doc:"Fabric dimensions to sweep.")
+  in
+  let islands_arg =
+    Arg.(value & opt (some (list dims_conv)) None
+         & info [ "islands" ] ~docv:"RxC,..."
+             ~doc:"Island shapes to sweep; default: every shape tiling each fabric.")
+  in
+  let banks_arg =
+    Arg.(value & opt (list int) [ 8 ]
+         & info [ "banks" ] ~docv:"N,..." ~doc:"SPM bank counts to sweep.")
+  in
+  let floors_arg =
+    Arg.(value & opt (list floor_conv) [ Dvfs.Rest; Dvfs.Relax; Dvfs.Normal ]
+         & info [ "floors" ] ~docv:"L,..."
+             ~doc:"DVFS label floors to sweep (the supported level subsets): rest, \
+                   relax, normal.")
+  in
+  let unrolls_arg =
+    Arg.(value & opt (list int) [ 1 ]
+         & info [ "unrolls" ] ~docv:"N,..." ~doc:"Unroll factors to sweep (1 and/or 2).")
+  in
+  let max_iis_arg =
+    Arg.(value & opt (list int) [ 64 ]
+         & info [ "max-ii" ] ~docv:"N,..." ~doc:"Mapper II caps to sweep.")
+  in
+  let kernels_arg =
+    Arg.(value & opt (some (list kernel_conv)) None
+         & info [ "kernels" ] ~docv:"K,..."
+             ~doc:"Kernels to evaluate; default: the ten standalone Table I kernels.")
+  in
+  let sample_arg =
+    Arg.(value & opt (some int) None
+         & info [ "sample" ] ~docv:"N"
+             ~doc:"Evaluate a deterministic N-point subsample of the space.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Sampling seed.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 1
+         & info [ "workers" ] ~docv:"N" ~doc:"Evaluation domains (1 = serial).")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-(point, kernel) mapping budget; unmapped points are reported \
+                   as timeouts.  Default: none.")
+  in
+  let cache_arg =
+    Arg.(value & opt string ".explore-cache.jsonl"
+         & info [ "cache" ] ~docv:"FILE" ~doc:"Persistent evaluation-cache file.")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Do not read or write the cache file.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-(point, kernel) results as CSV.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out-json" ] ~docv:"FILE"
+             ~doc:"Write per-(point, kernel) results as JSON.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No progress line on stderr.")
+  in
+  let run fabrics islands banks floors unrolls max_iis kernels sample seed workers
+      timeout cache_path no_cache csv json quiet =
+    let islands =
+      match islands with
+      | Some shapes -> shapes
+      | None ->
+        List.sort_uniq compare
+          (List.concat_map (fun (r, c) -> Explore.Space.tiling_islands r c) fabrics)
+    in
+    let spec =
+      {
+        Explore.Space.fabrics;
+        islands;
+        spm_banks = banks;
+        floors;
+        unrolls;
+        max_iis;
+      }
+    in
+    let points =
+      match sample with
+      | Some count -> Explore.Space.sample spec ~seed ~count
+      | None -> Explore.Space.enumerate spec
+    in
+    if points = [] then begin
+      Printf.eprintf "the specified space contains no valid design point\n";
+      exit 1
+    end;
+    let kernels =
+      match kernels with Some ks -> ks | None -> Iced_kernels.Registry.standalone
+    in
+    let cache =
+      if no_cache then Explore.Cache.in_memory ()
+      else Explore.Cache.open_file cache_path
+    in
+    let config =
+      {
+        Explore.Sweep.workers;
+        timeout_s = Option.value timeout ~default:infinity;
+        params = Iced_power.Params.default;
+        (* a \r-progress line only makes sense on a terminal *)
+        progress = (not quiet) && Unix.isatty Unix.stderr;
+      }
+    in
+    let outcomes, stats = Explore.Sweep.run ~config ~cache points kernels in
+    (* the report is a pure function of the outcomes and goes to stdout;
+       run statistics (wall time, cache traffic) go to stderr so two
+       sweeps of the same space stay byte-identical *)
+    print_string (Explore.Report.render outcomes);
+    (match csv with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Explore.Report.csv outcomes);
+      close_out oc;
+      Printf.eprintf "wrote %s\n" path
+    | None -> ());
+    (match json with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Explore.Report.json outcomes);
+      close_out oc;
+      Printf.eprintf "wrote %s\n" path
+    | None -> ());
+    Format.eprintf "[explore] %a@." Explore.Sweep.pp_stats stats;
+    Explore.Cache.close cache
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Sweep a design space and report its Pareto frontier")
+    Term.(
+      const run $ fabrics_arg $ islands_arg $ banks_arg $ floors_arg $ unrolls_arg
+      $ max_iis_arg $ kernels_arg $ sample_arg $ seed_arg $ workers_arg $ timeout_arg
+      $ cache_arg $ no_cache_arg $ csv_arg $ json_arg $ quiet_arg)
+
 let report_cmd =
   let run size =
     let cgra = Cgra.make ~rows:size ~cols:size () in
@@ -253,4 +422,7 @@ let report_cmd =
 let () =
   let doc = "ICED: DVFS-aware CGRA mapping, simulation, and evaluation" in
   let info = Cmd.info "iced" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ kernels_cmd; map_cmd; simulate_cmd; stream_cmd; report_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ kernels_cmd; map_cmd; simulate_cmd; stream_cmd; report_cmd; explore_cmd ]))

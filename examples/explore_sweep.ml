@@ -1,0 +1,43 @@
+(* Design-space exploration: sweep island granularity and DVFS level
+   subsets over a few kernels, in parallel, and print the Pareto
+   frontier and the best point per kernel.
+
+   Run with:  dune exec examples/explore_sweep.exe -- [kernel ...]
+   (defaults to fir, spmv, and gemm)                                  *)
+
+module Space = Iced_explore.Space
+module Sweep = Iced_explore.Sweep
+module Report = Iced_explore.Report
+
+let () =
+  let kernels =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) ->
+      List.map
+        (fun name ->
+          match Iced_kernels.Registry.by_name name with
+          | Some k -> k
+          | None ->
+            Printf.eprintf "unknown kernel %s; try one of: %s\n" name
+              (String.concat " " (Iced_kernels.Registry.names ()));
+            exit 1)
+        names
+    | _ ->
+      List.filter_map Iced_kernels.Registry.by_name [ "fir"; "spmv"; "gemm" ]
+  in
+  (* every island shape tiling the 6x6 prototype, crossed with the
+     three DVFS level subsets and both unroll factors *)
+  let spec =
+    { Space.default_spec with Space.unrolls = [ 1; 2 ] }
+  in
+  let points = Space.enumerate spec in
+  Printf.printf "sweeping %d design points over %d kernels...\n%!"
+    (List.length points) (List.length kernels);
+  let cache = Iced_explore.Cache.in_memory () in
+  let config =
+    { Sweep.default_config with
+      Sweep.workers = min 4 (Domain.recommended_domain_count ()) }
+  in
+  let outcomes, stats = Sweep.run ~config ~cache points kernels in
+  print_string (Report.render outcomes);
+  Format.printf "%a@." Sweep.pp_stats stats

@@ -38,17 +38,29 @@ val evaluate :
   ?cgra:Cgra.t ->
   ?params:Iced_power.Params.t ->
   ?unroll:int ->
+  ?label_floor:Dvfs.level ->
+  ?max_ii:int ->
+  ?cancel:(unit -> bool) ->
   point ->
   Iced_kernels.Kernel.t ->
   (evaluation, string) result
 (** Map and evaluate a kernel ([unroll] 1 or 2, default 1) on the
     design point.  [cgra] defaults to the 6x6 ICED prototype; for
-    [Per_tile] the same fabric is re-islanded 1x1. *)
+    [Per_tile] the same fabric is re-islanded 1x1.  [label_floor]
+    (default [Rest]) is the slowest DVFS level Algorithm 1 may label a
+    node with — restricting it models a fabric supporting fewer active
+    levels; [max_ii] (default 64) bounds the mapper's II search, the
+    design-space explorer's per-point work cap; [cancel] is polled
+    between II attempts and aborts with a "deadline exceeded" error —
+    the explorer's per-point timeout. *)
 
 val evaluate_exn :
   ?cgra:Cgra.t ->
   ?params:Iced_power.Params.t ->
   ?unroll:int ->
+  ?label_floor:Dvfs.level ->
+  ?max_ii:int ->
+  ?cancel:(unit -> bool) ->
   point ->
   Iced_kernels.Kernel.t ->
   evaluation

@@ -1,0 +1,244 @@
+type record = Outcome.status
+
+type t = {
+  table : (string, record) Hashtbl.t;
+  file : out_channel option;
+  path : string option;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* keys                                                                *)
+
+let key (p : Space.point) (kernel : Iced_kernels.Kernel.t) =
+  let nodes, edges, rec_mii =
+    Iced_kernels.Kernel.stats (Iced_kernels.Kernel.dfg_at kernel ~factor:p.Space.unroll)
+  in
+  Printf.sprintf "%s|%s|%d,%d,%d" (Space.to_string p) kernel.Iced_kernels.Kernel.name
+    nodes edges rec_mii
+
+let content_hash s =
+  (* FNV-1a, 64-bit *)
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+(* ------------------------------------------------------------------ *)
+(* the flat-JSON subset the store emits                                *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let record_to_line key (r : record) =
+  let common = Printf.sprintf "\"v\":%d,\"h\":\"%s\",\"k\":\"%s\"" version (content_hash key) (escape key) in
+  match r with
+  | Outcome.Mapped m ->
+    Printf.sprintf
+      "{%s,\"s\":\"ok\",\"kernel\":\"%s\",\"ii\":%d,\"util\":%.17g,\"dvfs\":%.17g,\"power\":%.17g,\"thpt\":%.17g,\"energy\":%.17g,\"edp\":%.17g}"
+      common (escape m.Outcome.kernel) m.Outcome.ii m.Outcome.utilization m.Outcome.dvfs
+      m.Outcome.power_mw m.Outcome.throughput_mips m.Outcome.energy_nj m.Outcome.edp
+  | Outcome.Failed msg -> Printf.sprintf "{%s,\"s\":\"fail\",\"msg\":\"%s\"}" common (escape msg)
+  | Outcome.Timed_out -> Printf.sprintf "{%s,\"s\":\"timeout\"}" common
+
+type field = S of string | F of float
+
+(* Parse one flat object of string/number fields; [None] on any
+   malformed input (the loader skips such lines). *)
+let parse_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do advance () done
+  in
+  let expect c = if peek () = Some c then (advance (); true) else false in
+  let parse_string () =
+    if not (expect '"') then None
+    else begin
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> None
+        | Some '"' -> advance (); Some (Buffer.contents b)
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+          | Some 'u' when !pos + 4 < n ->
+            (match int_of_string_opt ("0x" ^ String.sub line (!pos + 1) 4) with
+            | Some code when code < 256 ->
+              Buffer.add_char b (Char.chr code);
+              pos := !pos + 5;
+              go ()
+            | _ -> None)
+          | _ -> None)
+        | Some c -> Buffer.add_char b c; advance (); go ()
+      in
+      go ()
+    end
+  in
+  let parse_number () =
+    let start = !pos in
+    let numeric c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when numeric c -> true | _ -> false) do advance () done;
+    if !pos = start then None
+    else float_of_string_opt (String.sub line start (!pos - start))
+  in
+  skip_ws ();
+  if not (expect '{') then None
+  else begin
+    let rec fields acc =
+      skip_ws ();
+      match parse_string () with
+      | None -> None
+      | Some name -> (
+        skip_ws ();
+        if not (expect ':') then None
+        else begin
+          skip_ws ();
+          let value =
+            match peek () with
+            | Some '"' -> Option.map (fun s -> S s) (parse_string ())
+            | _ -> Option.map (fun f -> F f) (parse_number ())
+          in
+          match value with
+          | None -> None
+          | Some v -> (
+            let acc = (name, v) :: acc in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields acc
+            | Some '}' -> advance (); Some (List.rev acc)
+            | _ -> None)
+        end)
+    in
+    fields []
+  end
+
+let record_of_fields fields =
+  let str name = match List.assoc_opt name fields with Some (S s) -> Some s | _ -> None in
+  let num name = match List.assoc_opt name fields with Some (F f) -> Some f | _ -> None in
+  match (num "v", str "k", str "s") with
+  | Some v, Some key, Some status when int_of_float v = version -> (
+    match status with
+    | "ok" -> (
+      match
+        (str "kernel", num "ii", num "util", num "dvfs", num "power", num "thpt",
+         num "energy", num "edp")
+      with
+      | Some kernel, Some ii, Some util, Some dvfs, Some power, Some thpt, Some energy,
+        Some edp ->
+        Some
+          ( key,
+            Outcome.Mapped
+              {
+                Outcome.kernel;
+                ii = int_of_float ii;
+                utilization = util;
+                dvfs;
+                power_mw = power;
+                throughput_mips = thpt;
+                energy_nj = energy;
+                edp;
+              } )
+      | _ -> None)
+    | "fail" -> Option.map (fun msg -> (key, Outcome.Failed msg)) (str "msg")
+    | "timeout" -> Some (key, Outcome.Timed_out)
+    | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* store                                                               *)
+
+let header = Printf.sprintf "{\"iced_explore_cache\":%d}" version
+
+let in_memory () =
+  { table = Hashtbl.create 64; file = None; path = None; hits = 0; misses = 0 }
+
+let load_lines path table =
+  let ic = open_in path in
+  let ok = ref false in
+  (match input_line ic with
+  | first when first = header ->
+    ok := true;
+    (try
+       while true do
+         let line = input_line ic in
+         match Option.bind (parse_line line) record_of_fields with
+         | Some (key, record) -> Hashtbl.replace table key record
+         | None -> ()
+       done
+     with End_of_file -> ())
+  | _ -> ()
+  | exception End_of_file -> ());
+  close_in ic;
+  !ok
+
+let open_file path =
+  let table = Hashtbl.create 64 in
+  let compatible = if Sys.file_exists path then load_lines path table else false in
+  let file =
+    if compatible then open_out_gen [ Open_append; Open_creat ] 0o644 path
+    else begin
+      (* absent, foreign, or older-version file: start a fresh store *)
+      Hashtbl.reset table;
+      let oc = open_out path in
+      output_string oc (header ^ "\n");
+      flush oc;
+      oc
+    end
+  in
+  { table; file = Some file; path = Some path; hits = 0; misses = 0 }
+
+let close t = match t.file with Some oc -> close_out oc | None -> ()
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some r ->
+    t.hits <- t.hits + 1;
+    Some r
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let store t ~key status =
+  match status with
+  | Outcome.Timed_out -> ()
+  | _ ->
+    Hashtbl.replace t.table key status;
+    (match t.file with
+    | Some oc ->
+      output_string oc (record_to_line key status ^ "\n");
+      flush oc
+    | None -> ())
+
+let size t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+let path t = t.path

@@ -1,0 +1,51 @@
+(** Persistent evaluation cache: sweep results memoized by a content
+    hash of (architecture point, kernel identity, mapper knobs).
+
+    The store is one JSON-lines file: a version header followed by one
+    flat JSON object per cached (point, kernel) evaluation.  New
+    results are appended and flushed as they arrive, so an interrupted
+    sweep resumes where it stopped; a re-run of the same space does no
+    fresh mapping at all.  Records from an older format version (and
+    unparseable lines, e.g. a truncated final line after a crash) are
+    skipped on load, never propagated.
+
+    Keys embed everything the result depends on — the canonical point
+    id (fabric, island, banks, floor, unroll, II cap), the kernel name,
+    and the unrolled DFG's (nodes, edges, RecMII) signature — so a
+    kernel edit invalidates its entries.  [Timed_out] statuses are
+    never stored: a timeout reflects the run's budget, not the
+    design point's content. *)
+
+type t
+
+val version : int
+(** Current on-disk format version. *)
+
+val in_memory : unit -> t
+(** A cache with no backing file (bench/test use). *)
+
+val open_file : string -> t
+(** Open or create a backing file, loading every current-version
+    record.  A file with a different header version is truncated and
+    rewritten at {!version}. *)
+
+val close : t -> unit
+(** Flush and close the backing file (no-op for {!in_memory}). *)
+
+val key : Space.point -> Iced_kernels.Kernel.t -> string
+(** Canonical cache key of one (point, kernel) evaluation. *)
+
+val content_hash : string -> string
+(** 64-bit FNV-1a of a key, as 16 hex digits — the record's short id. *)
+
+val find : t -> string -> Outcome.status option
+(** Lookup by key; counts a hit or a miss. *)
+
+val store : t -> key:string -> Outcome.status -> unit
+(** Insert and (when file-backed) append + flush.  [Timed_out] is
+    ignored. *)
+
+val size : t -> int
+val hits : t -> int
+val misses : t -> int
+val path : t -> string option

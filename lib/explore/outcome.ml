@@ -1,0 +1,92 @@
+module Design = Iced.Design
+
+type measurement = {
+  kernel : string;
+  ii : int;
+  utilization : float;
+  dvfs : float;
+  power_mw : float;
+  throughput_mips : float;
+  energy_nj : float;
+  edp : float;
+}
+
+type status = Mapped of measurement | Failed of string | Timed_out
+
+type point_result = {
+  point : Space.point;
+  per_kernel : (string * status) list;
+}
+
+type summary = {
+  point : Space.point;
+  mapped : int;
+  total : int;
+  geo_throughput_mips : float;
+  mean_energy_nj : float;
+  mean_edp : float;
+  mean_power_mw : float;
+}
+
+let measure ~params (e : Design.evaluation) =
+  let f_mhz = params.Iced_power.Params.f_normal_mhz in
+  (* normalize per *source* loop iteration so unroll factors compare
+     fairly: one mapped iteration of an unroll-u kernel covers u
+     source iterations *)
+  let iter_us = float_of_int e.Design.ii /. f_mhz /. float_of_int e.Design.unroll in
+  let energy_nj = e.Design.power_mw *. iter_us in
+  {
+    kernel = e.Design.kernel;
+    ii = e.Design.ii;
+    utilization = e.Design.avg_utilization;
+    dvfs = e.Design.avg_dvfs;
+    power_mw = e.Design.power_mw;
+    throughput_mips = f_mhz *. float_of_int e.Design.unroll /. float_of_int e.Design.ii;
+    energy_nj;
+    edp = energy_nj *. iter_us;
+  }
+
+let deadline_marker = "deadline exceeded"
+
+let is_deadline_error msg =
+  let n = String.length deadline_marker in
+  let rec scan i =
+    i + n <= String.length msg
+    && (String.sub msg i n = deadline_marker || scan (i + 1))
+  in
+  scan 0
+
+let evaluate_kernel ?(cancel = fun () -> false) ~params (p : Space.point) kernel =
+  match
+    Design.evaluate ~cgra:(Space.cgra p) ~params ~unroll:p.Space.unroll
+      ~label_floor:p.Space.floor ~max_ii:p.Space.max_ii ~cancel Design.Iced kernel
+  with
+  | Ok e -> Mapped (measure ~params e)
+  | Error msg -> if is_deadline_error msg then Timed_out else Failed msg
+  | exception Invalid_argument msg -> Failed msg
+
+let summarize (r : point_result) =
+  let measurements =
+    List.filter_map (function _, Mapped m -> Some m | _ -> None) r.per_kernel
+  in
+  let stat f = match measurements with
+    | [] -> nan
+    | ms -> Iced_util.Stats.mean (List.map f ms)
+  in
+  {
+    point = r.point;
+    mapped = List.length measurements;
+    total = List.length r.per_kernel;
+    geo_throughput_mips =
+      (match measurements with
+      | [] -> nan
+      | ms -> Iced_util.Stats.geomean (List.map (fun m -> m.throughput_mips) ms));
+    mean_energy_nj = stat (fun m -> m.energy_nj);
+    mean_edp = stat (fun m -> m.edp);
+    mean_power_mw = stat (fun m -> m.power_mw);
+  }
+
+let status_to_string = function
+  | Mapped m -> Printf.sprintf "ok(ii=%d)" m.ii
+  | Failed msg -> "failed: " ^ msg
+  | Timed_out -> "timeout"

@@ -1,0 +1,19 @@
+(** Fixed-size domain pool mapping a function over an array.
+
+    Workers are OCaml 5 [Domain]s pulling indices from one shared
+    atomic counter — a task queue that self-balances like work
+    stealing: a worker stuck on an expensive point does not delay the
+    others, which keep draining the queue.  Results land in their
+    input slot, so the output order (and everything downstream: Pareto
+    analysis, reports, CSV) is independent of the worker count and of
+    scheduling — a parallel sweep is byte-identical to a serial one.
+
+    [f] must not raise (wrap fallible work in a [result]-shaped return
+    value); it runs concurrently on up to [workers] domains, so it must
+    not mutate shared state. *)
+
+val map : workers:int -> ?on_item:(int -> unit) -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~workers f items] with [workers <= 1] (or fewer than two
+    items) runs serially on the calling domain.  [on_item i] is called
+    under a mutex right after item [i] completes — the sweep's
+    progress hook. *)

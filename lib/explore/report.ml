@@ -1,0 +1,131 @@
+module Table = Iced_util.Table
+
+let fmt = Table.fmt_float
+
+let summaries outcomes = List.map Outcome.summarize outcomes
+
+let frontier_summaries outcomes =
+  let frontier =
+    Pareto.frontier ~objectives:Pareto.throughput_energy_edp (summaries outcomes)
+  in
+  List.sort
+    (fun (a : Outcome.summary) (b : Outcome.summary) ->
+      compare
+        (-.a.geo_throughput_mips, a.mean_energy_nj, Space.to_string a.point)
+        (-.b.geo_throughput_mips, b.mean_energy_nj, Space.to_string b.point))
+    frontier
+
+let frontier_table ?(title = "Pareto frontier over (throughput, energy, EDP)") outcomes =
+  let t =
+    Table.create ~title
+      ~columns:
+        [ "point"; "mapped"; "geo thpt Mi/s"; "mean energy nJ"; "mean EDP nJ*us";
+          "mean power mW" ]
+  in
+  List.iter
+    (fun (s : Outcome.summary) ->
+      Table.add_row t
+        [ Space.to_string s.point;
+          Printf.sprintf "%d/%d" s.mapped s.total;
+          fmt s.geo_throughput_mips; fmt s.mean_energy_nj; fmt s.mean_edp;
+          fmt s.mean_power_mw ])
+    (frontier_summaries outcomes);
+  t
+
+let best_per_kernel_table ?(title = "best point per kernel (minimum EDP)") outcomes =
+  let t =
+    Table.create ~title
+      ~columns:[ "kernel"; "point"; "II"; "thpt Mi/s"; "energy nJ"; "EDP nJ*us" ]
+  in
+  let kernel_names =
+    match outcomes with
+    | [] -> []
+    | (r : Outcome.point_result) :: _ -> List.map fst r.per_kernel
+  in
+  List.iter
+    (fun kernel ->
+      let best =
+        List.fold_left
+          (fun acc (r : Outcome.point_result) ->
+            match List.assoc_opt kernel r.per_kernel with
+            | Some (Outcome.Mapped m) -> (
+              match acc with
+              | Some (_, best) when best.Outcome.edp <= m.Outcome.edp -> acc
+              | _ -> Some (r.point, m))
+            | _ -> acc)
+          None outcomes
+      in
+      match best with
+      | None -> Table.add_row t [ kernel; "-"; "-"; "-"; "-"; "-" ]
+      | Some (point, m) ->
+        Table.add_row t
+          [ kernel; Space.to_string point; string_of_int m.Outcome.ii;
+            fmt m.Outcome.throughput_mips; fmt m.Outcome.energy_nj; fmt m.Outcome.edp ])
+    kernel_names;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* export                                                              *)
+
+let status_cells = function
+  | Outcome.Mapped m ->
+    ( "ok",
+      [ string_of_int m.Outcome.ii;
+        Printf.sprintf "%.6g" m.Outcome.utilization;
+        Printf.sprintf "%.6g" m.Outcome.dvfs;
+        Printf.sprintf "%.6g" m.Outcome.power_mw;
+        Printf.sprintf "%.6g" m.Outcome.throughput_mips;
+        Printf.sprintf "%.6g" m.Outcome.energy_nj;
+        Printf.sprintf "%.6g" m.Outcome.edp ] )
+  | Outcome.Failed _ -> ("failed", [ ""; ""; ""; ""; ""; ""; "" ])
+  | Outcome.Timed_out -> ("timeout", [ ""; ""; ""; ""; ""; ""; "" ])
+
+let csv outcomes =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "point,kernel,status,ii,utilization,avg_dvfs,power_mw,throughput_mips,energy_nj,edp\n";
+  List.iter
+    (fun (r : Outcome.point_result) ->
+      List.iter
+        (fun (kernel, status) ->
+          let s, cells = status_cells status in
+          Buffer.add_string b
+            (String.concat "," (Space.to_string r.point :: kernel :: s :: cells));
+          Buffer.add_char b '\n')
+        r.per_kernel)
+    outcomes;
+  Buffer.contents b
+
+let json outcomes =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[";
+  let first = ref true in
+  List.iter
+    (fun (r : Outcome.point_result) ->
+      List.iter
+        (fun (kernel, status) ->
+          if not !first then Buffer.add_string b ",";
+          first := false;
+          Buffer.add_string b
+            (Printf.sprintf "\n  {\"point\":\"%s\",\"kernel\":\"%s\""
+               (Space.to_string r.point) kernel);
+          (match status with
+          | Outcome.Mapped m ->
+            Buffer.add_string b
+              (Printf.sprintf
+                 ",\"status\":\"ok\",\"ii\":%d,\"utilization\":%.6g,\"avg_dvfs\":%.6g,\"power_mw\":%.6g,\"throughput_mips\":%.6g,\"energy_nj\":%.6g,\"edp\":%.6g"
+                 m.Outcome.ii m.Outcome.utilization m.Outcome.dvfs m.Outcome.power_mw
+                 m.Outcome.throughput_mips m.Outcome.energy_nj m.Outcome.edp)
+          | Outcome.Failed _ -> Buffer.add_string b ",\"status\":\"failed\""
+          | Outcome.Timed_out -> Buffer.add_string b ",\"status\":\"timeout\"");
+          Buffer.add_string b "}")
+        r.per_kernel)
+    outcomes;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let render outcomes =
+  Table.render (frontier_table outcomes)
+  ^ "\n\n"
+  ^ Table.render (best_per_kernel_table outcomes)
+  ^ "\n"

@@ -1,0 +1,70 @@
+(** Declarative design-space specification and deterministic
+    enumeration.
+
+    A {!point} is one candidate ICED architecture plus the mapper knobs
+    used to evaluate it: fabric dimensions, DVFS-island dimensions, SPM
+    banking, the slowest active DVFS level the labeler may use (a
+    proxy for the supported level subset: [Normal] alone, down to the
+    full [Rest]/[Relax]/[Normal] ladder), the unroll factor, and the
+    mapper's II cap.  A {!spec} is the cross product of per-axis
+    candidate lists; {!enumerate} filters it down to valid points in a
+    fixed canonical order, and {!sample} draws a deterministic subset
+    via {!Iced_util.Rng}. *)
+
+open Iced_arch
+
+type point = {
+  rows : int;
+  cols : int;
+  island_rows : int;
+  island_cols : int;
+  spm_banks : int;
+  floor : Dvfs.level;  (** slowest active level Algorithm 1 may label *)
+  unroll : int;  (** 1 or 2 *)
+  max_ii : int;  (** mapper gives up past this II *)
+}
+
+type spec = {
+  fabrics : (int * int) list;
+  islands : (int * int) list;
+  spm_banks : int list;
+  floors : Dvfs.level list;
+  unrolls : int list;
+  max_iis : int list;
+}
+
+val default_spec : spec
+(** The paper's neighbourhood: 6x6 fabric, every island shape tiling
+    it, 8 banks, all three floors, unroll 1, II cap 64. *)
+
+val tiling_islands : int -> int -> (int * int) list
+(** [tiling_islands rows cols]: every island shape that tiles a
+    [rows] x [cols] fabric exactly — from 1x1 per-tile DVFS to the
+    whole-fabric single island — in lexicographic order. *)
+
+val is_valid : point -> bool
+(** Island dims must be positive and tile the fabric exactly (divide
+    both dimensions), [spm_banks >= 1], [unroll] 1 or 2, [max_ii >= 1],
+    and the floor must be an active level. *)
+
+val enumerate : spec -> point list
+(** Cross product filtered by {!is_valid}, in a fixed lexicographic
+    order — equal specs always enumerate equal lists. *)
+
+val sample : spec -> seed:int -> count:int -> point list
+(** Deterministic uniform subsample of [enumerate spec] (the whole
+    enumeration when it has at most [count] points), preserving the
+    canonical order. *)
+
+val cgra : point -> Cgra.t
+(** Build the fabric a point describes.
+    @raise Invalid_argument on an invalid point. *)
+
+val to_string : point -> string
+(** Canonical compact id, e.g. "6x6/i2x2/b8/rest/u1/ii64" — stable
+    across runs, used as the cache-key prefix and in reports. *)
+
+val of_string : string -> point option
+(** Inverse of {!to_string}. *)
+
+val pp : Format.formatter -> point -> unit

@@ -1,0 +1,104 @@
+type config = {
+  workers : int;
+  timeout_s : float;
+  params : Iced_power.Params.t;
+  progress : bool;
+}
+
+let default_config =
+  { workers = 1; timeout_s = infinity; params = Iced_power.Params.default; progress = false }
+
+type stats = {
+  points : int;
+  pairs : int;
+  fresh : int;
+  cached : int;
+  failed : int;
+  timed_out : int;
+  elapsed_s : float;
+}
+
+let run ?(config = default_config) ~cache points kernels =
+  let t0 = Unix.gettimeofday () in
+  (* keys are computed once, up front: they embed the unrolled DFG's
+     statistics, which are not free to recompute *)
+  let keyed =
+    List.map
+      (fun point ->
+        (point, List.map (fun kernel -> (kernel, Cache.key point kernel)) kernels))
+      points
+  in
+  let pairs = List.concat_map (fun (point, ks) -> List.map (fun (k, key) -> (point, k, key)) ks) keyed in
+  let results : (string, Outcome.status) Hashtbl.t = Hashtbl.create 64 in
+  let scheduled : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let jobs =
+    List.filter
+      (fun (_, _, key) ->
+        if Hashtbl.mem results key || Hashtbl.mem scheduled key then false
+        else
+          match Cache.find cache key with
+          | Some status ->
+            Hashtbl.replace results key status;
+            false
+          | None ->
+            Hashtbl.replace scheduled key ();
+            true)
+      pairs
+  in
+  let jobs = Array.of_list jobs in
+  let cached_pairs = List.length pairs - Array.length jobs in
+  let completed = ref 0 in
+  let on_item _ =
+    incr completed;
+    if config.progress then
+      Printf.eprintf "\r[explore] evaluated %d/%d fresh (%d cached)%!" !completed
+        (Array.length jobs) cached_pairs
+  in
+  let evaluate (point, kernel, _key) =
+    let started = Unix.gettimeofday () in
+    let cancel () = Unix.gettimeofday () -. started > config.timeout_s in
+    Outcome.evaluate_kernel ~cancel ~params:config.params point kernel
+  in
+  let fresh = Pool.map ~workers:config.workers ~on_item evaluate jobs in
+  if config.progress && Array.length jobs > 0 then prerr_newline ();
+  Array.iteri
+    (fun i (_, _, key) ->
+      Cache.store cache ~key fresh.(i);
+      Hashtbl.replace results key fresh.(i))
+    jobs;
+  let outcomes =
+    List.map
+      (fun (point, ks) ->
+        {
+          Outcome.point;
+          per_kernel =
+            List.map
+              (fun ((kernel : Iced_kernels.Kernel.t), key) ->
+                (kernel.name, Hashtbl.find results key))
+              ks;
+        })
+      keyed
+  in
+  let count pred =
+    List.fold_left
+      (fun acc (r : Outcome.point_result) ->
+        acc + List.length (List.filter (fun (_, s) -> pred s) r.Outcome.per_kernel))
+      0 outcomes
+  in
+  let stats =
+    {
+      points = List.length points;
+      pairs = List.length pairs;
+      fresh = Array.length jobs;
+      cached = cached_pairs;
+      failed = count (function Outcome.Failed _ -> true | _ -> false);
+      timed_out = count (function Outcome.Timed_out -> true | _ -> false);
+      elapsed_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  (outcomes, stats)
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d points x kernels = %d pairs: %d fresh, %d cached, %d failed, %d timed out in %.2fs"
+    s.points s.pairs s.fresh s.cached s.failed s.timed_out s.elapsed_s

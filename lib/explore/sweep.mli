@@ -1,0 +1,44 @@
+(** The sweep driver: evaluate a list of design points over a list of
+    kernels, in parallel, through the persistent cache.
+
+    One task is one (point, kernel) mapping.  Cache lookups happen up
+    front on the calling domain; only misses reach the {!Pool}, and
+    fresh results are written back (in task order, on the calling
+    domain) once the pool drains — the cache file layout is therefore
+    deterministic too.  Each task races a wall-clock deadline of
+    [timeout_s] seconds polled by the mapper between II attempts, so a
+    pathological point is recorded as [Timed_out] and the sweep moves
+    on.  Timeouts are the one nondeterministic outcome (they depend on
+    machine speed); leave [timeout_s] infinite when byte-identical
+    reports matter more than a bounded worst case. *)
+
+type config = {
+  workers : int;  (** evaluation domains; 1 = serial *)
+  timeout_s : float;  (** per-(point, kernel) budget; [infinity] = none *)
+  params : Iced_power.Params.t;
+  progress : bool;  (** live "evaluated k/n" line on stderr *)
+}
+
+val default_config : config
+(** 1 worker, no timeout, default power params, no progress. *)
+
+type stats = {
+  points : int;
+  pairs : int;  (** points x kernels *)
+  fresh : int;  (** evaluated this run *)
+  cached : int;  (** served from the cache *)
+  failed : int;  (** pairs the mapper rejected *)
+  timed_out : int;
+  elapsed_s : float;
+}
+
+val run :
+  ?config:config ->
+  cache:Cache.t ->
+  Space.point list ->
+  Iced_kernels.Kernel.t list ->
+  Outcome.point_result list * stats
+(** Results come back in input point order, each with kernels in input
+    kernel order, regardless of [workers]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -16,6 +16,14 @@ let feasible cgra g ~ii ~budget =
   | Some order ->
     let tiles = List.init (Cgra.tile_count cgra) (fun i -> i) in
     let memory_tiles = Cgra.memory_tiles cgra in
+    (* Two modulo periods plus the mesh diameter past the earliest
+       start.  One period alone is not enough: a later slot in the
+       same congruence class leaves more room for routing detours, so
+       truncating at [est + ii - 1] falsely rules out low IIs on
+       fabrics where routes contend. *)
+    let horizon ~est ii =
+      est + (2 * ii) - 1 + (cgra.Cgra.rows - 1) + (cgra.Cgra.cols - 1)
+    in
     let mrrg = Mrrg.create cgra ~ii in
     let placements : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
     let attempts = ref 0 in
@@ -24,15 +32,17 @@ let feasible cgra g ~ii ~budget =
       | Op.Const _ -> (e.distance + 2) * ii
       | _ -> e.distance * ii
     in
-    (* time window for [node] on [tile] given current placements *)
+    (* time window for [node] on [tile] given current placements;
+       [anchored] records whether any placed neighbour constrained it *)
     let window node tile =
-      let est = ref 0 and lst = ref max_int in
+      let est = ref 0 and lst = ref max_int and anchored = ref false in
       List.iter
         (fun (e : Graph.edge) ->
           match Hashtbl.find_opt placements e.src with
           | Some (src_tile, src_time) ->
             let d = Cgra.manhattan cgra src_tile tile in
-            est := max !est (src_time + d + 1 - slack e)
+            est := max !est (src_time + d + 1 - slack e);
+            anchored := true
           | None -> ())
         (Graph.predecessors g node);
       List.iter
@@ -40,10 +50,16 @@ let feasible cgra g ~ii ~budget =
           match Hashtbl.find_opt placements e.dst with
           | Some (dst_tile, dst_time) ->
             let d = Cgra.manhattan cgra tile dst_tile in
-            lst := min !lst (dst_time + slack e - d - 1)
+            lst := min !lst (dst_time + slack e - d - 1);
+            anchored := true
           | None -> ())
         (Graph.successors g node);
-      (max 0 !est, !lst)
+      (max 0 !est, !lst, !anchored)
+    in
+    let has_carried_pred node =
+      List.exists
+        (fun (e : Graph.edge) -> e.distance > 0)
+        (Graph.predecessors g node)
     in
     let route_incident node tile time =
       let routed = ref [] in
@@ -91,8 +107,19 @@ let feasible cgra g ~ii ~budget =
         in
         List.iter
           (fun tile ->
-            let est, lst = window node tile in
-            let upper = min (est + ii - 1) lst in
+            let est, lst, anchored = window node tile in
+            (* An unanchored node with no carried in-edge can be
+               shift-normalised: moving it a whole period earlier
+               keeps the same modulo resource footprint and only
+               relaxes its (future) neighbours' constraints, so one
+               period of start times is exhaustive.  Anchored nodes
+               need the wider horizon: a later slot in the same
+               congruence class buys routing-deadline headroom. *)
+            let upper =
+              if anchored || has_carried_pred node then
+                min (horizon ~est ii) lst
+              else min (est + ii - 1) lst
+            in
             let rec times t =
               if t > upper then ()
               else begin
@@ -135,7 +162,11 @@ let minimal_ii ?(max_ii = 16) ?(budget = 200_000) cgra g =
         if ii > max_ii then if hit_budget then Unknown else Infeasible
         else
           match feasible cgra g ~ii ~budget with
-          | `Yes -> Optimal ii
+          | `Yes ->
+            (* A mapping exists at [ii], but if a lower II ran out of
+               budget its infeasibility was never proven, so claiming
+               optimality here would be unsound. *)
+            if hit_budget then Unknown else Optimal ii
           | `No -> try_ii (ii + 1) hit_budget
           | `Budget -> try_ii (ii + 1) true
       in

@@ -20,4 +20,7 @@ val minimal_ii :
   ?max_ii:int -> ?budget:int -> Cgra.t -> Graph.t -> verdict
 (** Smallest II with a complete, routed modulo mapping on the fabric.
     [max_ii] defaults to 16; [budget] (placement attempts per II)
-    defaults to 200_000.  Intended for DFGs of at most ~10 nodes. *)
+    defaults to 200_000.  Intended for DFGs of at most ~10 nodes.
+    [Optimal] is only reported when every lower II was exhaustively
+    refuted; if any lower II hit the search budget the answer is
+    [Unknown], never a spurious [Optimal]. *)

@@ -31,6 +31,7 @@ type request = {
   label_floor : Dvfs.level;
   max_ii : int;
   knobs : knobs;
+  cancel : unit -> bool;
   commit_islands : bool;
       (* Figure 4 study: pre-commit every island to a level from the
          label quota before placement.  Nodes are then steered onto
@@ -43,8 +44,9 @@ type request = {
 }
 
 let request ?(strategy = Dvfs_aware) ?tiles ?memory_tiles ?(label_floor = Dvfs.Rest)
-    ?(max_ii = 64) ?(knobs = all_knobs) ?(commit_islands = false) cgra =
-  { cgra; strategy; tiles; memory_tiles; label_floor; max_ii; knobs; commit_islands }
+    ?(max_ii = 64) ?(knobs = all_knobs) ?(cancel = fun () -> false)
+    ?(commit_islands = false) cgra =
+  { cgra; strategy; tiles; memory_tiles; label_floor; max_ii; knobs; cancel; commit_islands }
 
 (* Cost weights.  Routing dominates; DVFS terms bias island choice; the
    pack/spread term differentiates ICED from the conventional mapper. *)
@@ -737,7 +739,9 @@ let map (req : request) dfg =
         let trace = Sys.getenv_opt "ICED_MAPPER_TRACE" <> None in
         let start_ii = Analysis.min_ii dfg ~tiles:(List.length tiles) in
         let rec search ii last_err =
-          if ii > req.max_ii then
+          if req.cancel () then
+            Error (Printf.sprintf "deadline exceeded at II=%d (last: %s)" ii last_err)
+          else if ii > req.max_ii then
             Error
               (Printf.sprintf "no mapping up to II=%d (last: %s)" req.max_ii last_err)
           else begin

@@ -46,6 +46,10 @@ type request = {
   label_floor : Dvfs.level;  (** lowest label Algorithm 1 may use *)
   max_ii : int;  (** give up past this II *)
   knobs : knobs;
+  cancel : unit -> bool;
+      (** polled before each II attempt; returning [true] aborts the
+          search with a "deadline exceeded" error — the design-space
+          sweep's per-point timeout hook *)
   commit_islands : bool;
       (** Figure 4 study: pre-commit islands to levels from the label
           quota; slowed tiles then cost multiplier-many slots per op
@@ -53,10 +57,12 @@ type request = {
 }
 
 val request : ?strategy:strategy -> ?tiles:int list -> ?memory_tiles:int list ->
-  ?label_floor:Dvfs.level -> ?max_ii:int -> ?knobs:knobs -> ?commit_islands:bool ->
+  ?label_floor:Dvfs.level -> ?max_ii:int -> ?knobs:knobs ->
+  ?cancel:(unit -> bool) -> ?commit_islands:bool ->
   Cgra.t -> request
 (** Build a request with defaults: [Dvfs_aware], whole fabric,
-    westmost-column memory, floor [Rest], [max_ii] 64. *)
+    westmost-column memory, floor [Rest], [max_ii] 64, no
+    cancellation. *)
 
 val map : request -> Graph.t -> (Mapping.t, string) result
 (** Map a kernel.  The result carries Algorithm 1's labels and an

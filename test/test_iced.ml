@@ -13,4 +13,5 @@ let () =
       ("sim", Test_sim.suite);
       ("stream", Test_stream.suite);
       ("design", Test_design.suite);
+      ("explore", Test_explore.suite);
     ]

@@ -448,6 +448,51 @@ let prop_random_loops_map =
           sim.Iced_sim.Sim.violations = []
         | Error _ -> false))
 
+(* ---------------- Property: heuristic II is optimal on small DFGs - *)
+
+let test_heuristic_optimal_on_random_loops () =
+  (* 20 seeded random accumulator loops of at most 8 nodes, each mapped
+     on a 2x2 and a 3x3 fabric: wherever the branch-and-bound reference
+     proves an optimal II, the heuristic must reach it *)
+  let checked = ref 0 in
+  List.iter
+    (fun seed ->
+      let rng = Iced_util.Rng.create seed in
+      let n = Iced_util.Rng.int_in rng 2 7 in
+      let g = Graph.empty in
+      let g, phi = Graph.add_node g Op.Phi in
+      let g, nodes =
+        List.fold_left
+          (fun (g, acc) _ ->
+            let op = Iced_util.Rng.choose rng [ Op.Add; Op.Mul; Op.Xor ] in
+            let g, id = Graph.add_node g op in
+            let src = Iced_util.Rng.choose rng (phi :: acc) in
+            let g = Graph.add_edge g src id in
+            (g, id :: acc))
+          (g, []) (List.init n (fun i -> i))
+      in
+      let g = Graph.add_edge ~distance:1 g (List.hd nodes) phi in
+      List.iter
+        (fun size ->
+          let cgra = Cgra.make ~rows:size ~cols:size () in
+          match Exact.minimal_ii cgra g with
+          | Exact.Infeasible | Exact.Unknown -> ()
+          | Exact.Optimal optimal -> (
+            incr checked;
+            match Mapper.map (Mapper.request cgra) g with
+            | Error msg ->
+              Alcotest.fail
+                (Printf.sprintf "seed %d (%d nodes) on %dx%d: heuristic failed: %s" seed
+                   (n + 1) size size msg)
+            | Ok m ->
+              Alcotest.(check int)
+                (Printf.sprintf "seed %d (%d nodes) on %dx%d optimal" seed (n + 1) size
+                   size)
+                optimal m.Mapping.ii))
+        [ 2; 3 ])
+    (List.init 20 (fun i -> i));
+  Alcotest.(check bool) "the reference proved an optimum somewhere" true (!checked > 0)
+
 let suite =
   [
     ("labeling: critical nodes normal", `Quick, test_labeling_critical_normal);
@@ -479,6 +524,7 @@ let suite =
     ("floorplan: level map", `Quick, test_floorplan_level_map);
     ("exact: finds RecMII", `Quick, test_exact_finds_recmii);
     ("exact: heuristic matches optimum", `Slow, test_heuristic_matches_exact);
+    ("exact: heuristic optimal on random loops", `Slow, test_heuristic_optimal_on_random_loops);
     ("exact: resource-bound II", `Quick, test_exact_resource_bound);
     ("exact: empty graph", `Quick, test_exact_empty);
     ("bitstream: covers the schedule", `Quick, test_bitstream_covers_schedule);
