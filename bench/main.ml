@@ -605,11 +605,61 @@ let perf () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection: recovery policies under a single tile fault, then  *)
+(* a seeded multi-fault campaign (DESIGN.md "lib/fault").               *)
+
+let fault_injection () =
+  let module Fault = Iced_fault.Fault in
+  let module Runner = Iced_stream.Runner in
+  (* one dead tile in the LU pipeline's fabric, mid-stream: the
+     acceptance scenario — remap and gate must keep >= 50% of the
+     fault-free throughput, fail-stop reports the loss *)
+  let partition, inputs = stream_setup "lu" in
+  let baseline = Runner.aggregate (Runner.run partition Runner.Iced_dvfs inputs) in
+  let plan = Fault.make ~seed:1 [ { Fault.at_input = 50; fault = Fault.Tile_dead 0 } ] in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Recovery policies, LU pipeline, tile 0 dead at input 50 (%d inputs)"
+           (List.length inputs))
+      ~columns:[ "recovery"; "completed"; "dropped"; "mttr us"; "inputs/s"; "retention" ]
+  in
+  List.iter
+    (fun recovery ->
+      let reports, stats =
+        Runner.run_resilient ~faults:plan ~recovery partition Runner.Iced_dvfs inputs
+      in
+      let totals = Runner.aggregate reports in
+      let retention =
+        float_of_int stats.Runner.completed
+        /. float_of_int stats.Runner.offered
+        *. Float.min 1.0
+             (totals.Runner.overall_throughput_per_s
+             /. baseline.Runner.overall_throughput_per_s)
+      in
+      Table.add_row t
+        [ Runner.recovery_to_string recovery;
+          Printf.sprintf "%d/%d" stats.Runner.completed stats.Runner.offered;
+          string_of_int stats.Runner.inputs_dropped;
+          fmt stats.Runner.mttr_us;
+          fmt totals.Runner.overall_throughput_per_s;
+          fmt retention ])
+    [ Runner.Remap; Runner.Gate_island; Runner.Raise_level; Runner.Fail_stop ];
+  Table.print t;
+  (* seeded campaign over all fault families *)
+  let spec = { Iced_campaign.Campaign.default_spec with inputs = 100; workers = 2 } in
+  match Iced_campaign.Campaign.run spec with
+  | Error msg -> Printf.eprintf "campaign failed: %s\n" msg
+  | Ok campaign -> print_string (Iced_campaign.Campaign.render campaign)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("table1", table1); ("fig2", fig2); ("fig4", fig4); ("fig8", fig8); ("fig9", fig9);
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("fig13", fig13);
-    ("fig14", fig14); ("ablation", ablation); ("explore", explore); ("perf", perf) ]
+    ("fig14", fig14); ("ablation", ablation); ("explore", explore); ("perf", perf);
+    ("fault", fault_injection) ]
 
 let () =
   let requested =

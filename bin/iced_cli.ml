@@ -390,6 +390,159 @@ let explore_cmd =
       $ max_iis_arg $ kernels_arg $ sample_arg $ seed_arg $ workers_arg $ timeout_arg
       $ cache_arg $ no_cache_arg $ csv_arg $ json_arg $ quiet_arg)
 
+(* ------------------------------------------------------------------ *)
+(* fault: seeded fault-injection campaign over the streaming pipeline  *)
+
+module Campaign = Iced_campaign.Campaign
+module Fault = Iced_fault.Fault
+
+let fault_cmd =
+  let app_conv =
+    let parse s =
+      match Campaign.app_of_string s with
+      | Some a -> Ok a
+      | None -> Error (`Msg (Printf.sprintf "bad app %S (gcn or lu)" s))
+    in
+    Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt (Campaign.app_to_string a))
+  in
+  let recovery_conv =
+    let parse s =
+      match Iced_stream.Runner.recovery_of_string s with
+      | Some r -> Ok r
+      | None ->
+        Error (`Msg (Printf.sprintf "bad recovery %S (remap, gate, raise, fail-stop)" s))
+    in
+    Arg.conv
+      (parse, fun fmt r ->
+        Format.pp_print_string fmt (Iced_stream.Runner.recovery_to_string r))
+  in
+  let kind_conv =
+    let parse s =
+      match Fault.class_of_string s with
+      | Some k -> Ok k
+      | None ->
+        Error (`Msg (Printf.sprintf "bad fault kind %S (tile, link, island, upset)" s))
+    in
+    Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Fault.class_to_string k))
+  in
+  let app_arg =
+    Arg.(value & pos 0 app_conv Campaign.Lu
+         & info [] ~docv:"APP" ~doc:"Streaming application: gcn or lu (default lu).")
+  in
+  let policy_arg =
+    Arg.(value
+         & opt (enum [ ("static", Iced_stream.Runner.Static);
+                       ("iced", Iced_stream.Runner.Iced_dvfs) ])
+             Iced_stream.Runner.Iced_dvfs
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Runtime policy under fault: static or iced (drips has no fault model).")
+  in
+  let recoveries_arg =
+    Arg.(value
+         & opt (list recovery_conv)
+             [ Iced_stream.Runner.Remap; Iced_stream.Runner.Gate_island;
+               Iced_stream.Runner.Raise_level; Iced_stream.Runner.Fail_stop ]
+         & info [ "policies"; "recoveries" ] ~docv:"R,..."
+             ~doc:"Recovery policies to compare: remap, gate, raise, fail-stop.")
+  in
+  let kinds_arg =
+    Arg.(value
+         & opt (list kind_conv) [ Fault.Tile; Fault.Link; Fault.Island; Fault.Upset ]
+         & info [ "kinds" ] ~docv:"K,..."
+             ~doc:"Fault families the plans draw from: tile, link, island, upset.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 4
+         & info [ "seeds" ] ~docv:"N" ~doc:"Fault-plan seeds 0..N-1, one plan each.")
+  in
+  let faults_arg =
+    Arg.(value & opt int 2
+         & info [ "faults" ] ~docv:"N" ~doc:"Fault events injected per run.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 1e-3
+         & info [ "rate" ] ~docv:"P"
+             ~doc:"Per-cycle upset probability at the Rest level.")
+  in
+  let inputs_arg =
+    Arg.(value & opt int 200
+         & info [ "inputs" ] ~docv:"N" ~doc:"Stream length per run.")
+  in
+  let window_arg =
+    Arg.(value & opt int 10
+         & info [ "window" ] ~docv:"N" ~doc:"Runner observation window.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 1
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Campaign domains (1 = serial); results are identical for any N.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-cell results as CSV.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out-json" ] ~docv:"FILE" ~doc:"Write the campaign as JSON.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No progress line on stderr.")
+  in
+  let run app policy recoveries kinds seeds faults rate inputs window workers csv json
+      quiet =
+    if seeds <= 0 then begin
+      Printf.eprintf "--seeds must be positive\n";
+      exit 1
+    end;
+    let spec =
+      {
+        Campaign.app;
+        policy;
+        recoveries;
+        kinds;
+        seeds = List.init seeds Fun.id;
+        faults_per_run = faults;
+        upset_rate = rate;
+        inputs;
+        window;
+        workers;
+      }
+    in
+    let progress =
+      if quiet || not (Unix.isatty Unix.stderr) then fun _ _ -> ()
+      else fun finished total -> Printf.eprintf "\r[fault] %d/%d cells%!" finished total
+    in
+    match Campaign.run ~progress spec with
+    | Error msg ->
+      Printf.eprintf "campaign failed: %s\n" msg;
+      exit 1
+    | Ok campaign ->
+      if (not quiet) && Unix.isatty Unix.stderr then Printf.eprintf "\r%!";
+      (* the report is a pure function of the spec and goes to stdout *)
+      print_string (Campaign.render campaign);
+      (match csv with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Campaign.csv campaign);
+        close_out oc;
+        Printf.eprintf "wrote %s\n" path
+      | None -> ());
+      (match json with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Campaign.json campaign);
+        close_out oc;
+        Printf.eprintf "wrote %s\n" path
+      | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:"Run a seeded fault-injection campaign and compare recovery policies")
+    Term.(
+      const run $ app_arg $ policy_arg $ recoveries_arg $ kinds_arg $ seeds_arg
+      $ faults_arg $ rate_arg $ inputs_arg $ window_arg $ workers_arg $ csv_arg
+      $ json_arg $ quiet_arg)
+
 let report_cmd =
   let run size =
     let cgra = Cgra.make ~rows:size ~cols:size () in
@@ -425,4 +578,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ kernels_cmd; map_cmd; simulate_cmd; stream_cmd; report_cmd; explore_cmd ]))
+          [ kernels_cmd; map_cmd; simulate_cmd; stream_cmd; report_cmd; explore_cmd;
+            fault_cmd ]))

@@ -1,0 +1,285 @@
+open Iced_arch
+module Fault = Iced_fault.Fault
+module Runner = Iced_stream.Runner
+module Partition = Iced_stream.Partition
+module Pipeline = Iced_stream.Pipeline
+module Workload = Iced_stream.Workload
+module Table = Iced_util.Table
+
+type app = Gcn | Lu
+
+let app_to_string = function Gcn -> "gcn" | Lu -> "lu"
+
+let app_of_string = function
+  | "gcn" -> Some Gcn
+  | "lu" -> Some Lu
+  | _ -> None
+
+type spec = {
+  app : app;
+  policy : Runner.policy;
+  recoveries : Runner.recovery list;
+  kinds : Fault.kind_class list;
+  seeds : int list;
+  faults_per_run : int;
+  upset_rate : float;
+  inputs : int;
+  window : int;
+  workers : int;
+}
+
+let default_spec =
+  {
+    app = Lu;
+    policy = Runner.Iced_dvfs;
+    recoveries = [ Runner.Remap; Runner.Gate_island; Runner.Raise_level; Runner.Fail_stop ];
+    kinds = [ Fault.Tile; Fault.Link; Fault.Island; Fault.Upset ];
+    seeds = [ 0; 1; 2; 3 ];
+    faults_per_run = 2;
+    upset_rate = 1e-3;
+    inputs = 200;
+    window = 10;
+    workers = 1;
+  }
+
+type run_result = {
+  seed : int;
+  recovery : Runner.recovery;
+  plan : Fault.plan;
+  stats : Runner.fault_stats;
+  totals : Runner.totals;
+  retention : float;
+  survived : bool;
+  error : string option;
+}
+
+type t = { spec : spec; baseline : Runner.totals; runs : run_result list }
+
+(* Deterministic dataset: the same generator seeds the CLI's [stream]
+   subcommand uses, truncated or cycled to the requested length. *)
+let setup app ~inputs =
+  let pipeline, dataset =
+    match app with
+    | Gcn ->
+      ( Pipeline.gcn (),
+        List.map Pipeline.of_gcn_graph
+          (Workload.enzyme_graphs ~count:inputs ~seed:42 ()) )
+    | Lu ->
+      ( Pipeline.lu (),
+        List.map Pipeline.of_lu_matrix (Workload.ufl_matrices ~count:inputs ~seed:7 ())
+      )
+  in
+  let dataset = List.filteri (fun i _ -> i < inputs) dataset in
+  (pipeline, dataset)
+
+let validate spec =
+  if spec.policy = Runner.Drips then Error "the DRIPS baseline has no fault model"
+  else if spec.recoveries = [] then Error "no recovery policies selected"
+  else if spec.kinds = [] then Error "no fault kinds selected"
+  else if spec.seeds = [] then Error "no seeds given"
+  else if spec.inputs < 2 then Error "need at least 2 inputs"
+  else if spec.faults_per_run < 0 then Error "negative fault count"
+  else Ok ()
+
+let retention_of ~(baseline : Runner.totals) (stats : Runner.fault_stats)
+    (totals : Runner.totals) =
+  let completion =
+    if stats.Runner.offered = 0 then 0.0
+    else float_of_int stats.Runner.completed /. float_of_int stats.Runner.offered
+  in
+  let speed =
+    if baseline.Runner.overall_throughput_per_s > 0.0 then
+      Float.min 1.0
+        (totals.Runner.overall_throughput_per_s
+        /. baseline.Runner.overall_throughput_per_s)
+    else 0.0
+  in
+  completion *. speed
+
+let run ?(progress = fun _ _ -> ()) spec =
+  match validate spec with
+  | Error e -> Error e
+  | Ok () -> (
+    let cgra = Cgra.iced_6x6 in
+    let pipeline, inputs = setup spec.app ~inputs:spec.inputs in
+    let profile =
+      let step = max 1 (List.length inputs / 50) in
+      List.filteri (fun i _ -> i mod step = 0) inputs
+    in
+    match Partition.prepare cgra pipeline ~profile with
+    | Error e -> Error ("partitioning failed: " ^ e)
+    | Ok partition ->
+      let baseline =
+        Runner.aggregate (Runner.run ~window:spec.window partition spec.policy inputs)
+      in
+      let jobs =
+        List.concat_map
+          (fun seed -> List.map (fun recovery -> (seed, recovery)) spec.recoveries)
+          spec.seeds
+        |> Array.of_list
+      in
+      let total = Array.length jobs in
+      let cell (seed, recovery) =
+        let plan =
+          Fault.random_plan ~seed ~cgra ~inputs:spec.inputs ~rate:spec.upset_rate
+            ~kinds:spec.kinds ~count:spec.faults_per_run ()
+        in
+        match
+          Runner.run_resilient ~window:spec.window ~faults:plan ~recovery partition
+            spec.policy inputs
+        with
+        | exception e ->
+          {
+            seed;
+            recovery;
+            plan;
+            stats = Runner.no_faults;
+            totals = Runner.aggregate [];
+            retention = 0.0;
+            survived = false;
+            error = Some (Printexc.to_string e);
+          }
+        | reports, stats ->
+          let totals = Runner.aggregate reports in
+          let retention = retention_of ~baseline stats totals in
+          {
+            seed;
+            recovery;
+            plan;
+            stats;
+            totals;
+            retention;
+            survived = retention >= 0.5;
+            error = None;
+          }
+      in
+      let finished = ref 0 in
+      let on_item _ =
+        incr finished;
+        progress !finished total
+      in
+      let runs = Iced_explore.Pool.map ~workers:spec.workers ~on_item cell jobs in
+      Ok { spec; baseline; runs = Array.to_list runs })
+
+(* ------------------------------------------------------------------ *)
+(* reporting *)
+
+let plan_summary plan =
+  if Fault.is_empty plan then "-"
+  else
+    String.concat "; "
+      (List.map
+         (fun (e : Fault.event) ->
+           Printf.sprintf "@%d %s" e.Fault.at_input (Fault.kind_to_string e.Fault.fault))
+         plan.Fault.events)
+
+let table t =
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "fault campaign: %s / %s" (app_to_string t.spec.app)
+           (Runner.policy_to_string t.spec.policy))
+      ~columns:
+        [ "seed"; "recovery"; "injected"; "recovered"; "dropped"; "replayed";
+          "mttr us"; "retention"; "verdict" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row tbl
+        [ string_of_int r.seed;
+          Runner.recovery_to_string r.recovery;
+          string_of_int r.stats.Runner.injected;
+          string_of_int r.stats.Runner.recoveries;
+          string_of_int r.stats.Runner.inputs_dropped;
+          string_of_int r.stats.Runner.inputs_replayed;
+          Printf.sprintf "%.2f" r.stats.Runner.mttr_us;
+          Printf.sprintf "%.3f" r.retention;
+          (match r.error with
+          | Some _ -> "error"
+          | None -> if r.survived then "survived" else "lost") ])
+    t.runs;
+  tbl
+
+let summary_table t =
+  let tbl =
+    Table.create ~title:"survival by recovery policy"
+      ~columns:[ "recovery"; "cells"; "survival"; "mean retention"; "mean mttr us" ]
+  in
+  List.iter
+    (fun recovery ->
+      let cells = List.filter (fun r -> r.recovery = recovery) t.runs in
+      let n = List.length cells in
+      if n > 0 then begin
+        let survived = List.length (List.filter (fun r -> r.survived) cells) in
+        let mean f = Iced_util.Stats.mean (List.map f cells) in
+        Table.add_row tbl
+          [ Runner.recovery_to_string recovery;
+            string_of_int n;
+            Printf.sprintf "%d/%d" survived n;
+            Printf.sprintf "%.3f" (mean (fun r -> r.retention));
+            Printf.sprintf "%.2f" (mean (fun r -> r.stats.Runner.mttr_us)) ]
+      end)
+    t.spec.recoveries;
+  tbl
+
+let csv t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "app,policy,seed,recovery,injected,recoveries,remaps,islands_gated,levels_raised,\
+     dropped,replayed,recovery_us,mttr_us,offered,completed,throughput_per_s,\
+     efficiency,retention,survived,error\n";
+  List.iter
+    (fun r ->
+      let s = r.stats in
+      Buffer.add_string b
+        (Printf.sprintf "%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%.6g,%.6g,%d,%d,%.6g,%.6g,%.6g,%b,%s\n"
+           (app_to_string t.spec.app)
+           (Runner.policy_to_string t.spec.policy)
+           r.seed
+           (Runner.recovery_to_string r.recovery)
+           s.Runner.injected s.Runner.recoveries s.Runner.remaps s.Runner.islands_gated
+           s.Runner.levels_raised s.Runner.inputs_dropped s.Runner.inputs_replayed
+           s.Runner.recovery_time_us s.Runner.mttr_us s.Runner.offered s.Runner.completed
+           r.totals.Runner.overall_throughput_per_s r.totals.Runner.overall_efficiency
+           r.retention r.survived
+           (match r.error with Some e -> String.map (fun c -> if c = ',' then ';' else c) e | None -> "")))
+    t.runs;
+  Buffer.contents b
+
+let json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\n  \"app\": \"%s\",\n  \"policy\": \"%s\",\n  \"inputs\": %d,\n  \
+        \"faults_per_run\": %d,\n  \"upset_rate\": %.6g,\n  \
+        \"baseline_throughput_per_s\": %.6g,\n  \"runs\": ["
+       (app_to_string t.spec.app)
+       (Runner.policy_to_string t.spec.policy)
+       t.spec.inputs t.spec.faults_per_run t.spec.upset_rate
+       t.baseline.Runner.overall_throughput_per_s);
+  let first = ref true in
+  List.iter
+    (fun r ->
+      if not !first then Buffer.add_string b ",";
+      first := false;
+      let s = r.stats in
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    {\"seed\":%d,\"recovery\":\"%s\",\"plan\":\"%s\",\"injected\":%d,\
+            \"recoveries\":%d,\"remaps\":%d,\"islands_gated\":%d,\"levels_raised\":%d,\
+            \"dropped\":%d,\"replayed\":%d,\"recovery_us\":%.6g,\"mttr_us\":%.6g,\
+            \"offered\":%d,\"completed\":%d,\"throughput_per_s\":%.6g,\
+            \"retention\":%.6g,\"survived\":%b}"
+           r.seed
+           (Runner.recovery_to_string r.recovery)
+           (plan_summary r.plan) s.Runner.injected s.Runner.recoveries s.Runner.remaps
+           s.Runner.islands_gated s.Runner.levels_raised s.Runner.inputs_dropped
+           s.Runner.inputs_replayed s.Runner.recovery_time_us s.Runner.mttr_us
+           s.Runner.offered s.Runner.completed
+           r.totals.Runner.overall_throughput_per_s r.retention r.survived))
+    t.runs;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let render t =
+  Table.render (table t) ^ "\n\n" ^ Table.render (summary_table t) ^ "\n"

@@ -1,0 +1,78 @@
+(** Domain-parallel fault-injection campaigns over the streaming
+    pipeline.
+
+    A campaign crosses a set of fault-plan seeds with a set of recovery
+    policies, runs every (seed, policy) cell through
+    [Iced_stream.Runner.run_resilient] on {!Iced_explore.Pool}'s domain
+    pool, and reports throughput retention against the fault-free
+    baseline.  Every cell is a pure function of the spec, results land
+    in job order, and the fault model draws from explicit seeds — so
+    the CSV/JSON output is byte-identical across worker counts. *)
+
+module Fault = Iced_fault.Fault
+
+type app = Gcn | Lu
+
+val app_to_string : app -> string
+val app_of_string : string -> app option
+
+type spec = {
+  app : app;
+  policy : Iced_stream.Runner.policy;  (** [Static] or [Iced_dvfs] only *)
+  recoveries : Iced_stream.Runner.recovery list;
+  kinds : Fault.kind_class list;  (** fault families the plans draw from *)
+  seeds : int list;  (** one fault plan per seed *)
+  faults_per_run : int;  (** events per plan *)
+  upset_rate : float;  (** per-cycle upset probability at [Rest] *)
+  inputs : int;  (** stream length (dataset truncated/cycled to this) *)
+  window : int;  (** runner observation window *)
+  workers : int;  (** domain-pool width; results do not depend on it *)
+}
+
+val default_spec : spec
+(** LU pipeline, [Iced_dvfs], all four recovery policies, all four
+    fault families, seeds 0..3, 2 faults per run, rate 1e-3, 200
+    inputs, window 10, 1 worker. *)
+
+type run_result = {
+  seed : int;
+  recovery : Iced_stream.Runner.recovery;
+  plan : Fault.plan;
+  stats : Iced_stream.Runner.fault_stats;
+  totals : Iced_stream.Runner.totals;
+  retention : float;
+      (** completed fraction times faulted/baseline throughput ratio:
+          1.0 = the faults cost nothing, 0.0 = the stream was lost *)
+  survived : bool;  (** [retention >= 0.5] *)
+  error : string option;  (** an escaped exception, if the cell crashed *)
+}
+
+type t = {
+  spec : spec;
+  baseline : Iced_stream.Runner.totals;  (** fault-free reference run *)
+  runs : run_result list;  (** seed-major, then recovery, in spec order *)
+}
+
+val run : ?progress:(int -> int -> unit) -> spec -> (t, string) result
+(** Execute the campaign: prepare the partition once, run the
+    fault-free baseline, then map the (seed, recovery) cells over the
+    domain pool.  [progress done_ total] is called as cells finish.
+    Errors: an unpartitionable app, a [Drips] policy, or an empty
+    seed/recovery/kind list. *)
+
+val table : t -> Iced_util.Table.t
+(** One row per (seed, recovery) cell. *)
+
+val summary_table : t -> Iced_util.Table.t
+(** Per recovery policy: cells, survival rate, mean retention, mean
+    MTTR. *)
+
+val csv : t -> string
+(** One row per cell, header included; byte-identical across worker
+    counts. *)
+
+val json : t -> string
+(** JSON object with the spec, the baseline, and one entry per cell. *)
+
+val render : t -> string
+(** Human-readable report: the cell table, then the policy summary. *)

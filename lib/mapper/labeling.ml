@@ -7,9 +7,20 @@ let capacity_slots ~tiles ~ii = List.length tiles * ii
    by m makes each of its operations cover m base-clock slots. *)
 let slots_of_level level = Dvfs.multiplier level
 
-let label ?(floor = Dvfs.Rest) g ~cgra ~tiles ~ii =
+let label ?(floor = Dvfs.Rest) ?(guard = 0) g ~cgra ~tiles ~ii =
   if tiles = [] then invalid_arg "Labeling.label: empty tile set";
   if ii <= 0 then invalid_arg "Labeling.label: non-positive II";
+  if guard < 0 then invalid_arg "Labeling.label: negative guard";
+  (* Guard band for upset-prone fabrics: each guard step raises the
+     label floor one level, keeping voltage margin between the labels
+     and the level where timing upsets appear. *)
+  let floor =
+    let rec raise_floor level = function
+      | 0 -> level
+      | n -> raise_floor (Dvfs.step_up level) (n - 1)
+    in
+    raise_floor floor guard
+  in
   let clamp level = if Dvfs.at_most level floor then floor else level in
   let critical = Analysis.critical_nodes g in
   let secondary = Analysis.secondary_cycle_nodes g in

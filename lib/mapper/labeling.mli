@@ -18,6 +18,7 @@ open Iced_dfg
 
 val label :
   ?floor:Dvfs.level ->
+  ?guard:int ->
   Graph.t ->
   cgra:Cgra.t ->
   tiles:int list ->
@@ -27,8 +28,12 @@ val label :
     [ii] the target initiation interval.  [floor] (default [Rest])
     raises the lowest label used — streaming kernels pass [Relax]
     because island levels must keep one step of downward headroom at
-    runtime (paper Section IV-B).
-    @raise Invalid_argument if [tiles] is empty or [ii <= 0]. *)
+    runtime (paper Section IV-B).  [guard] (default 0) is the
+    fault-injection guard band: each guard step raises the effective
+    floor one level, so upset-prone islands (whose low-voltage levels
+    see transient timing faults) are labeled with extra voltage margin.
+    @raise Invalid_argument if [tiles] is empty, [ii <= 0], or
+    [guard < 0]. *)
 
 val capacity_slots : tiles:int list -> ii:int -> int
 (** Total tile-time slots available per II: [length tiles * ii]. *)

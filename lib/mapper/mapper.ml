@@ -29,9 +29,18 @@ type request = {
   tiles : int list option;
   memory_tiles : int list option;
   label_floor : Dvfs.level;
+  label_guard : int;
+      (* fault guard band: raises Algorithm 1's floor this many levels
+         so upset-prone islands keep voltage margin *)
   max_ii : int;
   knobs : knobs;
   cancel : unit -> bool;
+  dead_tiles : int list;
+      (* permanently faulted tiles, removed from the sub-fabric before
+         placement (fault-aware remapping) *)
+  dead_links : (int * Dir.t) list;
+      (* faulted crossbar output ports, masked in the MRRG so routing
+         plans around them *)
   commit_islands : bool;
       (* Figure 4 study: pre-commit every island to a level from the
          label quota before placement.  Nodes are then steered onto
@@ -44,9 +53,10 @@ type request = {
 }
 
 let request ?(strategy = Dvfs_aware) ?tiles ?memory_tiles ?(label_floor = Dvfs.Rest)
-    ?(max_ii = 64) ?(knobs = all_knobs) ?(cancel = fun () -> false)
-    ?(commit_islands = false) cgra =
-  { cgra; strategy; tiles; memory_tiles; label_floor; max_ii; knobs; cancel; commit_islands }
+    ?(label_guard = 0) ?(max_ii = 64) ?(knobs = all_knobs) ?(cancel = fun () -> false)
+    ?(dead_tiles = []) ?(dead_links = []) ?(commit_islands = false) cgra =
+  { cgra; strategy; tiles; memory_tiles; label_floor; label_guard; max_ii; knobs; cancel;
+    dead_tiles; dead_links; commit_islands }
 
 (* Cost weights.  Routing dominates; DVFS terms bias island choice; the
    pack/spread term differentiates ICED from the conventional mapper. *)
@@ -556,7 +566,9 @@ let attempt_ii req dfg ~tiles ~memory_tiles ~ii ~margin =
   let labels =
     match req.strategy with
     | Conventional -> List.map (fun id -> (id, Dvfs.Normal)) (Graph.node_ids dfg)
-    | Dvfs_aware -> Labeling.label ~floor:req.label_floor dfg ~cgra:req.cgra ~tiles ~ii
+    | Dvfs_aware ->
+      Labeling.label ~floor:req.label_floor ~guard:req.label_guard dfg ~cgra:req.cgra ~tiles
+        ~ii
   in
   match Graph.intra_topological dfg with
   | None -> Error "cyclic intra-iteration subgraph"
@@ -628,7 +640,7 @@ let attempt_ii req dfg ~tiles ~memory_tiles ~ii ~margin =
                  c.members)
              (Analysis.recurrence_cycles dfg);
            table);
-        mrrg = Mrrg.create ~tiles req.cgra ~ii;
+        mrrg = Mrrg.create ~tiles ~dead_links:req.dead_links req.cgra ~ii;
         placements = Hashtbl.create 64;
         routes = [];
         island_level = Hashtbl.create 16;
@@ -722,15 +734,21 @@ let map (req : request) dfg =
     if Graph.node_count dfg = 0 then Error "empty DFG"
     else begin
       let tiles =
-        match req.tiles with
-        | Some ts -> List.sort_uniq compare ts
-        | None -> List.init (Cgra.tile_count req.cgra) (fun i -> i)
+        let requested =
+          match req.tiles with
+          | Some ts -> List.sort_uniq compare ts
+          | None -> List.init (Cgra.tile_count req.cgra) (fun i -> i)
+        in
+        List.filter (fun t -> not (List.mem t req.dead_tiles)) requested
       in
-      if tiles = [] then Error "empty tile set"
+      if tiles = [] then
+        Error
+          (if req.dead_tiles = [] then "empty tile set"
+           else "empty tile set (every tile of the sub-fabric is faulted)")
       else begin
         let memory_tiles =
           match req.memory_tiles with
-          | Some ts -> ts
+          | Some ts -> List.filter (fun t -> not (List.mem t req.dead_tiles)) ts
           | None ->
             let col_of tile = snd (Cgra.position req.cgra tile) in
             let min_col = List.fold_left (fun acc t -> min acc (col_of t)) max_int tiles in

@@ -44,12 +44,24 @@ type request = {
   memory_tiles : int list option;
       (** default: westmost column of the (sub-)fabric *)
   label_floor : Dvfs.level;  (** lowest label Algorithm 1 may use *)
+  label_guard : int;
+      (** fault guard band (default 0): raises Algorithm 1's floor
+          this many levels so upset-prone islands keep voltage margin
+          ({!Labeling.label}'s [guard]) *)
   max_ii : int;  (** give up past this II *)
   knobs : knobs;
   cancel : unit -> bool;
       (** polled before each II attempt; returning [true] aborts the
           search with a "deadline exceeded" error — the design-space
-          sweep's per-point timeout hook *)
+          sweep's per-point timeout hook, and the fault-recovery
+          remap's retry budget *)
+  dead_tiles : int list;
+      (** permanently faulted tiles (default []): removed from the
+          sub-fabric before placement, so the mapper remaps around
+          them *)
+  dead_links : (int * Dir.t) list;
+      (** faulted crossbar output ports (default []): masked in the
+          MRRG so routes plan around them *)
   commit_islands : bool;
       (** Figure 4 study: pre-commit islands to levels from the label
           quota; slowed tiles then cost multiplier-many slots per op
@@ -57,12 +69,13 @@ type request = {
 }
 
 val request : ?strategy:strategy -> ?tiles:int list -> ?memory_tiles:int list ->
-  ?label_floor:Dvfs.level -> ?max_ii:int -> ?knobs:knobs ->
-  ?cancel:(unit -> bool) -> ?commit_islands:bool ->
+  ?label_floor:Dvfs.level -> ?label_guard:int -> ?max_ii:int -> ?knobs:knobs ->
+  ?cancel:(unit -> bool) -> ?dead_tiles:int list -> ?dead_links:(int * Dir.t) list ->
+  ?commit_islands:bool ->
   Cgra.t -> request
 (** Build a request with defaults: [Dvfs_aware], whole fabric,
-    westmost-column memory, floor [Rest], [max_ii] 64, no
-    cancellation. *)
+    westmost-column memory, floor [Rest], no guard band, [max_ii] 64,
+    no cancellation, no faulted resources. *)
 
 val map : request -> Graph.t -> (Mapping.t, string) result
 (** Map a kernel.  The result carries Algorithm 1's labels and an

@@ -10,10 +10,11 @@ type t = {
   cgra : Cgra.t;
   ii : int;
   tiles : bool array; (* allowed sub-fabric, indexed by tile id *)
+  dead_links : (int * Dir.t) list; (* faulted crossbar output ports *)
   table : (key, occupant) Hashtbl.t;
 }
 
-let create ?tiles cgra ~ii =
+let create ?tiles ?(dead_links = []) cgra ~ii =
   if ii <= 0 then invalid_arg "Mrrg.create: non-positive II";
   let allowed = Array.make (Cgra.tile_count cgra) (tiles = None) in
   (match tiles with
@@ -24,7 +25,12 @@ let create ?tiles cgra ~ii =
         if id < 0 || id >= Cgra.tile_count cgra then invalid_arg "Mrrg.create: unknown tile";
         allowed.(id) <- true)
       ids);
-  { cgra; ii; tiles = allowed; table = Hashtbl.create 256 }
+  List.iter
+    (fun (tile, _) ->
+      if tile < 0 || tile >= Cgra.tile_count cgra then
+        invalid_arg "Mrrg.create: dead link on unknown tile")
+    dead_links;
+  { cgra; ii; tiles = allowed; dead_links; table = Hashtbl.create 256 }
 
 let cgra t = t.cgra
 let ii t = t.ii
@@ -42,7 +48,11 @@ let key t ~tile ~time res = { tile; slot = slot t time; res }
 
 let occupant t ~tile ~time res = Hashtbl.find_opt t.table (key t ~tile ~time res)
 
-let is_free t ~tile ~time res = occupant t ~tile ~time res = None
+let link_dead t tile res =
+  match res with Fu -> false | Port d -> List.mem (tile, d) t.dead_links
+
+let is_free t ~tile ~time res =
+  (not (link_dead t tile res)) && occupant t ~tile ~time res = None
 
 let occupant_to_string = function
   | Op_node id -> Printf.sprintf "op n%d" id
@@ -50,6 +60,10 @@ let occupant_to_string = function
 
 let reserve t ~tile ~time res who =
   if not (allowed t tile) then Error (Printf.sprintf "tile %d outside the sub-fabric" tile)
+  else if link_dead t tile res then
+    Error
+      (Printf.sprintf "tile %d %s: dead link" tile
+         (match res with Fu -> "fu" | Port d -> "port." ^ Dir.to_string d))
   else
     let k = key t ~tile ~time res in
     match Hashtbl.find_opt t.table k with

@@ -25,11 +25,15 @@ type occupant =
 
 type t
 
-val create : ?tiles:int list -> Cgra.t -> ii:int -> t
+val create : ?tiles:int list -> ?dead_links:(int * Dir.t) list -> Cgra.t -> ii:int -> t
 (** Fresh, empty MRRG.  [tiles] restricts placement and routing to a
     sub-fabric (streaming partitions); defaults to every tile.
-    @raise Invalid_argument if [ii <= 0] or [tiles] contains an unknown
-    id. *)
+    [dead_links] masks faulted crossbar output ports: the named (tile,
+    direction) ports are never free and can never be reserved, so the
+    router plans around them (the fault-injection subsystem's resource
+    masking).
+    @raise Invalid_argument if [ii <= 0], [tiles] contains an unknown
+    id, or a dead link names an unknown tile. *)
 
 val cgra : t -> Cgra.t
 val ii : t -> int

@@ -87,7 +87,20 @@ let adjust t =
               List.find_opt (fun (l, _, _) -> l = label) stats
             with
             | Some (_, _, worst) -> worst
-            | None -> 0.0
+            | None -> (
+              (* Starved kernel: no samples this window.  Treating it
+                 as free (worst = 0) would step it down every starved
+                 window regardless of how slow it ran moments ago, then
+                 cost a slow window the instant the phase returns.  Use
+                 the decayed cross-window memory instead, decaying it
+                 once per starved window so a kernel that stays idle is
+                 still lowered eventually. *)
+              match Hashtbl.find_opt t.long_worst label with
+              | Some prev ->
+                let decayed = long_worst_decay *. prev in
+                Hashtbl.replace t.long_worst label decayed;
+                decayed *. float_of_int (Dvfs.multiplier level)
+              | None -> 0.0)
           in
           let next =
             if label = bottleneck_label then

@@ -2,6 +2,7 @@ open Iced_arch
 module Model = Iced_power.Model
 module Params = Iced_power.Params
 module Metrics = Iced_sim.Metrics
+module Fault = Iced_fault.Fault
 
 type policy = Static | Iced_dvfs | Drips
 
@@ -9,6 +10,21 @@ let policy_to_string = function
   | Static -> "static"
   | Iced_dvfs -> "iced"
   | Drips -> "drips"
+
+type recovery = Remap | Gate_island | Raise_level | Fail_stop
+
+let recovery_to_string = function
+  | Remap -> "remap"
+  | Gate_island -> "gate"
+  | Raise_level -> "raise"
+  | Fail_stop -> "fail-stop"
+
+let recovery_of_string = function
+  | "remap" -> Some Remap
+  | "gate" -> Some Gate_island
+  | "raise" -> Some Raise_level
+  | "fail-stop" | "failstop" -> Some Fail_stop
+  | _ -> None
 
 type window_report = {
   index : int;
@@ -19,30 +35,75 @@ type window_report = {
   efficiency : float;
   levels : (string * Dvfs.level) list;
   allocation : (string * int) list;
+  dropped : int;
+  replayed : int;
+  recovery_us : float;
 }
+
+type fault_stats = {
+  injected : int;
+  recoveries : int;
+  remaps : int;
+  islands_gated : int;
+  levels_raised : int;
+  inputs_dropped : int;
+  inputs_replayed : int;
+  recovery_time_us : float;
+  mttr_us : float;
+  offered : int;
+  completed : int;
+}
+
+let no_faults =
+  {
+    injected = 0;
+    recoveries = 0;
+    remaps = 0;
+    islands_gated = 0;
+    levels_raised = 0;
+    inputs_dropped = 0;
+    inputs_replayed = 0;
+    recovery_time_us = 0.0;
+    mttr_us = 0.0;
+    offered = 0;
+    completed = 0;
+  }
 
 type instance_cost = {
   label : string;
   wall_us : float;  (** execution time of this input on this kernel *)
+  cycles : int;  (** kernel-clock cycles behind [wall_us] *)
   mapping : Iced_mapper.Mapping.t;
   level : Dvfs.level;
 }
 
-(* Per-input accounting given current allocation and levels. *)
-let account (params : Params.t) (partition : Partition.t) ~allocation ~level_of input =
+(* Per-input accounting given current allocation and levels.
+   [override] substitutes a fault-recovery remapping for a kernel's
+   prepared candidate. *)
+let account ?(override = fun _ -> None) (params : Params.t) (partition : Partition.t)
+    ~allocation ~level_of input =
   let pipeline = partition.Partition.pipeline in
   let instance_cost (instance : Pipeline.instance) =
     let label = instance.Pipeline.label in
-    let count = List.assoc label allocation in
-    let prepared =
-      List.find
-        (fun (p : Partition.prepared_instance) -> p.instance.Pipeline.label = label)
-        partition.Partition.prepared
+    let count =
+      match List.assoc_opt label allocation with
+      | Some count -> count
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Runner.account: kernel %s has no allocation entry" label)
     in
     let candidate =
-      match Partition.candidate_for prepared count with
+      match override label with
       | Some c -> c
-      | None -> Partition.allocated partition label (* fall back to profiled count *)
+      | None -> (
+        let prepared =
+          List.find
+            (fun (p : Partition.prepared_instance) -> p.instance.Pipeline.label = label)
+            partition.Partition.prepared
+        in
+        match Partition.candidate_for prepared count with
+        | Some c -> c
+        | None -> Partition.allocated partition label (* fall back to profiled count *))
     in
     let level = level_of label in
     let iters = instance.Pipeline.iterations input in
@@ -50,7 +111,7 @@ let account (params : Params.t) (partition : Partition.t) ~allocation ~level_of 
     let wall_us =
       float_of_int (cycles * Dvfs.multiplier level) /. params.Params.f_normal_mhz
     in
-    { label; wall_us; mapping = candidate.Partition.mapping; level }
+    { label; wall_us; cycles; mapping = candidate.Partition.mapping; level }
   in
   let stages = List.map (List.map instance_cost) pipeline.Pipeline.stages in
   let period_us =
@@ -84,7 +145,136 @@ let account (params : Params.t) (partition : Partition.t) ~allocation ~level_of 
   in
   (period_us, costs, tiles, sram_activity)
 
-let run ?(window = 10) ?(params = Params.default) (partition : Partition.t) policy inputs =
+(* ------------------------------------------------------------------ *)
+(* fault-recovery state *)
+
+(* Per-kernel resilient-execution state.  Mappings live in the
+   partition's representative geometry (islands 0..count-1): [owned]
+   tracks which concrete islands the kernel holds, and permanent
+   faults — recorded in concrete coordinates — are translated into
+   representative coordinates at remap time. *)
+type kernel_state = {
+  instance : Pipeline.instance;
+  prepared : Partition.prepared_instance;
+  mutable owned : int list;  (** concrete island ids *)
+  mutable count : int;
+  mutable override : Partition.candidate option;
+  mutable faults : Fault.kind list;  (** permanent faults on this kernel *)
+  mutable upset_rate : float;  (** 0.0 when the kernel's islands are clean *)
+  mutable pinned : bool;  (** [Raise_level] pinned the kernel at Normal *)
+}
+
+(* Remap retry budget: the mapper polls [cancel] once per II attempt,
+   so counting polls bounds the search deterministically (a wall-clock
+   deadline would make campaign results depend on machine load and
+   worker count). *)
+let remap_poll_budget = 64
+
+exception Recovery_failed of string
+
+let reconfig_us (params : Params.t) (candidate : Partition.candidate) =
+  (* Reconfiguration streams the bitstream in 64-bit words, one word
+     per base-clock cycle. *)
+  let bits = Iced_mapper.Bitstream.total_bits candidate.Partition.mapping in
+  let words = (bits + 63) / 64 in
+  float_of_int words /. params.Params.f_normal_mhz
+
+let current_candidate st =
+  match st.override with
+  | Some c -> c
+  | None -> (
+    match Partition.candidate_for st.prepared st.count with
+    | Some c -> c
+    | None -> List.hd st.prepared.Partition.candidates)
+
+(* Translate a concrete faulted tile into the kernel's representative
+   geometry; [None] when the fault sits on an island the kernel no
+   longer owns (gated away) and so cannot hurt it. *)
+let representative_tile cgra st tile =
+  let island = Cgra.island_of cgra tile in
+  let rec position k = function
+    | [] -> None
+    | x :: rest -> if x = island then Some k else position (k + 1) rest
+  in
+  match position 0 st.owned with
+  | None -> None
+  | Some k -> (
+    let concrete = Cgra.island_tiles cgra island in
+    let rep = Cgra.island_tiles cgra k in
+    let rec index i = function
+      | [] -> None
+      | x :: rest -> if x = tile then Some i else index (i + 1) rest
+    in
+    match index 0 concrete with Some p -> List.nth_opt rep p | None -> None)
+
+(* Rebuild a kernel's mapping on its current islands with its live
+   faults masked.  With a clean geometry the prepared candidate is
+   reused (no mapper run, no override); otherwise Algorithm 2 remaps
+   around the masked resources under a bounded II/poll budget. *)
+let rebuild cgra st =
+  let dead_tiles, dead_links =
+    List.fold_left
+      (fun (dts, dls) fault ->
+        match fault with
+        | Fault.Tile_dead tile -> (
+          match representative_tile cgra st tile with
+          | Some t -> (t :: dts, dls)
+          | None -> (dts, dls))
+        | Fault.Link_broken { tile; dir } -> (
+          match representative_tile cgra st tile with
+          | Some t -> (dts, (t, dir) :: dls)
+          | None -> (dts, dls))
+        | Fault.Island_down _ | Fault.Upsets _ -> (dts, dls))
+      ([], []) st.faults
+  in
+  if dead_tiles = [] && dead_links = [] then (
+    match Partition.candidate_for st.prepared st.count with
+    | Some c ->
+      st.override <- None;
+      Ok (c, false)
+    | None ->
+      Error
+        (Printf.sprintf "no prepared mapping for %s at %d islands"
+           st.instance.Pipeline.label st.count))
+  else begin
+    let tiles =
+      List.concat_map (fun k -> Cgra.island_tiles cgra k) (List.init st.count Fun.id)
+    in
+    let old_ii = (current_candidate st).Partition.mapping.Iced_mapper.Mapping.ii in
+    let polls = ref 0 in
+    let cancel () =
+      incr polls;
+      !polls > remap_poll_budget
+    in
+    let req =
+      Iced_mapper.Mapper.request ~strategy:Iced_mapper.Mapper.Dvfs_aware ~tiles
+        ~label_floor:Dvfs.Relax
+        ~label_guard:(if st.upset_rate > 0.0 then 1 else 0)
+        ~max_ii:(min 64 (old_ii * 4))
+        ~cancel ~dead_tiles ~dead_links cgra
+    in
+    match Iced_mapper.Mapper.map req st.instance.Pipeline.kernel.Iced_kernels.Kernel.dfg with
+    | Ok mapping ->
+      let candidate =
+        {
+          Partition.islands = st.count;
+          mapping = Iced_mapper.Levels.assign ~floor:Dvfs.Relax ~allow_gating:false mapping;
+        }
+      in
+      st.override <- Some candidate;
+      Ok (candidate, true)
+    | Error e -> Error e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* the resilient streaming loop *)
+
+let run_resilient ?(window = 10) ?(params = Params.default) ?(faults = Fault.none)
+    ?(recovery = Fail_stop) (partition : Partition.t) policy inputs =
+  if policy = Drips && not (Fault.is_empty faults) then
+    invalid_arg
+      "Runner.run_resilient: the DRIPS baseline has no fault model; use Static or Iced_dvfs";
+  let cgra = partition.Partition.cgra in
   let labels = List.map fst partition.Partition.allocation in
   let controller =
     Controller.create ~window ~label_floors:partition.Partition.level_floors ~labels ()
@@ -95,67 +285,293 @@ let run ?(window = 10) ?(params = Params.default) (partition : Partition.t) poli
     | Static | Drips -> Model.Baseline
     | Iced_dvfs -> Model.Iced
   in
-  let level_of label =
+  let states =
+    List.map
+      (fun (label, count) ->
+        let prepared =
+          List.find
+            (fun (p : Partition.prepared_instance) -> p.instance.Pipeline.label = label)
+            partition.Partition.prepared
+        in
+        ( label,
+          {
+            instance = prepared.Partition.instance;
+            prepared;
+            owned = List.assoc label partition.Partition.island_ids;
+            count;
+            override = None;
+            faults = [];
+            upset_rate = 0.0;
+            pinned = false;
+          } ))
+      partition.Partition.allocation
+  in
+  let state label = List.assoc label states in
+  let owner_of island =
+    List.find_opt (fun (_, st) -> List.mem island st.owned) states
+  in
+  let base_level_of label =
     match policy with
     | Static | Drips -> Dvfs.Normal
     | Iced_dvfs -> Controller.level controller label
   in
+  let level_of label =
+    if (state label).pinned then Dvfs.Normal else base_level_of label
+  in
   let allocation () =
     match policy with
-    | Static | Iced_dvfs -> partition.Partition.allocation
     | Drips -> Drips.allocation drips
+    | Static | Iced_dvfs -> List.map (fun (label, st) -> (label, st.count)) states
   in
+  let override label = (state label).override in
+  (* fault accounting *)
+  let injected = ref 0 in
+  let recoveries = ref 0 in
+  let remaps = ref 0 in
+  let islands_gated = ref 0 in
+  let levels_raised = ref 0 in
+  let inputs_dropped = ref 0 in
+  let inputs_replayed = ref 0 in
+  let recovery_time_us = ref 0.0 in
+  let completed = ref 0 in
+  let aborted = ref false in
+  let pending_us = ref 0.0 in
+  let charge candidate =
+    let us = reconfig_us params candidate in
+    pending_us := !pending_us +. us;
+    recovery_time_us := !recovery_time_us +. us
+  in
+  (* Gate the victim island out of its owner's allocation: shrink the
+     owner by one island when a smaller mapping exists, otherwise
+     borrow an island from the richest kernel that can itself shrink.
+     Raises [Recovery_failed] when neither works. *)
+  let gate st victim_island =
+    st.owned <- List.filter (fun i -> i <> victim_island) st.owned;
+    islands_gated := !islands_gated + 1;
+    let shrink () =
+      if st.count <= 1 then Error "kernel is down to one island"
+      else begin
+        st.count <- st.count - 1;
+        match rebuild cgra st with
+        | Ok (c, _) -> Ok c
+        | Error e ->
+          st.count <- st.count + 1;
+          Error e
+      end
+    in
+    let borrow () =
+      let donors =
+        List.filter (fun (_, d) -> d != st && d.count > 1) states
+        |> List.sort (fun (_, a) (_, b) -> compare b.count a.count)
+      in
+      let rec try_donors = function
+        | [] -> Error "no kernel can spare an island"
+        | (_, donor) :: rest -> (
+          donor.count <- donor.count - 1;
+          match rebuild cgra donor with
+          | Error _ ->
+            donor.count <- donor.count + 1;
+            try_donors rest
+          | Ok (donor_candidate, _) -> (
+            (* hand the donor's last island to the victim *)
+            match List.rev donor.owned with
+            | [] ->
+              donor.count <- donor.count + 1;
+              try_donors rest
+            | given :: kept_rev ->
+              donor.owned <- List.rev kept_rev;
+              st.owned <- st.owned @ [ given ];
+              charge donor_candidate;
+              match rebuild cgra st with
+              | Ok (c, _) -> Ok c
+              | Error e -> Error e))
+      in
+      try_donors donors
+    in
+    match shrink () with
+    | Ok c -> c
+    | Error _ -> (
+      match borrow () with
+      | Ok c -> c
+      | Error e ->
+        raise
+          (Recovery_failed
+             (Printf.sprintf "cannot gate island %d away from %s: %s" victim_island
+                st.instance.Pipeline.label e)))
+  in
+  let inject fault =
+    incr injected;
+    let island = Fault.island_of cgra fault in
+    match owner_of island with
+    | None -> () (* the island was already gated away: the fault is harmless *)
+    | Some (_, st) -> (
+      match fault with
+      | Fault.Upsets { rate; _ } -> (
+        st.upset_rate <- Float.max st.upset_rate rate;
+        match recovery with
+        | Fail_stop -> raise (Recovery_failed "fail-stop on transient upsets")
+        | Raise_level ->
+          (* full voltage margin clears voltage-induced upsets; the
+             ns-scale regulator switch is free *)
+          if not st.pinned then begin
+            st.pinned <- true;
+            incr levels_raised;
+            incr recoveries
+          end
+        | Remap | Gate_island ->
+          (* endure the replays; future remaps keep a guard band *)
+          ())
+      | Fault.Tile_dead _ | Fault.Link_broken _ | Fault.Island_down _ -> (
+        match recovery with
+        | Fail_stop -> raise (Recovery_failed "fail-stop on a permanent fault")
+        | Raise_level ->
+          raise (Recovery_failed "voltage cannot recover a permanent fault")
+        | Remap | Gate_island ->
+          st.faults <- fault :: st.faults;
+          let gate_it () = charge (gate st island) in
+          (match (recovery, fault) with
+          | Gate_island, _ | Remap, Fault.Island_down _ ->
+            (* remapping inside a dead island is meaningless *)
+            gate_it ()
+          | Remap, _ -> (
+            match rebuild cgra st with
+            | Ok (c, remapped) ->
+              if remapped then incr remaps;
+              charge c
+            | Error _ -> gate_it () (* escalate *))
+          | (Fail_stop | Raise_level), _ -> assert false);
+          incr recoveries))
+  in
+  (* run loop *)
   let reports = ref [] in
   let window_periods = ref [] in
   let window_powers = ref [] in
+  let window_dropped = ref 0 in
+  let window_replayed = ref 0 in
+  let window_recovery = ref 0.0 in
   let flush index =
-    if !window_periods <> [] then begin
-      let mean_period = Iced_util.Stats.mean !window_periods in
-      let power = Iced_util.Stats.mean !window_powers in
-      let throughput = 1e6 /. mean_period in
+    if !window_periods <> [] || !window_dropped > 0 then begin
+      let consumed = List.length !window_periods in
+      let mean_period =
+        if consumed = 0 then 0.0 else Iced_util.Stats.mean !window_periods
+      in
+      let power = if consumed = 0 then 0.0 else Iced_util.Stats.mean !window_powers in
+      let throughput = if mean_period > 0.0 then 1e6 /. mean_period else 0.0 in
       reports :=
         {
           index;
-          inputs = List.length !window_periods;
+          inputs = consumed;
           mean_period_us = mean_period;
           throughput_per_s = throughput;
           power_mw = power;
-          efficiency = throughput /. (power /. 1000.0);
-          levels =
-            List.map (fun label -> (label, level_of label)) labels;
+          efficiency = (if power > 0.0 then throughput /. (power /. 1000.0) else 0.0);
+          levels = List.map (fun label -> (label, level_of label)) labels;
           allocation = allocation ();
+          dropped = !window_dropped;
+          replayed = !window_replayed;
+          recovery_us = !window_recovery;
         }
         :: !reports;
       window_periods := [];
-      window_powers := []
+      window_powers := [];
+      window_dropped := 0;
+      window_replayed := 0;
+      window_recovery := 0.0
     end
   in
-  List.iteri
-    (fun i input ->
-      let period_us, costs, tiles, sram_activity =
-        account params partition ~allocation:(allocation ()) ~level_of input
-      in
-      let power =
-        Model.total_power_mw params design partition.Partition.cgra ~tiles ~sram_activity
-      in
-      window_periods := period_us :: !window_periods;
-      window_powers := power :: !window_powers;
-      (* feed the runtime monitors *)
-      List.iter
-        (fun cost ->
-          match policy with
-          | Iced_dvfs -> Controller.observe controller ~label:cost.label ~busy_time:cost.wall_us
-          | Drips -> Drips.observe drips ~label:cost.label ~busy_time:cost.wall_us
-          | Static -> ())
-        costs;
-      (match policy with
-      | Iced_dvfs -> Controller.input_done controller
-      | Drips -> Drips.input_done drips
-      | Static -> ());
-      if (i + 1) mod window = 0 then flush (i / window))
-    inputs;
-  flush (List.length inputs / window);
-  List.rev !reports
+  let total = List.length inputs in
+  let consume i input =
+    (* injections scheduled for this input fire just before it *)
+    List.iter inject (Fault.events_at faults i);
+    let period_us, costs, tiles, sram_activity =
+      account ~override params partition ~allocation:(allocation ()) ~level_of input
+    in
+    (* recovery latency stalls the pipeline in front of this input *)
+    let period_us = period_us +. !pending_us in
+    window_recovery := !window_recovery +. !pending_us;
+    pending_us := 0.0;
+    (* transient upsets: a deterministic draw decides whether this
+       input was corrupted on an upset-afflicted island; a corrupted
+       input is replayed once, and a second strike loses it *)
+    let period_us = ref period_us in
+    let lost = ref false in
+    List.iter
+      (fun (label, st) ->
+        if st.upset_rate > 0.0 then begin
+          let level = level_of label in
+          let rate = Fault.upset_rate ~rate:st.upset_rate level in
+          match List.find_opt (fun c -> c.label = label) costs with
+          | None -> ()
+          | Some cost ->
+            let p = Fault.upset_probability ~rate ~cycles:cost.cycles in
+            if Fault.upset_draw ~seed:faults.Fault.seed ~input:i ~salt:label < p then begin
+              incr inputs_replayed;
+              incr window_replayed;
+              period_us := !period_us +. cost.wall_us;
+              if
+                Fault.upset_draw ~seed:faults.Fault.seed ~input:i
+                  ~salt:(label ^ ":retry")
+                < p
+              then lost := true
+            end
+        end)
+      states;
+    let period_us = !period_us in
+    if !lost then begin
+      incr inputs_dropped;
+      incr window_dropped
+    end
+    else incr completed;
+    let power =
+      Model.total_power_mw params design partition.Partition.cgra ~tiles ~sram_activity
+    in
+    window_periods := period_us :: !window_periods;
+    window_powers := power :: !window_powers;
+    (* feed the runtime monitors *)
+    List.iter
+      (fun cost ->
+        match policy with
+        | Iced_dvfs -> Controller.observe controller ~label:cost.label ~busy_time:cost.wall_us
+        | Drips -> Drips.observe drips ~label:cost.label ~busy_time:cost.wall_us
+        | Static -> ())
+      costs;
+    (match policy with
+    | Iced_dvfs -> Controller.input_done controller
+    | Drips -> Drips.input_done drips
+    | Static -> ());
+    if (i + 1) mod window = 0 then flush (i / window)
+  in
+  (try List.iteri consume inputs
+   with Recovery_failed _ ->
+     (* fail-stop (or an exhausted recovery): the remaining stream is
+        lost; account the loss instead of hiding it *)
+     aborted := true);
+  if !aborted then begin
+    let lost = total - !completed - !inputs_dropped in
+    inputs_dropped := !inputs_dropped + lost;
+    window_dropped := !window_dropped + lost
+  end;
+  flush (total / window);
+  let stats =
+    {
+      injected = !injected;
+      recoveries = !recoveries;
+      remaps = !remaps;
+      islands_gated = !islands_gated;
+      levels_raised = !levels_raised;
+      inputs_dropped = !inputs_dropped;
+      inputs_replayed = !inputs_replayed;
+      recovery_time_us = !recovery_time_us;
+      mttr_us =
+        (if !recoveries > 0 then !recovery_time_us /. float_of_int !recoveries else 0.0);
+      offered = total;
+      completed = !completed;
+    }
+  in
+  (List.rev !reports, stats)
+
+let run ?window ?params partition policy inputs =
+  fst (run_resilient ?window ?params ~faults:Fault.none partition policy inputs)
 
 type totals = {
   total_inputs : int;
@@ -176,14 +592,16 @@ let aggregate reports =
         acc +. (r.power_mw /. 1000.0 *. float_of_int r.inputs *. r.mean_period_us))
       0.0 reports
   in
-  let throughput = float_of_int total_inputs /. total_time_us *. 1e6 in
-  let watts = total_energy_uj /. total_time_us in
+  let throughput =
+    if total_time_us > 0.0 then float_of_int total_inputs /. total_time_us *. 1e6 else 0.0
+  in
+  let watts = if total_time_us > 0.0 then total_energy_uj /. total_time_us else 0.0 in
   {
     total_inputs;
     total_time_us;
     total_energy_uj;
     overall_throughput_per_s = throughput;
-    overall_efficiency = throughput /. watts;
+    overall_efficiency = (if watts > 0.0 then throughput /. watts else 0.0);
   }
 
 let mean_efficiency reports =

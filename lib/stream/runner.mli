@@ -10,7 +10,16 @@
     burns static power at its level continuously and dynamic power
     scaled by its mapped activity and its duty cycle (busy fraction of
     the input period); the SPM and the per-island DVFS controllers (for
-    the ICED policy) are charged per {!Iced_power.Model}. *)
+    the ICED policy) are charged per {!Iced_power.Model}.
+
+    {2 Resilient execution}
+
+    {!run_resilient} additionally injects an {!Iced_fault.Fault.plan}
+    into the stream and applies a {!recovery} policy when a fault
+    fires.  Everything stays deterministic: the plan's seed drives the
+    upset draws, and remap retries are bounded by a poll budget rather
+    than wall-clock time, so a fault campaign is byte-identical across
+    worker counts. *)
 
 open Iced_arch
 
@@ -21,6 +30,25 @@ type policy =
 
 val policy_to_string : policy -> string
 
+type recovery =
+  | Remap
+      (** rebuild the victim kernel's mapping around the faulted
+          tile/link on its own islands (Algorithm 2 with the faulted
+          resources masked); escalates to [Gate_island] when no
+          mapping exists within the bounded retry budget *)
+  | Gate_island
+      (** power off the faulted island and re-floorplan: the victim
+          shrinks to a smaller prepared mapping, or borrows an island
+          from the richest kernel that can itself shrink *)
+  | Raise_level
+      (** pin upset-afflicted kernels at [Normal] — full voltage
+          margin clears voltage-induced timing upsets; permanent
+          faults abort (voltage cannot fix dead silicon) *)
+  | Fail_stop  (** no recovery: the first fault loses the rest of the stream *)
+
+val recovery_to_string : recovery -> string
+val recovery_of_string : string -> recovery option
+
 type window_report = {
   index : int;  (** window number, 0-based *)
   inputs : int;  (** inputs consumed in this window *)
@@ -30,7 +58,27 @@ type window_report = {
   efficiency : float;  (** throughput per watt: inputs/s/W *)
   levels : (string * Dvfs.level) list;  (** per-kernel level at window end *)
   allocation : (string * int) list;  (** per-kernel island count at window end *)
+  dropped : int;  (** inputs lost in this window (faults) *)
+  replayed : int;  (** inputs re-executed after a transient upset *)
+  recovery_us : float;  (** recovery latency charged to this window *)
 }
+
+type fault_stats = {
+  injected : int;  (** fault events that fired *)
+  recoveries : int;  (** successful recovery actions *)
+  remaps : int;  (** recoveries that ran the mapper *)
+  islands_gated : int;  (** islands powered off by recovery *)
+  levels_raised : int;  (** kernels pinned at [Normal] by [Raise_level] *)
+  inputs_dropped : int;  (** inputs lost (abort remainder + double upsets) *)
+  inputs_replayed : int;  (** inputs re-executed after an upset *)
+  recovery_time_us : float;  (** total reconfiguration latency *)
+  mttr_us : float;  (** mean time to repair: recovery time / recoveries *)
+  offered : int;  (** stream length *)
+  completed : int;  (** inputs that produced output *)
+}
+
+val no_faults : fault_stats
+(** All-zero stats: what a fault-free run reports. *)
 
 val run :
   ?window:int ->
@@ -40,7 +88,24 @@ val run :
   Pipeline.input list ->
   window_report list
 (** Stream the inputs through the pipeline.  [window] defaults to the
-    paper's 10 inputs. *)
+    paper's 10 inputs.  Equivalent to {!run_resilient} under the empty
+    fault plan. *)
+
+val run_resilient :
+  ?window:int ->
+  ?params:Iced_power.Params.t ->
+  ?faults:Iced_fault.Fault.plan ->
+  ?recovery:recovery ->
+  Partition.t ->
+  policy ->
+  Pipeline.input list ->
+  window_report list * fault_stats
+(** Stream the inputs while injecting [faults] (default: none) and
+    recovering per [recovery] (default [Fail_stop]).  A fault scheduled
+    at input [k] fires just before input [k] is consumed.  Under the
+    empty plan the reports are identical to {!run}'s.
+    @raise Invalid_argument for [Drips] with a non-empty plan (the
+    DRIPS baseline has no fault model). *)
 
 type totals = {
   total_inputs : int;

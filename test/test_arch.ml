@@ -55,6 +55,28 @@ let test_dvfs_of_multiplier () =
     Dvfs.active;
   Alcotest.(check bool) "3 invalid" true (Dvfs.of_multiplier 3 = None)
 
+let prop_of_multiplier_roundtrip =
+  QCheck.Test.make ~name:"of_multiplier inverts multiplier" ~count:200
+    QCheck.(int_range (-8) 16)
+    (fun n ->
+      match Dvfs.of_multiplier n with
+      | Some level -> Dvfs.multiplier level = n
+      | None -> not (List.mem n [ 1; 2; 4 ]))
+
+let test_dvfs_step_down_never_gates () =
+  (* even with the floor opened all the way to Power_gated, stepping
+     an active island down saturates at Rest: gating is an explicit
+     allocation decision, never a DVFS step *)
+  List.iter
+    (fun level ->
+      Alcotest.(check bool)
+        (Dvfs.to_string level ^ " stays active")
+        true
+        (Dvfs.is_active (Dvfs.step_down ~floor:Dvfs.Power_gated level)))
+    Dvfs.active;
+  Alcotest.(check bool) "gated stays gated" true
+    (Dvfs.step_down ~floor:Dvfs.Power_gated Dvfs.Power_gated = Dvfs.Power_gated)
+
 (* ---------------- Cgra ---------------- *)
 
 let cgra = Cgra.iced_6x6
@@ -171,6 +193,8 @@ let suite =
     ("dvfs step up/down", `Quick, test_dvfs_steps);
     ("dvfs ordering", `Quick, test_dvfs_ordering);
     ("dvfs of_multiplier", `Quick, test_dvfs_of_multiplier);
+    QCheck_alcotest.to_alcotest prop_of_multiplier_roundtrip;
+    ("dvfs step_down never gates", `Quick, test_dvfs_step_down_never_gates);
     ("cgra 6x6 prototype", `Quick, test_cgra_prototype);
     ("cgra invalid configs", `Quick, test_cgra_invalid);
     ("cgra position roundtrip", `Quick, test_cgra_position_roundtrip);

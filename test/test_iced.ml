@@ -12,6 +12,7 @@ let () =
       ("kernels", Test_kernels.suite);
       ("sim", Test_sim.suite);
       ("stream", Test_stream.suite);
+      ("fault", Test_fault.suite);
       ("design", Test_design.suite);
       ("explore", Test_explore.suite);
     ]

@@ -231,6 +231,61 @@ let test_controller_window_boundary () =
   Alcotest.(check bool) "adjusts on the boundary" true (C.level c "b" <> Dvfs.Normal);
   Alcotest.(check bool) "counted" true (C.adjustments c >= 1)
 
+let test_controller_starved_kernel_keeps_level () =
+  (* Regression: a kernel that produced no samples in a window used to
+     read as worst = 0 and be stepped down unconditionally — then cost
+     a slow window the moment its phase returned.  The decayed
+     cross-window memory must speak for it instead. *)
+  let c = C.create ~window:5 ~labels:[ "a"; "b" ] () in
+  for _ = 1 to 5 do
+    feed c "a" 100.0;
+    feed c "b" 90.0;
+    C.input_done c
+  done;
+  Alcotest.(check bool) "b near the bottleneck stays normal" true
+    (C.level c "b" = Dvfs.Normal);
+  (* one starved window: b's memory (90 decayed to 45, doubled to 90)
+     still exceeds the 0.8 * 100 guard band *)
+  for _ = 1 to 5 do
+    feed c "a" 100.0;
+    C.input_done c
+  done;
+  Alcotest.(check bool) "one starved window does not lower b" true
+    (C.level c "b" = Dvfs.Normal);
+  (* but a kernel that stays idle is lowered once the memory fades *)
+  for _ = 1 to 20 do
+    feed c "a" 100.0;
+    C.input_done c
+  done;
+  Alcotest.(check bool) "a long-idle kernel is eventually lowered" true
+    (C.level c "b" <> Dvfs.Normal)
+
+let test_controller_settle_is_monotone () =
+  let c = C.create ~window:5 ~labels:[ "a"; "b" ] () in
+  (* two windows of heavy slack walk b down to Rest *)
+  for _ = 1 to 10 do
+    feed c "a" 400.0;
+    feed c "b" 1.0;
+    C.input_done c
+  done;
+  Alcotest.(check bool) "b reaches rest" true (C.level c "b" = Dvfs.Rest);
+  (* b's work grows: at Rest the observed time crowds the bottleneck,
+     so one adjustment raises it exactly far enough (one level) *)
+  for _ = 1 to 5 do
+    feed c "a" 400.0;
+    feed c "b" 380.0;
+    C.input_done c
+  done;
+  Alcotest.(check bool) "raised one level" true (C.level c "b" = Dvfs.Relax);
+  (* the same work at Relax takes half the time and now fits with
+     margin on both sides: the level is stable, no oscillation *)
+  for _ = 1 to 5 do
+    feed c "a" 400.0;
+    feed c "b" 190.0;
+    C.input_done c
+  done;
+  Alcotest.(check bool) "stable at relax" true (C.level c "b" = Dvfs.Relax)
+
 (* ---------------- Drips ---------------- *)
 
 let test_drips_conserves_islands () =
@@ -295,6 +350,13 @@ let test_runner_aggregate_consistency () =
   Alcotest.(check int) "inputs counted" 50 t.R.total_inputs;
   Alcotest.(check bool) "energy positive" true (t.R.total_energy_uj > 0.0)
 
+let test_runner_aggregate_empty_is_finite () =
+  let t = R.aggregate [] in
+  Alcotest.(check int) "no inputs" 0 t.R.total_inputs;
+  Alcotest.(check (float 0.0)) "zero throughput, not nan" 0.0
+    t.R.overall_throughput_per_s;
+  Alcotest.(check (float 0.0)) "zero efficiency, not nan" 0.0 t.R.overall_efficiency
+
 let suite =
   [
     ("workload: enzyme stream", `Quick, test_enzyme_stream);
@@ -315,11 +377,16 @@ let suite =
     ("controller: restores a new bottleneck", `Quick, test_controller_restores_new_bottleneck);
     ("controller: respects compile floor", `Quick, test_controller_respects_floor);
     ("controller: window boundary", `Quick, test_controller_window_boundary);
+    ("controller: starved kernel keeps its level", `Quick,
+     test_controller_starved_kernel_keeps_level);
+    ("controller: settle is monotone", `Quick, test_controller_settle_is_monotone);
     ("drips: conserves islands", `Slow, test_drips_conserves_islands);
     ("runner: window reports", `Slow, test_runner_reports);
     ("runner: static all normal", `Slow, test_runner_static_all_normal);
     ("runner: iced beats drips (Fig. 13)", `Slow, test_runner_iced_saves_energy);
     ("runner: aggregate consistency", `Slow, test_runner_aggregate_consistency);
+    ("runner: aggregate of nothing is finite", `Quick,
+     test_runner_aggregate_empty_is_finite);
     ("lu: partition feasible", `Slow, test_lu_partition);
     ("lu: iced beats drips (Fig. 13)", `Slow, test_lu_iced_beats_drips);
   ]
