@@ -605,6 +605,106 @@ let perf () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* Mapper engine benchmark: per-kernel mapping telemetry and the       *)
+(* router's steady-path allocation, written to BENCH_mapper.json (the  *)
+(* CI smoke job parses it).  ICED_BENCH_KERNELS=fir,fft filters the    *)
+(* kernel list.                                                        *)
+
+let mapper_bench () =
+  let module Mapper = Iced_mapper.Mapper in
+  let module Router = Iced_mapper.Router in
+  let selected =
+    match Sys.getenv_opt "ICED_BENCH_KERNELS" with
+    | None | Some "" -> kernels
+    | Some spec ->
+      let wanted = String.split_on_char ',' spec in
+      List.filter (fun (k : Kernel.t) -> List.mem k.name wanted) kernels
+  in
+  (* Steady-path router allocation: route and release the same edge
+     repeatedly through an otherwise-empty MRRG, once with a private
+     arena per call (the pre-arena engine's behavior) and once with a
+     shared arena.  Per-iteration byte delta isolates what one route
+     costs. *)
+  let bytes_per_route ~shared iterations =
+    let mrrg = Iced_mrrg.Mrrg.create Cgra.iced_6x6 ~ii:8 in
+    let edge = { Iced_dfg.Graph.src = 0; dst = 1; distance = 0 } in
+    let scratch = if shared then Some (Router.create_scratch ()) else None in
+    let route () =
+      Router.route ?scratch mrrg ~edge ~src_tile:0 ~src_time:0 ~dst_tile:14 ~deadline:12
+    in
+    (* warm up so the shared arena's buffers are grown before measuring *)
+    (match route () with Ok (hops, _) -> Router.release mrrg hops edge | Error _ -> ());
+    let before = Gc.allocated_bytes () in
+    for _ = 1 to iterations do
+      match route () with
+      | Ok (hops, _) -> Router.release mrrg hops edge
+      | Error _ -> ()
+    done;
+    (Gc.allocated_bytes () -. before) /. float_of_int iterations
+  in
+  let iterations = 1000 in
+  let fresh_bytes = bytes_per_route ~shared:false iterations in
+  let shared_bytes = bytes_per_route ~shared:true iterations in
+  let reduction = fresh_bytes /. Float.max shared_bytes 1.0 in
+  let t =
+    Table.create ~title:"Mapper engine: per-kernel mapping cost (iced point, uf1, 6x6)"
+      ~columns:
+        [ "kernel"; "ii"; "wall ms"; "alloc MB"; "routes"; "KB/route"; "expansions";
+          "placements" ]
+  in
+  let kernel_rows =
+    List.filter_map
+      (fun (k : Kernel.t) ->
+        let stats = Mapper.create_stats () in
+        let req = Mapper.request ~strategy:Mapper.Dvfs_aware Cgra.iced_6x6 in
+        let before = Gc.allocated_bytes () in
+        match Mapper.map ~stats req k.dfg with
+        | Error _ ->
+          Table.add_row t (k.name :: List.map (fun _ -> "-") [ 1; 2; 3; 4; 5; 6; 7 ]);
+          None
+        | Ok m ->
+          let alloc = Gc.allocated_bytes () -. before in
+          let routes = max 1 stats.Mapper.route_calls in
+          Table.add_row t
+            [ k.name;
+              string_of_int m.Iced_mapper.Mapping.ii;
+              Printf.sprintf "%.2f" (stats.Mapper.wall_s *. 1e3);
+              Printf.sprintf "%.2f" (alloc /. 1048576.0);
+              string_of_int stats.Mapper.route_calls;
+              Printf.sprintf "%.1f" (alloc /. float_of_int routes /. 1024.0);
+              string_of_int stats.Mapper.expansions;
+              string_of_int stats.Mapper.placements_tried ];
+          Some
+            (Printf.sprintf
+               "{\"kernel\":%S,\"ii\":%d,\"wall_s\":%.6f,\"alloc_bytes\":%.0f,\
+                \"route_calls\":%d,\"alloc_per_route\":%.1f,\"expansions\":%d,\
+                \"placements_tried\":%d,\"attempts\":%d,\"ii_bumps\":%d}"
+               k.name m.Iced_mapper.Mapping.ii stats.Mapper.wall_s alloc
+               stats.Mapper.route_calls
+               (alloc /. float_of_int routes)
+               stats.Mapper.expansions stats.Mapper.placements_tried stats.Mapper.attempts
+               stats.Mapper.ii_bumps))
+      selected
+  in
+  Table.print t;
+  Printf.printf
+    "router steady path: %.0f B/route with a fresh arena vs %.0f B/route shared \
+     (%.1fx less allocation)\n"
+    fresh_bytes shared_bytes reduction;
+  let json =
+    Printf.sprintf
+      "{\"schema\":\"iced-bench-mapper-v1\",\"router_alloc\":{\"iterations\":%d,\
+       \"fresh_bytes_per_route\":%.1f,\"shared_bytes_per_route\":%.1f,\
+       \"reduction_factor\":%.2f},\"kernels\":[%s]}\n"
+      iterations fresh_bytes shared_bytes reduction
+      (String.concat "," kernel_rows)
+  in
+  let oc = open_out "BENCH_mapper.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_mapper.json (%d kernels)\n" (List.length kernel_rows)
+
+(* ------------------------------------------------------------------ *)
 (* Fault injection: recovery policies under a single tile fault, then  *)
 (* a seeded multi-fault campaign (DESIGN.md "lib/fault").               *)
 
@@ -659,7 +759,7 @@ let experiments =
   [ ("table1", table1); ("fig2", fig2); ("fig4", fig4); ("fig8", fig8); ("fig9", fig9);
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("fig13", fig13);
     ("fig14", fig14); ("ablation", ablation); ("explore", explore); ("perf", perf);
-    ("fault", fault_injection) ]
+    ("mapper", mapper_bench); ("fault", fault_injection) ]
 
 let () =
   let requested =

@@ -82,15 +82,51 @@ let config_arg =
   Arg.(value & flag & info [ "config" ]
          ~doc:"Print the per-tile configuration-memory contents (control words).")
 
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print mapper telemetry: II ladder attempts, placements tried, routing \
+               expansions, per-II wall time.")
+
+let map_json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"With --stats, emit the telemetry as one JSON line instead of a table.")
+
+let print_mapper_stats ~json (kernel : Iced_kernels.Kernel.t) stats =
+  if json then
+    Printf.printf "{\"kernel\":%S,\"mapper_stats\":%s}\n" kernel.name
+      (Iced_mapper.Mapper.stats_to_json stats)
+  else begin
+    let t =
+      Iced_util.Table.create ~title:"mapper telemetry" ~columns:[ "counter"; "value" ]
+    in
+    let open Iced_mapper.Mapper in
+    Iced_util.Table.add_row t [ "attempts (II x margin)"; string_of_int stats.attempts ];
+    Iced_util.Table.add_row t [ "II bumps"; string_of_int stats.ii_bumps ];
+    Iced_util.Table.add_row t [ "margin ladder position"; string_of_int stats.margin_position ];
+    Iced_util.Table.add_row t [ "placements tried"; string_of_int stats.placements_tried ];
+    Iced_util.Table.add_row t [ "route calls"; string_of_int stats.route_calls ];
+    Iced_util.Table.add_row t [ "route failures"; string_of_int stats.route_failures ];
+    Iced_util.Table.add_row t [ "routing expansions"; string_of_int stats.expansions ];
+    Iced_util.Table.add_row t
+      [ "per-II wall (s)";
+        String.concat " "
+          (List.map
+             (fun (ii, s) -> Printf.sprintf "II%d:%.3f" ii s)
+             (per_ii_times stats)) ];
+    Iced_util.Table.add_row t [ "total wall (s)"; Printf.sprintf "%.3f" stats.wall_s ];
+    Iced_util.Table.print t
+  end
+
 let map_cmd =
-  let run kernel point unroll size dot floorplan config =
+  let run kernel point unroll size dot floorplan config stats json =
     let cgra = Cgra.make ~rows:size ~cols:size () in
     (match dot with
     | Some path ->
       Iced_dfg.Dot.write_file ~path (Iced_kernels.Kernel.dfg_at kernel ~factor:unroll);
       Printf.printf "wrote %s\n" path
     | None -> ());
-    match Design.evaluate ~cgra ~unroll point kernel with
+    let telemetry = Iced_mapper.Mapper.create_stats () in
+    match Design.evaluate ~cgra ~unroll ~stats:telemetry point kernel with
     | Error msg ->
       Printf.eprintf "mapping failed: %s\n" msg;
       exit 1
@@ -110,13 +146,14 @@ let map_cmd =
       end;
       Printf.printf "II = %d, speedup vs CPU = %.2fx\n" e.Design.ii e.Design.speedup_vs_cpu;
       Printf.printf "avg utilization = %.2f, avg DVFS level = %.2f, power = %.1f mW\n"
-        e.Design.avg_utilization e.Design.avg_dvfs e.Design.power_mw
+        e.Design.avg_utilization e.Design.avg_dvfs e.Design.power_mw;
+      if stats then print_mapper_stats ~json kernel telemetry
   in
   Cmd.v
     (Cmd.info "map" ~doc:"Map a kernel onto the CGRA and print the schedule")
     Term.(
       const run $ kernel_arg $ point_arg $ unroll_arg $ size_arg $ dot_arg $ floorplan_arg
-      $ config_arg)
+      $ config_arg $ stats_arg $ map_json_arg)
 
 let iterations_arg =
   Arg.(value & opt int 25 & info [ "iterations" ] ~docv:"N" ~doc:"Loop iterations to run.")

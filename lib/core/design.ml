@@ -46,13 +46,14 @@ let assign_levels point mapping =
   | Per_tile | Iced -> Levels.assign mapping
 
 let evaluate ?(cgra = Cgra.iced_6x6) ?(params = Iced_power.Params.default) ?(unroll = 1)
-    ?(label_floor = Dvfs.Rest) ?(max_ii = 64) ?(cancel = fun () -> false) point kernel =
+    ?(label_floor = Dvfs.Rest) ?(max_ii = 64) ?(cancel = fun () -> false) ?stats point
+    kernel =
   let fabric = fabric_of cgra point in
   let dfg = Iced_kernels.Kernel.dfg_at kernel ~factor:unroll in
   let req =
     Mapper.request ~strategy:(strategy_of point) ~label_floor ~max_ii ~cancel fabric
   in
-  match Mapper.map req dfg with
+  match Mapper.map ?stats req dfg with
   | Error msg -> Error (Printf.sprintf "%s/%s: %s" kernel.name (point_to_string point) msg)
   | Ok mapping ->
     let mapping = assign_levels point mapping in
@@ -80,8 +81,8 @@ let evaluate ?(cgra = Cgra.iced_6x6) ?(params = Iced_power.Params.default) ?(unr
           speedup_vs_cpu = Metrics.speedup_vs_cpu mapping;
         })
 
-let evaluate_exn ?cgra ?params ?unroll ?label_floor ?max_ii ?cancel point kernel =
-  match evaluate ?cgra ?params ?unroll ?label_floor ?max_ii ?cancel point kernel with
+let evaluate_exn ?cgra ?params ?unroll ?label_floor ?max_ii ?cancel ?stats point kernel =
+  match evaluate ?cgra ?params ?unroll ?label_floor ?max_ii ?cancel ?stats point kernel with
   | Ok e -> e
   | Error msg -> failwith ("Design.evaluate: " ^ msg)
 

@@ -41,6 +41,7 @@ val evaluate :
   ?label_floor:Dvfs.level ->
   ?max_ii:int ->
   ?cancel:(unit -> bool) ->
+  ?stats:Mapper.stats ->
   point ->
   Iced_kernels.Kernel.t ->
   (evaluation, string) result
@@ -52,7 +53,8 @@ val evaluate :
     levels; [max_ii] (default 64) bounds the mapper's II search, the
     design-space explorer's per-point work cap; [cancel] is polled
     between II attempts and aborts with a "deadline exceeded" error —
-    the explorer's per-point timeout. *)
+    the explorer's per-point timeout.  [stats] receives the mapper's
+    telemetry for this evaluation (merged in). *)
 
 val evaluate_exn :
   ?cgra:Cgra.t ->
@@ -61,6 +63,7 @@ val evaluate_exn :
   ?label_floor:Dvfs.level ->
   ?max_ii:int ->
   ?cancel:(unit -> bool) ->
+  ?stats:Mapper.stats ->
   point ->
   Iced_kernels.Kernel.t ->
   evaluation

@@ -20,15 +20,7 @@ let key (p : Space.point) (kernel : Iced_kernels.Kernel.t) =
   Printf.sprintf "%s|%s|%d,%d,%d" (Space.to_string p) kernel.Iced_kernels.Kernel.name
     nodes edges rec_mii
 
-let content_hash s =
-  (* FNV-1a, 64-bit *)
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun c ->
-      h := Int64.logxor !h (Int64.of_int (Char.code c));
-      h := Int64.mul !h 0x100000001b3L)
-    s;
-  Printf.sprintf "%016Lx" !h
+let content_hash s = Iced_util.Fnv.(to_hex (hash_string s))
 
 (* ------------------------------------------------------------------ *)
 (* the flat-JSON subset the store emits                                *)

@@ -18,7 +18,7 @@ type stats = {
   elapsed_s : float;
 }
 
-let run ?(config = default_config) ~cache points kernels =
+let run ?(config = default_config) ?mapper_stats ~cache points kernels =
   let t0 = Unix.gettimeofday () in
   (* keys are computed once, up front: they embed the unrolled DFG's
      statistics, which are not free to recompute *)
@@ -54,13 +54,24 @@ let run ?(config = default_config) ~cache points kernels =
       Printf.eprintf "\r[explore] evaluated %d/%d fresh (%d cached)%!" !completed
         (Array.length jobs) cached_pairs
   in
-  let evaluate (point, kernel, _key) =
+  (* One private telemetry record per job: a pool worker only touches
+     its own record, and the records are merged on the calling domain
+     once the pool has drained — no cross-domain contention. *)
+  let job_stats = Array.map (fun _ -> Iced_mapper.Mapper.create_stats ()) jobs in
+  let evaluate (i, (point, kernel, _key)) =
     let started = Unix.gettimeofday () in
     let cancel () = Unix.gettimeofday () -. started > config.timeout_s in
-    Outcome.evaluate_kernel ~cancel ~params:config.params point kernel
+    Outcome.evaluate_kernel ~cancel ~stats:job_stats.(i) ~params:config.params point kernel
   in
-  let fresh = Pool.map ~workers:config.workers ~on_item evaluate jobs in
+  let fresh =
+    Pool.map ~workers:config.workers ~on_item evaluate
+      (Array.mapi (fun i job -> (i, job)) jobs)
+  in
   if config.progress && Array.length jobs > 0 then prerr_newline ();
+  (match mapper_stats with
+  | None -> ()
+  | Some sink ->
+    Array.iter (fun s -> Iced_mapper.Mapper.merge_stats ~into:sink s) job_stats);
   Array.iteri
     (fun i (_, _, key) ->
       Cache.store cache ~key fresh.(i);

@@ -34,11 +34,15 @@ type stats = {
 
 val run :
   ?config:config ->
+  ?mapper_stats:Iced_mapper.Mapper.stats ->
   cache:Cache.t ->
   Space.point list ->
   Iced_kernels.Kernel.t list ->
   Outcome.point_result list * stats
 (** Results come back in input point order, each with kernels in input
-    kernel order, regardless of [workers]. *)
+    kernel order, regardless of [workers].  [mapper_stats] aggregates
+    the mapper telemetry of every fresh evaluation (cache hits run no
+    mapper and contribute nothing); workers fill private records that
+    are merged after the pool drains, so the sink needs no locking. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -114,17 +114,9 @@ let upset_probability ~rate ~cycles =
 (* FNV-1a over the salt, folded with seed and input: a stable, explicit
    hash (not [Hashtbl.hash]) so upset draws are reproducible across
    runs, builds, and domains. *)
-let fnv1a_string init s =
-  let h = ref init in
-  String.iter
-    (fun c ->
-      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
-    s;
-  !h
-
 let upset_draw ~seed ~input ~salt =
-  let h = fnv1a_string 0xcbf29ce484222325L salt in
-  let h = Int64.mul (Int64.logxor h (Int64.of_int seed)) 0x100000001b3L in
-  let h = Int64.mul (Int64.logxor h (Int64.of_int input)) 0x100000001b3L in
+  let h = Iced_util.Fnv.hash_string salt in
+  let h = Iced_util.Fnv.int h seed in
+  let h = Iced_util.Fnv.int h input in
   let rng = Iced_util.Rng.create (Int64.to_int h) in
   Iced_util.Rng.float rng 1.0

@@ -1,0 +1,63 @@
+open Iced_dfg
+
+type t = (int, int) Hashtbl.t
+
+let build dfg ~ii ~margin ~topo =
+  let cycles = Analysis.recurrence_cycles dfg in
+  let cycle_sets = List.map (fun c -> c.Analysis.members) cycles in
+  let same_cycle a b =
+    List.exists (fun members -> List.mem a members && List.mem b members) cycle_sets
+  in
+  let on_cycle id = List.exists (fun members -> List.mem id members) cycle_sets in
+  (* rank: does a cycle transitively consume another cycle's output
+     through intra edges?  Approximated by: a cycle member has an
+     intra ancestor on a different cycle. *)
+  let cycle_rank =
+    (* per-cycle, so every member of a dependent cycle shifts by the
+       same amount and the cycle's internal 1-cycle spacing holds *)
+    let ancestor_on_other_cycle id =
+      let visited = Hashtbl.create 32 in
+      let rec walk n =
+        if Hashtbl.mem visited n then false
+        else begin
+          Hashtbl.add visited n ();
+          List.exists
+            (fun (e : Graph.edge) ->
+              e.distance = 0
+              && ((on_cycle e.src && not (same_cycle e.src id)) || walk e.src))
+            (Graph.predecessors dfg n)
+        end
+      in
+      walk id
+    in
+    let dependent_cycles =
+      List.filter (fun members -> List.exists ancestor_on_other_cycle members) cycle_sets
+    in
+    fun id -> if List.exists (fun members -> List.mem id members) dependent_cycles then 1 else 0
+  in
+  let est : t = Hashtbl.create 64 in
+  let get id = match Hashtbl.find_opt est id with Some v -> v | None -> 0 in
+  for _sweep = 1 to 3 do
+    List.iter
+      (fun id ->
+        let bound =
+          List.fold_left
+            (fun acc (e : Graph.edge) ->
+              let step = if same_cycle e.src id then 1 else 2 in
+              let b =
+                if e.distance = 0 then get e.src + step
+                else get e.src + 1 - (e.distance * ii)
+              in
+              max acc b)
+            0
+            (Graph.predecessors dfg id)
+        in
+        Hashtbl.replace est id bound)
+      topo
+  done;
+  List.iter
+    (fun id -> Hashtbl.replace est id (get id + (margin * cycle_rank id)))
+    topo;
+  est
+
+let start est id = match Hashtbl.find_opt est id with Some v -> max 0 v | None -> 0

@@ -1,0 +1,25 @@
+(** Expected start times for every node, computed before placement by a
+    short fixed-point sweep.
+
+    Dependent ops usually sit one routing hop apart (2 cycles
+    producer-to-consumer), except within a recurrence cycle, which must
+    be packed at 1 cycle per member to close within II * distance.  A
+    phi is anchored after its carried producer's estimate minus the
+    iteration slack d*II.  Cycles that consume values computed from
+    other cycles ("rank" >= 1, e.g. spmv's accumulator fed by an
+    induction-addressed load chain) additionally receive the margin as
+    congestion slack — shifting a dependent cycle later opens slack
+    between it and its input chain, whereas a uniform shift would not. *)
+
+open Iced_dfg
+
+type t
+
+val build : Graph.t -> ii:int -> margin:int -> topo:int list -> t
+(** Fixed-point sweep over [topo] (an intra-iteration topological
+    order); [margin] is the congestion slack granted to dependent
+    recurrence cycles — drawn from {!Cost.asap_margins}. *)
+
+val start : t -> int -> int
+(** Estimated start cycle of a node (0 when unknown), clamped
+    non-negative. *)

@@ -1,811 +1,55 @@
 open Iced_arch
-open Iced_dfg
-module Mrrg = Iced_mrrg.Mrrg
 
-type strategy = Conventional | Dvfs_aware
+type strategy = Cost.strategy = Conventional | Dvfs_aware
 
-type knobs = {
+type knobs = Cost.knobs = {
   island_affinity : bool;
-      (* prefer islands whose tentative level matches the node label;
-         open islands reluctantly *)
-  packing : bool; (* pull slowable nodes onto busy tiles *)
+  packing : bool;
   phase_alignment : bool;
-      (* keep slowed islands' events on one clock phase *)
   conventional_fallback : bool;
-      (* retry an II with the conventional cost model before bumping *)
 }
 
-let all_knobs =
-  {
-    island_affinity = true;
-    packing = true;
-    phase_alignment = true;
-    conventional_fallback = true;
-  }
+let all_knobs = Cost.all_knobs
 
-type request = {
+type request = Search.request = {
   cgra : Cgra.t;
   strategy : strategy;
   tiles : int list option;
   memory_tiles : int list option;
   label_floor : Dvfs.level;
   label_guard : int;
-      (* fault guard band: raises Algorithm 1's floor this many levels
-         so upset-prone islands keep voltage margin *)
   max_ii : int;
   knobs : knobs;
   cancel : unit -> bool;
   dead_tiles : int list;
-      (* permanently faulted tiles, removed from the sub-fabric before
-         placement (fault-aware remapping) *)
   dead_links : (int * Dir.t) list;
-      (* faulted crossbar output ports, masked in the MRRG so routing
-         plans around them *)
   commit_islands : bool;
-      (* Figure 4 study: pre-commit every island to a level from the
-         label quota before placement.  Nodes are then steered onto
-         islands of exactly their label's level (falling back to faster
-         islands only when none is feasible), a slowed tile's FU
-         occupies multiplier-many modulo slots per op, and routing
-         through a slowed tile takes multiplier-many cycles per hop —
-         the capacity/latency loss that degrades the II for islands
-         larger than 2x2. *)
 }
 
-let request ?(strategy = Dvfs_aware) ?tiles ?memory_tiles ?(label_floor = Dvfs.Rest)
-    ?(label_guard = 0) ?(max_ii = 64) ?(knobs = all_knobs) ?(cancel = fun () -> false)
-    ?(dead_tiles = []) ?(dead_links = []) ?(commit_islands = false) cgra =
-  { cgra; strategy; tiles; memory_tiles; label_floor; label_guard; max_ii; knobs; cancel;
-    dead_tiles; dead_links; commit_islands }
+let request = Search.request
 
-(* Cost weights.  Routing dominates; DVFS terms bias island choice; the
-   pack/spread term differentiates ICED from the conventional mapper. *)
-let cost_wait = 25
-let cost_over_provision = 150
-let cost_open_island = 250
-let cost_island_raise = 5000
-let cost_pack = 12
-let cost_spread = 100
-let cost_phase = 400
-let cost_route_misphase = 300
-let cost_route_open_island = 150
-
-(* Congestion slack added to the anchor of dependent recurrence cycles
-   (see [Estimate]).  Each II is attempted with every margin before the
-   II is bumped. *)
-let asap_margins = [ 2; 4; 8; 16; 28 ]
-
-(* Committed-island mappings route rest-labeled chains through distant
-   slow islands, so realized times run much further behind the
-   estimates: give the anchor ladder more headroom. *)
-let committed_margins = [ 4; 8; 16; 32; 48 ]
-
-(* Expected start times for every node, computed before placement by a
-   short fixed-point sweep.  Dependent ops usually sit one routing hop
-   apart (2 cycles producer-to-consumer), except within a recurrence
-   cycle, which must be packed at 1 cycle per member to close within
-   II * distance.  A phi is anchored after its carried producer's
-   estimate minus the iteration slack d*II.  Cycles that consume values
-   computed from other cycles ("rank" >= 1, e.g. spmv's accumulator fed
-   by an induction-addressed load chain) additionally receive the
-   margin as congestion slack — shifting a dependent cycle later opens
-   slack between it and its input chain, whereas a uniform shift would
-   not. *)
-module Estimate = struct
-  type t = (int, int) Hashtbl.t
-
-  let build dfg ~ii ~margin ~topo =
-    let cycles = Analysis.recurrence_cycles dfg in
-    let cycle_sets = List.map (fun c -> c.Analysis.members) cycles in
-    let same_cycle a b =
-      List.exists (fun members -> List.mem a members && List.mem b members) cycle_sets
-    in
-    let on_cycle id = List.exists (fun members -> List.mem id members) cycle_sets in
-    (* rank: does a cycle transitively consume another cycle's output
-       through intra edges?  Approximated by: a cycle member has an
-       intra ancestor on a different cycle. *)
-    let cycle_rank =
-      (* per-cycle, so every member of a dependent cycle shifts by the
-         same amount and the cycle's internal 1-cycle spacing holds *)
-      let ancestor_on_other_cycle id =
-        let visited = Hashtbl.create 32 in
-        let rec walk n =
-          if Hashtbl.mem visited n then false
-          else begin
-            Hashtbl.add visited n ();
-            List.exists
-              (fun (e : Graph.edge) ->
-                e.distance = 0
-                && ((on_cycle e.src && not (same_cycle e.src id)) || walk e.src))
-              (Graph.predecessors dfg n)
-          end
-        in
-        walk id
-      in
-      let dependent_cycles =
-        List.filter (fun members -> List.exists ancestor_on_other_cycle members) cycle_sets
-      in
-      fun id -> if List.exists (fun members -> List.mem id members) dependent_cycles then 1 else 0
-    in
-    let est : t = Hashtbl.create 64 in
-    let get id = match Hashtbl.find_opt est id with Some v -> v | None -> 0 in
-    for _sweep = 1 to 3 do
-      List.iter
-        (fun id ->
-          let bound =
-            List.fold_left
-              (fun acc (e : Graph.edge) ->
-                let step = if same_cycle e.src id then 1 else 2 in
-                let b =
-                  if e.distance = 0 then get e.src + step
-                  else get e.src + 1 - (e.distance * ii)
-                in
-                max acc b)
-              0
-              (Graph.predecessors dfg id)
-          in
-          Hashtbl.replace est id bound)
-        topo
-    done;
-    List.iter
-      (fun id -> Hashtbl.replace est id (get id + (margin * cycle_rank id)))
-      topo;
-    est
-
-  let start est id = match Hashtbl.find_opt est id with Some v -> max 0 v | None -> 0
-end
-
-let rank = function
-  | Dvfs.Power_gated -> 0
-  | Dvfs.Rest -> 1
-  | Dvfs.Relax -> 2
-  | Dvfs.Normal -> 3
-
-type state = {
-  dfg : Graph.t;
-  req : request;
-  tiles : int list;
-  memory_tiles : int list;
-  ii : int;
-  labels : (int * Dvfs.level) list;
-  estimate : Estimate.t;
-  cycle_mates : (int, int list) Hashtbl.t;
-      (* members of the longest recurrence cycle through each node *)
-  mrrg : Mrrg.t;
-  placements : (int, int * int) Hashtbl.t; (* node -> (tile, time) *)
-  mutable routes : Mapping.route list;
-  island_level : (int, Dvfs.level) Hashtbl.t; (* tentative, Dvfs_aware only *)
-  committed : (int, Dvfs.level) Hashtbl.t option; (* island -> level, commit mode *)
+type stats = Telemetry.t = {
+  mutable attempts : int;
+  mutable ii_bumps : int;
+  mutable margin_position : int;
+  mutable placements_tried : int;
+  mutable route_calls : int;
+  mutable route_failures : int;
+  mutable expansions : int;
+  mutable per_ii_s : (int * float) list;
+  mutable wall_s : float;
 }
 
-(* Values produced by Const nodes are iteration-invariant, so the
-   consumer may read the copy produced [k] iterations earlier: their
-   edges behave as if they carried extra loop distance.  (The simulator
-   mirrors this by reading constants directly.) *)
-let edge_slack state (e : Graph.edge) =
-  let base = e.distance * state.ii in
-  match (Graph.node state.dfg e.src).op with
-  | Op.Const _ -> base + (2 * state.ii)
-  | _ -> base
+let create_stats = Telemetry.create
+let reset_stats = Telemetry.reset
+let merge_stats = Telemetry.merge
+let per_ii_times = Telemetry.per_ii
+let stats_to_json = Telemetry.to_json
+let pp_stats = Telemetry.pp
 
-let label_of state node =
-  match state.req.strategy with
-  | Conventional -> Dvfs.Normal
-  | Dvfs_aware -> (
-    match List.assoc_opt node state.labels with Some l -> l | None -> Dvfs.Normal)
+let map ?stats req dfg = Search.run ?stats req dfg
 
-let busy_count state tile = List.length (Mrrg.busy_slots state.mrrg ~tile)
-
-(* Tentative level of an island while mapping; [None] = not opened. *)
-let tentative_level state island = Hashtbl.find_opt state.island_level island
-
-(* Commit-mode slot width of a tile: a slowed tile's op or hop covers
-   multiplier-many base-clock slots (capacity loss).  The *latency* of
-   slowed tiles is hidden by the elastic (latency-insensitive) bypass
-   buffers — it only deepens the pipeline — so no timing term uses the
-   multiplier. *)
-let tile_width state tile =
-  match state.committed with
-  | None -> 1
-  | Some table -> (
-    match Hashtbl.find_opt table (Cgra.island_of state.req.cgra tile) with
-    | Some level when Dvfs.is_active level -> Dvfs.multiplier level
-    | Some _ | None -> 1)
-
-let committed_level state tile =
-  match state.committed with
-  | None -> None
-  | Some table -> Hashtbl.find_opt table (Cgra.island_of state.req.cgra tile)
-
-(* The clock phase (mod m) an island's existing events agree on, if
-   any: [`Empty] when the island has no events yet, [`Phase p] when all
-   events fall on phase [p], [`Broken] when they already disagree (the
-   island cannot be slowed, so alignment no longer matters). *)
-let island_phase state island m =
-  let slots =
-    Cgra.island_tiles state.req.cgra island
-    |> List.filter (Mrrg.allowed state.mrrg)
-    |> List.concat_map (fun tile -> Mrrg.busy_slots state.mrrg ~tile)
-  in
-  match slots with
-  | [] -> `Empty
-  | first :: rest ->
-    let phase = first mod m in
-    if List.for_all (fun s -> s mod m = phase) rest then `Phase phase else `Broken
-
-(* Phase-misalignment penalty for scheduling an event on [tile] at
-   [time], given the tile's island intends to run slowed.  Only
-   meaningful when the multiplier divides the II. *)
-let phase_penalty state ~weight tile time =
-  match state.req.strategy with
-  | Conventional -> 0
-  | Dvfs_aware when not state.req.knobs.phase_alignment -> 0
-  | Dvfs_aware -> (
-    let island = Cgra.island_of state.req.cgra tile in
-    match tentative_level state island with
-    | None | Some Dvfs.Normal | Some Dvfs.Power_gated -> 0
-    | Some ((Dvfs.Relax | Dvfs.Rest) as level) ->
-      let m = Dvfs.multiplier level in
-      if state.ii mod m <> 0 then 0
-      else (
-        match island_phase state island m with
-        | `Empty | `Broken -> 0
-        | `Phase p -> if time mod m = p then 0 else weight))
-
-(* Router hop penalty: stay out of unopened islands (they could be
-   power-gated) and respect slowed islands' phases. *)
-let route_extra_cost state ~tile ~time =
-  match state.req.strategy with
-  | Conventional -> 0
-  | Dvfs_aware -> (
-    let island = Cgra.island_of state.req.cgra tile in
-    match tentative_level state island with
-    | None -> cost_route_open_island
-    | Some _ -> phase_penalty state ~weight:cost_route_misphase tile time)
-
-(* Start-time window of [node] if placed on [tile].
-
-   [hard] comes from already-placed producers (a true lower bound);
-   [soft] additionally honours the node's precomputed schedule estimate
-   so that, e.g., a critical phi is not pinned so early that its
-   carried producer can never meet the deadline; [lst] is the latest
-   start admissible given already-placed consumers.  The soft bound is
-   only a guess, so it yields toward [hard] whenever honouring it would
-   close the window against [lst]. *)
-let time_window state node tile =
-  let cgra = state.req.cgra in
-  let hard = ref 0 in
-  let lst = ref max_int in
-  List.iter
-    (fun (e : Graph.edge) ->
-      match Hashtbl.find_opt state.placements e.src with
-      | Some (src_tile, src_time) ->
-        let dist = Cgra.manhattan cgra src_tile tile in
-        let bound = src_time + dist + 1 - edge_slack state e in
-        if bound > !hard then hard := bound
-      | None -> ())
-    (Graph.predecessors state.dfg node);
-  List.iter
-    (fun (e : Graph.edge) ->
-      match Hashtbl.find_opt state.placements e.dst with
-      | None -> ()
-      | Some (dst_tile, dst_time) ->
-        let dist = Cgra.manhattan cgra tile dst_tile in
-        let bound = dst_time + edge_slack state e - dist - 1 in
-        if bound < !lst then lst := bound)
-    (Graph.successors state.dfg node);
-  let hard = max 0 !hard in
-  let soft = max hard (Estimate.start state.estimate node) in
-  let est = if !lst <> max_int && soft > !lst then max hard (min soft !lst) else soft in
-  (est, !lst)
-
-(* Cheap lower-bound cost of a candidate placement, used to order full
-   routing attempts. *)
-let cheap_cost state node tile time =
-  let cgra = state.req.cgra in
-  let route_lb = ref 0 in
-  List.iter
-    (fun (e : Graph.edge) ->
-      match Hashtbl.find_opt state.placements e.src with
-      | None -> ()
-      | Some (src_tile, src_time) ->
-        let dist = Cgra.manhattan cgra src_tile tile in
-        route_lb := !route_lb + (Router.hop_cost * dist);
-        let slack = time + edge_slack state e - (src_time + dist + 1) in
-        route_lb := !route_lb + (cost_wait * max 0 slack))
-    (Graph.predecessors state.dfg node);
-  List.iter
-    (fun (e : Graph.edge) ->
-      match Hashtbl.find_opt state.placements e.dst with
-      | None -> ()
-      | Some (dst_tile, _) ->
-        route_lb := !route_lb + (Router.hop_cost * Cgra.manhattan cgra tile dst_tile))
-    (Graph.successors state.dfg node);
-  (* A recurrence cycle must usually close on one tile (hops cost 2
-     cycles each); opening it on a tile that cannot seat its remaining
-     members forces a split and a larger II. *)
-  let capacity_penalty =
-    match Hashtbl.find_opt state.cycle_mates node with
-    | None -> 0
-    | Some mates ->
-      let unplaced =
-        List.length (List.filter (fun m -> not (Hashtbl.mem state.placements m)) mates)
-      in
-      if busy_count state tile + unplaced > state.ii then 400 else 0
-  in
-  let strategy_cost =
-    match state.req.strategy with
-    | Conventional ->
-      (* The conventional mapper balances load across the fabric (the
-         paper: it "might assign two dependent DFG nodes onto two tiles
-         that are far away from each other as long as the II is not
-         violated"), except for recurrence-cycle nodes, which must stay
-         packed to close their cycles.  The scattering is what leaves
-         per-tile DVFS so little to power-gate. *)
-      let on_cycle = Hashtbl.mem state.cycle_mates node in
-      (if on_cycle then cost_pack else cost_spread) * busy_count state tile
-    | Dvfs_aware -> (
-      let island = Cgra.island_of cgra tile in
-      let label = label_of state node in
-      (* Packing and phase alignment only matter for nodes that might
-         run slowed; biasing critical (normal-labeled) nodes with them
-         costs II for no DVFS benefit. *)
-      let bias =
-        if label = Dvfs.Normal then 0
-        else
-          (if state.req.knobs.packing then -cost_pack * busy_count state tile else 0)
-          + phase_penalty state ~weight:cost_phase tile time
-      in
-      if not state.req.knobs.island_affinity then bias
-      else
-        match tentative_level state island with
-        | None -> cost_open_island + bias
-        | Some assigned ->
-          if rank label <= rank assigned then
-            (cost_over_provision * (rank assigned - rank label)) + bias
-          else cost_island_raise + bias)
-  in
-  !route_lb + strategy_cost + capacity_penalty
-
-(* Route every dependence between [node] (placed at tile/time) and its
-   already-placed neighbours, reserving MRRG ports.  On failure undo all
-   reservations made here and report. *)
-let route_incident state node tile time =
-  let routed = ref [] in
-  let undo () =
-    List.iter
-      (fun (r : Mapping.route) -> Router.release state.mrrg r.hops r.edge)
-      !routed
-  in
-  let route_one (e : Graph.edge) ~src_tile ~src_time ~dst_tile ~dst_time =
-    let deadline = dst_time + edge_slack state e - 1 in
-    if src_tile = dst_tile && deadline >= src_time then begin
-      routed := { Mapping.edge = e; hops = [] } :: !routed;
-      Ok ()
-    end
-    else
-      match
-        Router.route
-          ~extra_cost:(fun ~tile ~time -> route_extra_cost state ~tile ~time)
-          ~hop_width:(fun tile -> tile_width state tile)
-          state.mrrg ~edge:e ~src_tile ~src_time ~dst_tile ~deadline
-      with
-      | Ok (hops, _) ->
-        routed := { Mapping.edge = e; hops } :: !routed;
-        Ok ()
-      | Error msg -> Error msg
-  in
-  let rec process = function
-    | [] -> Ok ()
-    | step :: rest -> ( match step () with Ok () -> process rest | Error msg -> Error msg)
-  in
-  let pred_steps =
-    List.filter_map
-      (fun (e : Graph.edge) ->
-        match Hashtbl.find_opt state.placements e.src with
-        | None -> None
-        | Some (src_tile, src_time) ->
-          Some (fun () -> route_one e ~src_tile ~src_time ~dst_tile:tile ~dst_time:time))
-      (Graph.predecessors state.dfg node)
-  in
-  let succ_steps =
-    List.filter_map
-      (fun (e : Graph.edge) ->
-        match Hashtbl.find_opt state.placements e.dst with
-        | None -> None
-        | Some (dst_tile, dst_time) ->
-          Some (fun () -> route_one e ~src_tile:tile ~src_time:time ~dst_tile ~dst_time))
-      (Graph.successors state.dfg node)
-  in
-  match process (pred_steps @ succ_steps) with
-  | Ok () -> Ok !routed
-  | Error msg ->
-    undo ();
-    Error msg
-
-let place_node state node =
-  let cgra = state.req.cgra in
-  let op = (Graph.node state.dfg node).op in
-  let memory_ok tile = (not (Op.needs_memory op)) || List.mem tile state.memory_tiles in
-  (* Commit mode steers a node onto islands of exactly its label's
-     level first, falling back to any island at least as fast when the
-     exact set is empty or yields no feasible placement (e.g. a
-     rest-labeled operand of a critical node whose deadline no distant
-     rest island can meet). *)
-  let fallback_tiles =
-    List.filter
-      (fun tile ->
-        memory_ok tile
-        &&
-        match committed_level state tile with
-        | Some level -> Dvfs.at_most (label_of state node) level
-        | None -> true)
-      state.tiles
-  in
-  let tile_sets =
-    match state.committed with
-    | None -> [ List.filter memory_ok state.tiles ]
-    | Some _ ->
-      let label = label_of state node in
-      let exact =
-        List.filter
-          (fun tile -> memory_ok tile && committed_level state tile = Some label)
-          state.tiles
-      in
-      if exact = [] then [ fallback_tiles ] else [ exact; fallback_tiles ]
-  in
-  let try_tiles eligible_tiles =
-    let candidates = ref [] in
-    List.iter
-      (fun tile ->
-        let est, lst = time_window state node tile in
-        let upper = min (est + state.ii - 1) lst in
-        let rec collect time =
-          if time > upper then ()
-          else begin
-            if Mrrg.is_free state.mrrg ~tile ~time Mrrg.Fu then
-              candidates := (cheap_cost state node tile time, tile, time) :: !candidates;
-            collect (time + 1)
-          end
-        in
-        collect est)
-      eligible_tiles;
-    let ordered = List.sort compare !candidates in
-    let max_attempts = 100 in
-    let describe_windows () =
-      let sample =
-        List.filteri (fun i _ -> i < 3) eligible_tiles
-        |> List.map (fun tile ->
-               let est, lst = time_window state node tile in
-               Printf.sprintf "t%d:[%d,%s]" tile est
-                 (if lst = max_int then "inf" else string_of_int lst))
-      in
-      let neighbours =
-        let placed id =
-          match Hashtbl.find_opt state.placements id with
-          | Some (tile, time) -> Printf.sprintf "n%d@t%d,c%d" id tile time
-          | None -> Printf.sprintf "n%d@?" id
-        in
-        let preds =
-          List.map (fun (e : Graph.edge) -> placed e.src) (Graph.predecessors state.dfg node)
-        in
-        let succs =
-          List.map (fun (e : Graph.edge) -> placed e.dst) (Graph.successors state.dfg node)
-        in
-        Printf.sprintf "preds[%s] succs[%s]" (String.concat " " preds)
-          (String.concat " " succs)
-      in
-      String.concat " " sample ^ " " ^ neighbours
-    in
-    let rec attempt n = function
-      | [] ->
-        Error
-          (Printf.sprintf "node n%d: no feasible placement at II=%d (windows %s)" node
-             state.ii (describe_windows ()))
-      | _ when n >= max_attempts ->
-        Error (Printf.sprintf "node n%d: placement attempts exhausted at II=%d" node state.ii)
-      | (_, tile, time) :: rest -> (
-        (* in commit mode a slowed tile's op covers multiplier-many
-           modulo slots *)
-        let width = tile_width state tile in
-        let reserve_fu () =
-          let rec claim k =
-            if k = width then Ok ()
-            else
-              match
-                Mrrg.reserve state.mrrg ~tile ~time:(time + k) Mrrg.Fu (Mrrg.Op_node node)
-              with
-              | Ok () -> claim (k + 1)
-              | Error _ as err ->
-                for undo = 0 to k - 1 do
-                  Mrrg.release state.mrrg ~tile ~time:(time + undo) Mrrg.Fu
-                done;
-                err
-          in
-          claim 0
-        in
-        let release_fu () =
-          for k = 0 to width - 1 do
-            Mrrg.release state.mrrg ~tile ~time:(time + k) Mrrg.Fu
-          done
-        in
-        match reserve_fu () with
-        | Error _ -> attempt (n + 1) rest
-        | Ok () -> (
-          match route_incident state node tile time with
-          | Ok routes ->
-            Hashtbl.replace state.placements node (tile, time);
-            state.routes <- routes @ state.routes;
-            (match state.req.strategy with
-            | Conventional -> ()
-            | Dvfs_aware ->
-              let island = Cgra.island_of cgra tile in
-              let label = label_of state node in
-              (match Hashtbl.find_opt state.island_level island with
-              | None -> Hashtbl.replace state.island_level island label
-              | Some assigned ->
-                if rank label > rank assigned then
-                  Hashtbl.replace state.island_level island label));
-            Ok ()
-          | Error _ ->
-            release_fu ();
-            attempt (n + 1) rest))
-    in
-    attempt 0 ordered
-  in
-  let rec first_success last_err = function
-    | [] -> Error last_err
-    | tiles :: rest -> (
-      match try_tiles tiles with
-      | Ok () -> Ok ()
-      | Error msg -> ( match rest with [] -> Error msg | _ -> first_success msg rest))
-  in
-  first_success "no tile sets" tile_sets
-
-let attempt_ii req dfg ~tiles ~memory_tiles ~ii ~margin =
-  let labels =
-    match req.strategy with
-    | Conventional -> List.map (fun id -> (id, Dvfs.Normal)) (Graph.node_ids dfg)
-    | Dvfs_aware ->
-      Labeling.label ~floor:req.label_floor ~guard:req.label_guard dfg ~cgra:req.cgra ~tiles
-        ~ii
-  in
-  match Graph.intra_topological dfg with
-  | None -> Error "cyclic intra-iteration subgraph"
-  | Some topo ->
-    let committed =
-      if not req.commit_islands then None
-      else begin
-        (* island quota per level from the labels: how many islands'
-           worth of tile-time each level's nodes need (a slowed node
-           occupies multiplier-many slots); at least one island per
-           level that has any demand, faster levels served first *)
-        let islands =
-          List.sort_uniq compare (List.map (Cgra.island_of req.cgra) tiles)
-        in
-        let island_slots =
-          match islands with
-          | [] -> 1
-          | i :: _ -> List.length (Cgra.island_tiles req.cgra i) * ii
-        in
-        let demand level =
-          List.fold_left
-            (fun acc (_, l) -> if l = level then acc + Dvfs.multiplier level else acc)
-            0 labels
-        in
-        let want level =
-          let d = demand level in
-          if d = 0 then 0 else max 1 ((d + island_slots - 1) / island_slots)
-        in
-        let table = Hashtbl.create 16 in
-        (* Slowed islands are allocated minimally, from the end of the
-           island list (away from the SPM column); everything left is
-           Normal — surplus normal islands cost nothing (the critical
-           path needs room, and idle ones are power-gated anyway),
-           whereas a starved normal quota would fragment the critical
-           cycle across islands and destroy the II. *)
-        let rec take_from_end islands levels =
-          match levels with
-          | [] -> List.iter (fun i -> Hashtbl.replace table i Dvfs.Normal) islands
-          | level :: faster ->
-            let n = min (want level) (max 0 (List.length islands - 1)) in
-            let cut = List.length islands - n in
-            let keep = List.filteri (fun i _ -> i < cut) islands in
-            let taken = List.filteri (fun i _ -> i >= cut) islands in
-            List.iter (fun i -> Hashtbl.replace table i level) taken;
-            take_from_end keep faster
-        in
-        take_from_end islands [ Dvfs.Rest; Dvfs.Relax ];
-        Some table
-      end
-    in
-    let state =
-      {
-        dfg;
-        req;
-        tiles;
-        memory_tiles;
-        ii;
-        labels;
-        estimate = Estimate.build dfg ~ii ~margin ~topo;
-        cycle_mates =
-          (let table = Hashtbl.create 32 in
-           List.iter
-             (fun (c : Analysis.cycle) ->
-               List.iter
-                 (fun id ->
-                   match Hashtbl.find_opt table id with
-                   | Some existing when List.length existing >= List.length c.members -> ()
-                   | _ -> Hashtbl.replace table id c.members)
-                 c.members)
-             (Analysis.recurrence_cycles dfg);
-           table);
-        mrrg = Mrrg.create ~tiles ~dead_links:req.dead_links req.cgra ~ii;
-        placements = Hashtbl.create 64;
-        routes = [];
-        island_level = Hashtbl.create 16;
-        committed;
-      }
-    in
-    (* Placement order.  Two rules, both standard in modulo
-       scheduling:
-       - nodes on the tightest recurrence cycles go first (a cycle of
-         length L must close within II * distance, so its members must
-         grab adjacent slots before unconstrained nodes squat on them);
-       - every other phi is deferred until just after its carried
-         producers: its window [t_prod + 1 - d*II, t_consumer - 1] is
-         then exact, with no reliance on ASAP guesses.  Consumers placed
-         before such a phi see no hard bound from it (the phi's value
-         arrives from a previous iteration). *)
-    let critical = Analysis.critical_nodes dfg in
-    let carried_producers id =
-      List.filter_map
-        (fun (e : Graph.edge) -> if e.distance > 0 then Some e.src else None)
-        (Graph.predecessors dfg id)
-    in
-    let cycles = Analysis.recurrence_cycles dfg in
-    let share_cycle a b =
-      List.exists
-        (fun (c : Analysis.cycle) -> List.mem a c.members && List.mem b c.members)
-        cycles
-    in
-    let deferred id =
-      (Graph.node dfg id).op = Op.Phi
-      && carried_producers id <> []
-      && (not (List.mem id critical))
-      (* deferral is only safe when every consumer lies on the phi's
-         own cycle: off-cycle consumers placed first would pin the phi
-         from several scattered tiles at once *)
-      && List.for_all
-           (fun (e : Graph.edge) -> e.distance > 0 || share_cycle id e.dst)
-           (Graph.successors dfg id)
-    in
-    let critical_first = List.filter (fun id -> List.mem id critical) topo in
-    let plain_body =
-      List.filter (fun id -> (not (List.mem id critical)) && not (deferred id)) topo
-    in
-    let insert_after_producers body phi =
-      let producers =
-        List.filter (fun p -> List.mem p body) (carried_producers phi)
-      in
-      if producers = [] then phi :: body
-      else begin
-        let rec go remaining = function
-          | [] -> [ phi ]
-          | id :: rest ->
-            let remaining = List.filter (fun p -> p <> id) remaining in
-            if remaining = [] then id :: phi :: rest else id :: go remaining rest
-        in
-        go producers body
-      end
-    in
-    let order =
-      critical_first
-      @ List.fold_left insert_after_producers plain_body (List.filter deferred topo)
-    in
-    let rec place = function
-      | [] ->
-        let placements =
-          Hashtbl.fold (fun node p acc -> (node, p) :: acc) state.placements []
-          |> List.sort compare
-        in
-        Ok
-          {
-            Mapping.dfg;
-            cgra = req.cgra;
-            ii;
-            tiles;
-            memory_tiles;
-            placements;
-            routes = state.routes;
-            labels;
-            island_levels =
-              List.map (fun island -> (island, Dvfs.Normal)) (Cgra.islands req.cgra);
-          }
-      | node :: rest -> (
-        match place_node state node with Ok () -> place rest | Error msg -> Error msg)
-    in
-    place order
-
-let map (req : request) dfg =
-  match Graph.validate dfg with
-  | Error msg -> Error ("invalid DFG: " ^ msg)
-  | Ok () ->
-    if Graph.node_count dfg = 0 then Error "empty DFG"
-    else begin
-      let tiles =
-        let requested =
-          match req.tiles with
-          | Some ts -> List.sort_uniq compare ts
-          | None -> List.init (Cgra.tile_count req.cgra) (fun i -> i)
-        in
-        List.filter (fun t -> not (List.mem t req.dead_tiles)) requested
-      in
-      if tiles = [] then
-        Error
-          (if req.dead_tiles = [] then "empty tile set"
-           else "empty tile set (every tile of the sub-fabric is faulted)")
-      else begin
-        let memory_tiles =
-          match req.memory_tiles with
-          | Some ts -> List.filter (fun t -> not (List.mem t req.dead_tiles)) ts
-          | None ->
-            let col_of tile = snd (Cgra.position req.cgra tile) in
-            let min_col = List.fold_left (fun acc t -> min acc (col_of t)) max_int tiles in
-            List.filter (fun t -> col_of t = min_col) tiles
-        in
-        let trace = Sys.getenv_opt "ICED_MAPPER_TRACE" <> None in
-        let start_ii = Analysis.min_ii dfg ~tiles:(List.length tiles) in
-        let rec search ii last_err =
-          if req.cancel () then
-            Error (Printf.sprintf "deadline exceeded at II=%d (last: %s)" ii last_err)
-          else if ii > req.max_ii then
-            Error
-              (Printf.sprintf "no mapping up to II=%d (last: %s)" req.max_ii last_err)
-          else begin
-            let rec margins req last_err = function
-              | [] -> Error last_err
-              | margin :: rest -> (
-                match attempt_ii req dfg ~tiles ~memory_tiles ~ii ~margin with
-                | Ok mapping -> Ok mapping
-                | Error msg ->
-                  if trace then
-                    Printf.eprintf "[mapper] II=%d margin=%d failed: %s\n%!" ii margin msg;
-                  margins req msg rest)
-            in
-            let attempts =
-              (* The DVFS-aware cost model must never cost II (the paper
-                 reports no performance loss for 2x2 islands): when its
-                 biases make an II infeasible, fall back to the
-                 conventional cost model at the same II — the post-pass
-                 level assignment still lowers whatever aligns. *)
-              match req.strategy with
-              | Conventional -> [ req ]
-              | Dvfs_aware when req.commit_islands || not req.knobs.conventional_fallback ->
-                (* the committed-islands study (and the fallback
-                   ablation) measure precisely what the DVFS-aware cost
-                   model costs: no fallback *)
-                [ req ]
-              | Dvfs_aware -> [ req; { req with strategy = Conventional } ]
-            in
-            let rec try_attempts last_err = function
-              | [] -> Error last_err
-              | req :: rest -> (
-                match
-                  margins req last_err
-                    (if req.commit_islands then committed_margins else asap_margins)
-                with
-                | Ok mapping -> Ok mapping
-                | Error msg -> try_attempts msg rest)
-            in
-            match try_attempts last_err attempts with
-            | Ok mapping -> Ok mapping
-            | Error msg -> search (ii + 1) msg
-          end
-        in
-        search start_ii "none"
-      end
-    end
-
-let map_exn req dfg =
-  match map req dfg with Ok m -> m | Error msg -> failwith ("Mapper.map: " ^ msg)
+let map_exn ?stats req dfg =
+  match map ?stats req dfg with
+  | Ok m -> m
+  | Error msg -> failwith ("Mapper.map: " ^ msg)

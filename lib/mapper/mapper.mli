@@ -5,6 +5,12 @@
     with Dijkstra as it goes, and bumps the II on failure (paper
     Algorithm 2, line 26).
 
+    This module is the public façade over the layered engine: {!Cost}
+    holds the weights and ladders, {!Estimate} the pre-placement
+    schedule guesses, {!Search} the placement loop and II ladder, and
+    {!Telemetry} the counters — the types below are equations onto
+    those modules, so pattern-matching through either path is the same.
+
     Two placement-cost strategies are provided:
 
     - [Conventional]: the utilization-oblivious baseline — minimize
@@ -20,9 +26,9 @@
 open Iced_arch
 open Iced_dfg
 
-type strategy = Conventional | Dvfs_aware
+type strategy = Cost.strategy = Conventional | Dvfs_aware
 
-type knobs = {
+type knobs = Cost.knobs = {
   island_affinity : bool;
       (** prefer islands whose tentative level matches the node label *)
   packing : bool;  (** pull slowable nodes onto busy tiles *)
@@ -37,7 +43,7 @@ type knobs = {
 val all_knobs : knobs
 (** Every feature on — the production configuration. *)
 
-type request = {
+type request = Search.request = {
   cgra : Cgra.t;
   strategy : strategy;
   tiles : int list option;  (** sub-fabric; default: the whole fabric *)
@@ -77,10 +83,43 @@ val request : ?strategy:strategy -> ?tiles:int list -> ?memory_tiles:int list ->
     westmost-column memory, floor [Rest], no guard band, [max_ii] 64,
     no cancellation, no faulted resources. *)
 
-val map : request -> Graph.t -> (Mapping.t, string) result
+type stats = Telemetry.t = {
+  mutable attempts : int;  (** (II, margin, cost-model) placement attempts *)
+  mutable ii_bumps : int;  (** times the II ladder moved up *)
+  mutable margin_position : int;
+      (** ladder index of the congestion margin in use when the search
+          ended (0 = tightest) *)
+  mutable placements_tried : int;  (** candidate (tile, time) reservations *)
+  mutable route_calls : int;  (** Dijkstra invocations *)
+  mutable route_failures : int;  (** routes that found no path in deadline *)
+  mutable expansions : int;  (** Dijkstra heap pops *)
+  mutable per_ii_s : (int * float) list;
+      (** wall seconds per attempted II, most recent first — read it
+          through {!per_ii_times} *)
+  mutable wall_s : float;  (** total mapping wall seconds *)
+}
+(** Mapping telemetry, accumulated per {!map} call into the caller's
+    sink — see {!Telemetry}. *)
+
+val create_stats : unit -> stats
+val reset_stats : stats -> unit
+
+val merge_stats : into:stats -> stats -> unit
+(** Aggregate one run's counters into a campaign-wide sink. *)
+
+val per_ii_times : stats -> (int * float) list
+(** Per-II attempt wall time in ascending attempt order. *)
+
+val stats_to_json : stats -> string
+(** One flat JSON object (the CLI's [--stats --json] payload). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val map : ?stats:stats -> request -> Graph.t -> (Mapping.t, string) result
 (** Map a kernel.  The result carries Algorithm 1's labels and an
     all-[Normal] island assignment; apply {!Levels.assign} to lower the
-    islands.  The result always passes {!Validate.check}. *)
+    islands.  The result always passes {!Validate.check}.  When [stats]
+    is given, the run's telemetry is merged into it. *)
 
-val map_exn : request -> Graph.t -> Mapping.t
+val map_exn : ?stats:stats -> request -> Graph.t -> Mapping.t
 (** @raise Failure when no mapping is found within [max_ii]. *)

@@ -13,9 +13,22 @@ val hop_cost : int
 (** Cost of one hop (waits cost 1); exposed so the mapper's placement
     cost can weigh routing against its own terms. *)
 
+type scratch
+(** Reusable search arena: distance, parent, and visited-stamp arrays
+    plus the frontier heap, sized to tiles x horizon.  Resetting between
+    calls is O(1) (an epoch bump), so routing an edge through a shared
+    scratch allocates nothing on the steady path — buffers grow only
+    when a call needs a larger horizon than any before it. *)
+
+val create_scratch : unit -> scratch
+(** Empty arena; buffers are sized lazily by the first route through it.
+    Not thread-safe — give each domain its own. *)
+
 val route :
   ?extra_cost:(tile:int -> time:int -> int) ->
   ?hop_width:(int -> int) ->
+  ?scratch:scratch ->
+  ?stats:Telemetry.t ->
   Iced_mrrg.Mrrg.t ->
   edge:Graph.edge ->
   src_tile:int ->
@@ -27,7 +40,11 @@ val route :
     producer tile after [src_time] (the producer's execute cycle) and
     present at [dst_tile] by the end of [deadline].  Returns the hops
     (empty when producer and consumer share a tile) and the path cost.
-    On [Error] nothing is reserved. *)
+    On [Error] nothing is reserved.
+
+    [scratch] reuses a search arena across calls (a private one is made
+    per call otherwise).  [stats] counts the call, its heap expansions,
+    and a failure if no route exists. *)
 
 val release : Iced_mrrg.Mrrg.t -> Mapping.hop list -> Graph.edge -> unit
 (** Undo a successful [route]'s reservations. *)

@@ -1,0 +1,45 @@
+(** The mapping search itself: candidate enumeration, placement, and
+    the II / margin / cost-model ladder (Algorithm 2's loop).  Use it
+    through the {!Mapper} façade — its [request] and [stats] types are
+    equations onto this module and {!Telemetry}. *)
+
+open Iced_arch
+open Iced_dfg
+
+type strategy = Cost.strategy = Conventional | Dvfs_aware
+
+type knobs = Cost.knobs = {
+  island_affinity : bool;
+  packing : bool;
+  phase_alignment : bool;
+  conventional_fallback : bool;
+}
+
+type request = {
+  cgra : Cgra.t;
+  strategy : strategy;
+  tiles : int list option;
+  memory_tiles : int list option;
+  label_floor : Dvfs.level;
+  label_guard : int;
+  max_ii : int;
+  knobs : knobs;
+  cancel : unit -> bool;
+  dead_tiles : int list;
+  dead_links : (int * Dir.t) list;
+  commit_islands : bool;
+}
+(** See {!Mapper.request} for field documentation. *)
+
+val request : ?strategy:strategy -> ?tiles:int list -> ?memory_tiles:int list ->
+  ?label_floor:Dvfs.level -> ?label_guard:int -> ?max_ii:int -> ?knobs:knobs ->
+  ?cancel:(unit -> bool) -> ?dead_tiles:int list -> ?dead_links:(int * Dir.t) list ->
+  ?commit_islands:bool ->
+  Cgra.t -> request
+
+val run : ?stats:Telemetry.t -> request -> Graph.t -> (Mapping.t, string) result
+(** One full mapping search: II ladder from max(RecMII, ResMII) up to
+    [max_ii], every congestion margin (and, for [Dvfs_aware], the
+    conventional-fallback retry) per II.  A single routing scratch
+    arena is reused across the entire search.  Telemetry is accumulated
+    internally and merged into [stats] when given. *)

@@ -1,0 +1,67 @@
+type t = {
+  mutable attempts : int;
+  mutable ii_bumps : int;
+  mutable margin_position : int;
+  mutable placements_tried : int;
+  mutable route_calls : int;
+  mutable route_failures : int;
+  mutable expansions : int;
+  mutable per_ii_s : (int * float) list; (* descending II (latest first) *)
+  mutable wall_s : float;
+}
+
+let create () =
+  {
+    attempts = 0;
+    ii_bumps = 0;
+    margin_position = 0;
+    placements_tried = 0;
+    route_calls = 0;
+    route_failures = 0;
+    expansions = 0;
+    per_ii_s = [];
+    wall_s = 0.0;
+  }
+
+let reset t =
+  t.attempts <- 0;
+  t.ii_bumps <- 0;
+  t.margin_position <- 0;
+  t.placements_tried <- 0;
+  t.route_calls <- 0;
+  t.route_failures <- 0;
+  t.expansions <- 0;
+  t.per_ii_s <- [];
+  t.wall_s <- 0.0
+
+let per_ii t = List.rev t.per_ii_s
+
+let add_ii_time t ~ii seconds = t.per_ii_s <- (ii, seconds) :: t.per_ii_s
+
+let merge ~into src =
+  into.attempts <- into.attempts + src.attempts;
+  into.ii_bumps <- into.ii_bumps + src.ii_bumps;
+  into.margin_position <- max into.margin_position src.margin_position;
+  into.placements_tried <- into.placements_tried + src.placements_tried;
+  into.route_calls <- into.route_calls + src.route_calls;
+  into.route_failures <- into.route_failures + src.route_failures;
+  into.expansions <- into.expansions + src.expansions;
+  into.per_ii_s <- src.per_ii_s @ into.per_ii_s;
+  into.wall_s <- into.wall_s +. src.wall_s
+
+let to_json t =
+  let per_ii_json =
+    String.concat ","
+      (List.map (fun (ii, s) -> Printf.sprintf "[%d,%.6f]" ii s) (per_ii t))
+  in
+  Printf.sprintf
+    "{\"attempts\":%d,\"ii_bumps\":%d,\"margin_position\":%d,\"placements_tried\":%d,\"route_calls\":%d,\"route_failures\":%d,\"expansions\":%d,\"per_ii_s\":[%s],\"wall_s\":%.6f}"
+    t.attempts t.ii_bumps t.margin_position t.placements_tried t.route_calls
+    t.route_failures t.expansions per_ii_json t.wall_s
+
+let pp fmt t =
+  Format.fprintf fmt
+    "attempts=%d ii_bumps=%d margin=%d placements=%d routes=%d/%d fail expansions=%d \
+     wall=%.3fs"
+    t.attempts t.ii_bumps t.margin_position t.placements_tried t.route_calls
+    t.route_failures t.expansions t.wall_s

@@ -4,33 +4,68 @@ type resource = Fu | Port of Dir.t
 
 type occupant = Op_node of int | Route of { src : int; dst : int }
 
-type key = { tile : int; slot : int; res : resource }
+(* Occupancy lives in flat arrays indexed by (tile, slot, resource):
+   one cell per resource of the time-space unrolling.  Resource index 0
+   is the FU; 1..4 are the crossbar output ports in [Dir.all] order
+   (which is also the polymorphic-compare order of [resource], so
+   in-order iteration reproduces the sorted listings the hashtable
+   implementation produced).  Alongside the occupancy, two counter
+   arrays keep the paper's utilization numerator O(1): [slot_busy]
+   counts claimed resources per (tile, slot) and [tile_busy] counts
+   distinct busy slots per tile. *)
+
+let resources = 5
+
+let dir_index = function Dir.North -> 0 | Dir.South -> 1 | Dir.East -> 2 | Dir.West -> 3
+
+let res_index = function Fu -> 0 | Port d -> 1 + dir_index d
+
+let res_of_index = function
+  | 0 -> Fu
+  | 1 -> Port Dir.North
+  | 2 -> Port Dir.South
+  | 3 -> Port Dir.East
+  | 4 -> Port Dir.West
+  | _ -> invalid_arg "Mrrg.res_of_index"
 
 type t = {
   cgra : Cgra.t;
   ii : int;
   tiles : bool array; (* allowed sub-fabric, indexed by tile id *)
-  dead_links : (int * Dir.t) list; (* faulted crossbar output ports *)
-  table : (key, occupant) Hashtbl.t;
+  dead : bool array; (* faulted resources: tile * resources + res *)
+  occ : occupant option array; (* (tile * ii + slot) * resources + res *)
+  slot_busy : int array; (* tile * ii + slot -> claimed resources *)
+  tile_busy : int array; (* tile -> distinct busy slots *)
 }
 
 let create ?tiles ?(dead_links = []) cgra ~ii =
   if ii <= 0 then invalid_arg "Mrrg.create: non-positive II";
-  let allowed = Array.make (Cgra.tile_count cgra) (tiles = None) in
+  let tile_count = Cgra.tile_count cgra in
+  let allowed = Array.make tile_count (tiles = None) in
   (match tiles with
   | None -> ()
   | Some ids ->
     List.iter
       (fun id ->
-        if id < 0 || id >= Cgra.tile_count cgra then invalid_arg "Mrrg.create: unknown tile";
+        if id < 0 || id >= tile_count then invalid_arg "Mrrg.create: unknown tile";
         allowed.(id) <- true)
       ids);
+  let dead = Array.make (tile_count * resources) false in
   List.iter
-    (fun (tile, _) ->
-      if tile < 0 || tile >= Cgra.tile_count cgra then
-        invalid_arg "Mrrg.create: dead link on unknown tile")
+    (fun (tile, d) ->
+      if tile < 0 || tile >= tile_count then
+        invalid_arg "Mrrg.create: dead link on unknown tile";
+      dead.((tile * resources) + res_index (Port d)) <- true)
     dead_links;
-  { cgra; ii; tiles = allowed; dead_links; table = Hashtbl.create 256 }
+  {
+    cgra;
+    ii;
+    tiles = allowed;
+    dead;
+    occ = Array.make (tile_count * ii * resources) None;
+    slot_busy = Array.make (tile_count * ii) 0;
+    tile_busy = Array.make tile_count 0;
+  }
 
 let cgra t = t.cgra
 let ii t = t.ii
@@ -44,12 +79,11 @@ let slot t time =
   if time < 0 then invalid_arg "Mrrg.slot: negative time";
   time mod t.ii
 
-let key t ~tile ~time res = { tile; slot = slot t time; res }
+let cell t ~tile ~time res = (((tile * t.ii) + slot t time) * resources) + res_index res
 
-let occupant t ~tile ~time res = Hashtbl.find_opt t.table (key t ~tile ~time res)
+let occupant t ~tile ~time res = t.occ.(cell t ~tile ~time res)
 
-let link_dead t tile res =
-  match res with Fu -> false | Port d -> List.mem (tile, d) t.dead_links
+let link_dead t tile res = t.dead.((tile * resources) + res_index res)
 
 let is_free t ~tile ~time res =
   (not (link_dead t tile res)) && occupant t ~tile ~time res = None
@@ -65,41 +99,82 @@ let reserve t ~tile ~time res who =
       (Printf.sprintf "tile %d %s: dead link" tile
          (match res with Fu -> "fu" | Port d -> "port." ^ Dir.to_string d))
   else
-    let k = key t ~tile ~time res in
-    match Hashtbl.find_opt t.table k with
+    let i = cell t ~tile ~time res in
+    match t.occ.(i) with
     | None ->
-      Hashtbl.replace t.table k who;
+      t.occ.(i) <- Some who;
+      let ts = (tile * t.ii) + slot t time in
+      t.slot_busy.(ts) <- t.slot_busy.(ts) + 1;
+      if t.slot_busy.(ts) = 1 then t.tile_busy.(tile) <- t.tile_busy.(tile) + 1;
       Ok ()
     | Some existing when existing = who -> Ok () (* fan-out shares the wire *)
     | Some existing ->
       Error
-        (Printf.sprintf "tile %d slot %d busy with %s" tile k.slot (occupant_to_string existing))
+        (Printf.sprintf "tile %d slot %d busy with %s" tile (slot t time)
+           (occupant_to_string existing))
 
-let release t ~tile ~time res = Hashtbl.remove t.table (key t ~tile ~time res)
+let release t ~tile ~time res =
+  let i = cell t ~tile ~time res in
+  match t.occ.(i) with
+  | None -> ()
+  | Some _ ->
+    t.occ.(i) <- None;
+    let ts = (tile * t.ii) + slot t time in
+    t.slot_busy.(ts) <- t.slot_busy.(ts) - 1;
+    if t.slot_busy.(ts) = 0 then t.tile_busy.(tile) <- t.tile_busy.(tile) - 1
 
 let busy t ~tile =
-  Hashtbl.fold
-    (fun k who acc -> if k.tile = tile then (k.slot, k.res, who) :: acc else acc)
-    t.table []
-  |> List.sort compare
+  let acc = ref [] in
+  for s = t.ii - 1 downto 0 do
+    for r = resources - 1 downto 0 do
+      match t.occ.((((tile * t.ii) + s) * resources) + r) with
+      | Some who -> acc := (s, res_of_index r, who) :: !acc
+      | None -> ()
+    done
+  done;
+  !acc
 
 let busy_slots t ~tile =
-  busy t ~tile |> List.map (fun (s, _, _) -> s) |> List.sort_uniq compare
+  let acc = ref [] in
+  for s = t.ii - 1 downto 0 do
+    if t.slot_busy.((tile * t.ii) + s) > 0 then acc := s :: !acc
+  done;
+  !acc
 
-let tile_is_idle t tile = busy t ~tile = []
+let busy_slot_count t ~tile = t.tile_busy.(tile)
 
-let clone t = { t with table = Hashtbl.copy t.table }
+let tile_is_idle t tile = t.tile_busy.(tile) = 0
+
+let phase_of t ~tiles ~modulo =
+  let phase = ref (-1) in
+  let broken = ref false in
+  List.iter
+    (fun tile ->
+      if allowed t tile && not !broken then
+        for s = 0 to t.ii - 1 do
+          if (not !broken) && t.slot_busy.((tile * t.ii) + s) > 0 then
+            let p = s mod modulo in
+            if !phase = -1 then phase := p else if !phase <> p then broken := true
+        done)
+    tiles;
+  if !broken then `Broken else if !phase = -1 then `Empty else `Phase !phase
+
+let clone t =
+  {
+    t with
+    occ = Array.copy t.occ;
+    slot_busy = Array.copy t.slot_busy;
+    tile_busy = Array.copy t.tile_busy;
+  }
 
 let resource_to_string = function Fu -> "fu" | Port d -> "port." ^ Dir.to_string d
 
 let pp fmt t =
   Format.fprintf fmt "mrrg ii=%d@." t.ii;
-  let entries =
-    Hashtbl.fold (fun k who acc -> (k, who) :: acc) t.table []
-    |> List.sort (fun (a, _) (b, _) -> compare (a.tile, a.slot, a.res) (b.tile, b.slot, b.res))
-  in
-  List.iter
-    (fun (k, who) ->
-      Format.fprintf fmt "  t%d@@%d %s: %s@." k.tile k.slot (resource_to_string k.res)
-        (occupant_to_string who))
-    entries
+  for tile = 0 to Cgra.tile_count t.cgra - 1 do
+    List.iter
+      (fun (s, res, who) ->
+        Format.fprintf fmt "  t%d@@%d %s: %s@." tile s (resource_to_string res)
+          (occupant_to_string who))
+      (busy t ~tile)
+  done

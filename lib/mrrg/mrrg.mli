@@ -64,6 +64,18 @@ val busy_slots : t -> tile:int -> int list
 (** Distinct modulo slots with any activity on the tile (FU or
     crossbar) — the paper's utilization numerator. *)
 
+val busy_slot_count : t -> tile:int -> int
+(** [List.length (busy_slots t ~tile)] in O(1) — the placer's packing
+    and capacity terms poll this once per candidate. *)
+
+val phase_of :
+  t -> tiles:int list -> modulo:int -> [ `Broken | `Empty | `Phase of int ]
+(** The clock phase (mod [modulo]) every busy slot across [tiles]
+    agrees on: [`Empty] when no tile has activity, [`Phase p] when all
+    busy slots fall on phase [p], [`Broken] on disagreement.
+    Disallowed tiles are skipped.  Allocation-free — the DVFS-aware
+    placer's phase-alignment query, per island. *)
+
 val tile_is_idle : t -> int -> bool
 
 val clone : t -> t

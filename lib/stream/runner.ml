@@ -211,7 +211,7 @@ let representative_tile cgra st tile =
    faults masked.  With a clean geometry the prepared candidate is
    reused (no mapper run, no override); otherwise Algorithm 2 remaps
    around the masked resources under a bounded II/poll budget. *)
-let rebuild cgra st =
+let rebuild ?stats cgra st =
   let dead_tiles, dead_links =
     List.fold_left
       (fun (dts, dls) fault ->
@@ -253,7 +253,9 @@ let rebuild cgra st =
         ~max_ii:(min 64 (old_ii * 4))
         ~cancel ~dead_tiles ~dead_links cgra
     in
-    match Iced_mapper.Mapper.map req st.instance.Pipeline.kernel.Iced_kernels.Kernel.dfg with
+    match
+      Iced_mapper.Mapper.map ?stats req st.instance.Pipeline.kernel.Iced_kernels.Kernel.dfg
+    with
     | Ok mapping ->
       let candidate =
         {
@@ -270,7 +272,7 @@ let rebuild cgra st =
 (* the resilient streaming loop *)
 
 let run_resilient ?(window = 10) ?(params = Params.default) ?(faults = Fault.none)
-    ?(recovery = Fail_stop) (partition : Partition.t) policy inputs =
+    ?(recovery = Fail_stop) ?stats (partition : Partition.t) policy inputs =
   if policy = Drips && not (Fault.is_empty faults) then
     invalid_arg
       "Runner.run_resilient: the DRIPS baseline has no fault model; use Static or Iced_dvfs";
@@ -352,7 +354,7 @@ let run_resilient ?(window = 10) ?(params = Params.default) ?(faults = Fault.non
       if st.count <= 1 then Error "kernel is down to one island"
       else begin
         st.count <- st.count - 1;
-        match rebuild cgra st with
+        match rebuild ?stats cgra st with
         | Ok (c, _) -> Ok c
         | Error e ->
           st.count <- st.count + 1;
@@ -368,7 +370,7 @@ let run_resilient ?(window = 10) ?(params = Params.default) ?(faults = Fault.non
         | [] -> Error "no kernel can spare an island"
         | (_, donor) :: rest -> (
           donor.count <- donor.count - 1;
-          match rebuild cgra donor with
+          match rebuild ?stats cgra donor with
           | Error _ ->
             donor.count <- donor.count + 1;
             try_donors rest
@@ -382,7 +384,7 @@ let run_resilient ?(window = 10) ?(params = Params.default) ?(faults = Fault.non
               donor.owned <- List.rev kept_rev;
               st.owned <- st.owned @ [ given ];
               charge donor_candidate;
-              match rebuild cgra st with
+              match rebuild ?stats cgra st with
               | Ok (c, _) -> Ok c
               | Error e -> Error e))
       in
@@ -434,7 +436,7 @@ let run_resilient ?(window = 10) ?(params = Params.default) ?(faults = Fault.non
             (* remapping inside a dead island is meaningless *)
             gate_it ()
           | Remap, _ -> (
-            match rebuild cgra st with
+            match rebuild ?stats cgra st with
             | Ok (c, remapped) ->
               if remapped then incr remaps;
               charge c

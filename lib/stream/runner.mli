@@ -96,6 +96,7 @@ val run_resilient :
   ?params:Iced_power.Params.t ->
   ?faults:Iced_fault.Fault.plan ->
   ?recovery:recovery ->
+  ?stats:Iced_mapper.Mapper.stats ->
   Partition.t ->
   policy ->
   Pipeline.input list ->
@@ -103,7 +104,9 @@ val run_resilient :
 (** Stream the inputs while injecting [faults] (default: none) and
     recovering per [recovery] (default [Fail_stop]).  A fault scheduled
     at input [k] fires just before input [k] is consumed.  Under the
-    empty plan the reports are identical to {!run}'s.
+    empty plan the reports are identical to {!run}'s.  [stats]
+    accumulates the mapper telemetry of every recovery remap (clean
+    geometries reuse prepared mappings and contribute nothing).
     @raise Invalid_argument for [Drips] with a non-empty plan (the
     DRIPS baseline has no fault model). *)
 

@@ -1,0 +1,15 @@
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let byte h c = Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) prime
+
+let string h s =
+  let h = ref h in
+  String.iter (fun c -> h := byte !h c) s;
+  !h
+
+let int h i = Int64.mul (Int64.logxor h (Int64.of_int i)) prime
+
+let hash_string s = string offset_basis s
+
+let to_hex h = Printf.sprintf "%016Lx" h

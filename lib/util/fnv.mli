@@ -1,0 +1,30 @@
+(** FNV-1a, 64-bit: the repository's one stable content hash.
+
+    Used wherever a digest must be reproducible across runs, builds,
+    and domains (unlike [Hashtbl.hash]): the explore cache's content
+    keys and the fault model's deterministic upset draws.  The exact
+    digests are pinned by unit tests — changing this algorithm
+    invalidates persisted cache files and shifts every seeded fault
+    campaign, so don't. *)
+
+val offset_basis : int64
+(** The standard FNV-1a 64-bit offset basis, [0xcbf29ce484222325]. *)
+
+val prime : int64
+(** The FNV 64-bit prime, [0x100000001b3]. *)
+
+val byte : int64 -> char -> int64
+(** Fold one byte: [(h xor c) * prime]. *)
+
+val string : int64 -> string -> int64
+(** Fold every byte of a string into the running hash. *)
+
+val int : int64 -> int -> int64
+(** Fold a native int in one step (the fault model's seed/input
+    folding; not byte-by-byte). *)
+
+val hash_string : string -> int64
+(** [string offset_basis s]. *)
+
+val to_hex : int64 -> string
+(** 16-digit lowercase hex, zero-padded. *)

@@ -2,6 +2,11 @@ type 'a t = { mutable data : (int * 'a) array; mutable size : int }
 
 let create () = { data = [||]; size = 0 }
 
+let with_capacity ~dummy n =
+  { data = (if n <= 0 then [||] else Array.make n (0, dummy)); size = 0 }
+
+let clear h = h.size <- 0
+
 let is_empty h = h.size = 0
 
 let size h = h.size

@@ -1,9 +1,24 @@
-(** Minimal mutable binary min-heap keyed by integer priority, used by
-    the mapper's Dijkstra router. *)
+(** Minimal mutable binary min-heap keyed by integer priority.
+
+    The mapper's router uses an inlined parallel-int-array copy of this
+    heap's sift discipline (strict [<] on priority, left child first);
+    the property tests here pin that discipline, so keep the two in
+    sync. *)
 
 type 'a t
 
 val create : unit -> 'a t
+
+val with_capacity : dummy:'a -> int -> 'a t
+(** Empty heap with backing storage for [n] entries preallocated (it
+    still grows past [n] on demand).  [dummy] fills the unused cells —
+    combined with {!clear}, this lets a hot loop reuse one heap with no
+    steady-state array growth. *)
+
+val clear : 'a t -> unit
+(** Forget every entry in O(1).  The backing array is kept (and keeps
+    its cells reachable until overwritten — use payloads that don't
+    pin memory, e.g. ints, where that matters). *)
 
 val push : 'a t -> int -> 'a -> unit
 (** [push h priority payload]. *)

@@ -1,0 +1,72 @@
+(* CLI-level check for `iced map --stats --json`: the captured stdout
+   must contain one mapper-stats JSON line with the expected fields and
+   non-zero attempt/expansion counters.  Exits non-zero (failing the
+   dune rule) otherwise. *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let field_value json name =
+  (* flat integer field: "name":123 *)
+  let key = Printf.sprintf "\"%s\":" name in
+  let nh = String.length json and nn = String.length key in
+  let rec find i = if i + nn > nh then None else if String.sub json i nn = key then Some (i + nn) else find (i + 1) in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < nh
+      && (match json.[!stop] with '0' .. '9' | '-' | '.' | 'e' | 'E' | '+' -> true | _ -> false)
+    do
+      incr stop
+    done;
+    float_of_string_opt (String.sub json start (!stop - start))
+
+let () =
+  let path = Sys.argv.(1) in
+  let out = read_file path in
+  let stats_line =
+    List.find_opt
+      (fun line -> contains ~needle:"\"mapper_stats\"" line)
+      (String.split_on_char '\n' out)
+  in
+  match stats_line with
+  | None ->
+    prerr_endline "check_map_stats: no mapper_stats JSON line in CLI output";
+    exit 1
+  | Some line ->
+    let require_positive name =
+      match field_value line name with
+      | Some v when v > 0.0 -> ()
+      | Some v ->
+        Printf.eprintf "check_map_stats: field %s not positive (%g)\n" name v;
+        exit 1
+      | None ->
+        Printf.eprintf "check_map_stats: field %s missing\n" name;
+        exit 1
+    in
+    let require_present name =
+      if not (contains ~needle:(Printf.sprintf "\"%s\":" name) line) then begin
+        Printf.eprintf "check_map_stats: field %s missing\n" name;
+        exit 1
+      end
+    in
+    require_positive "attempts";
+    require_positive "placements_tried";
+    require_positive "expansions";
+    require_present "route_calls";
+    require_present "route_failures";
+    require_present "ii_bumps";
+    require_present "margin_position";
+    require_present "wall_s";
+    print_endline "check_map_stats: ok"

@@ -1,0 +1,8 @@
+(* Regenerate the mapper differential golden file:
+
+     dune exec test/gen/gen_golden.exe > test/golden/mapper_golden.txt
+
+   Only do this when a mapping-behaviour change is intended; the
+   differential suite exists to prove refactors preserve results. *)
+
+let () = List.iter print_endline (Iced_testgen.Diff_gen.golden_lines ())

@@ -1,0 +1,81 @@
+(* Differential regression for the layered mapping engine.
+
+   test/golden/mapper_golden.txt holds one fingerprint line per corpus
+   case (see Iced_testgen.Diff_gen), captured BEFORE the mapper was
+   split into Cost/Estimate/Search/Telemetry and the router gained its
+   flat scratch arena.  Re-mapping the same corpus must reproduce every
+   line byte for byte: the refactor is contractually behaviour
+   preserving.  A mismatch here means the engine's placement or routing
+   decisions drifted — regenerate the golden file (gen_golden.exe) only
+   when such a change is intended and reviewed. *)
+
+let golden_path = "golden/mapper_golden.txt"
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let case_name line = match String.index_opt line '\t' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let test_corpus_unchanged () =
+  let expected = read_lines golden_path in
+  let actual = Iced_testgen.Diff_gen.golden_lines () in
+  Alcotest.(check int) "corpus size matches golden file" (List.length expected)
+    (List.length actual);
+  List.iter2
+    (fun e a ->
+      if not (String.equal e a) then
+        Alcotest.failf "mapping drifted for %s\n  golden: %s\n  now:    %s"
+          (case_name e) e a)
+    expected actual
+
+let test_corpus_has_no_failures () =
+  (* The corpus is meant to exercise successful mappings; a FAIL line in
+     the golden file would make the differential test vacuous for that
+     case. *)
+  List.iter
+    (fun line ->
+      match String.index_opt line '\t' with
+      | Some i when String.length line > i + 5 && String.sub line (i + 1) 5 = "FAIL:" ->
+        Alcotest.failf "golden corpus case %s did not map" (case_name line)
+      | _ -> ())
+    (read_lines golden_path)
+
+let test_stats_populated () =
+  (* The same engine entry point used by the corpus also feeds the
+     telemetry sink: mapping any kernel must record at least one
+     attempt, placement, and route. *)
+  match Iced_kernels.Registry.by_name "fir" with
+  | None -> Alcotest.fail "fir kernel missing from registry"
+  | Some k ->
+    let stats = Iced_mapper.Mapper.create_stats () in
+    let req =
+      Iced_mapper.Mapper.request ~strategy:Iced_mapper.Mapper.Dvfs_aware
+        Iced_arch.Cgra.iced_6x6
+    in
+    (match Iced_mapper.Mapper.map ~stats req k.Iced_kernels.Kernel.dfg with
+    | Error msg -> Alcotest.failf "fir failed to map: %s" msg
+    | Ok _ ->
+      Alcotest.(check bool) "attempts > 0" true (stats.attempts > 0);
+      Alcotest.(check bool) "placements > 0" true (stats.placements_tried > 0);
+      Alcotest.(check bool) "routes > 0" true (stats.route_calls > 0);
+      Alcotest.(check bool) "expansions > 0" true (stats.expansions > 0);
+      Alcotest.(check bool) "per-II timing recorded" true
+        (Iced_mapper.Mapper.per_ii_times stats <> []);
+      Alcotest.(check bool) "wall time recorded" true (stats.wall_s >= 0.0))
+
+let suite =
+  [
+    ("golden corpus has no FAIL cases", `Quick, test_corpus_has_no_failures);
+    ("mappings unchanged vs pre-refactor golden", `Slow, test_corpus_unchanged);
+    ("telemetry populated by Mapper.map", `Quick, test_stats_populated);
+  ]

@@ -225,6 +225,23 @@ let test_sweep_smoke_results () =
   let frontier = Report.frontier_summaries outcomes in
   Alcotest.(check bool) "frontier non-empty" true (frontier <> [])
 
+let test_sweep_mapper_stats () =
+  let sink = Iced_mapper.Mapper.create_stats () in
+  let _, stats =
+    Sweep.run ~mapper_stats:sink ~cache:(Cache.in_memory ()) (points3 ()) tiny_kernels
+  in
+  Alcotest.(check bool) "fresh mappings happened" true (stats.Sweep.fresh > 0);
+  Alcotest.(check bool) "attempts accumulated" true
+    (sink.Iced_mapper.Mapper.attempts >= stats.Sweep.fresh);
+  Alcotest.(check bool) "routes accumulated" true (sink.Iced_mapper.Mapper.route_calls > 0);
+  (* a fully-cached sweep runs the mapper zero times *)
+  let cache = Cache.in_memory () in
+  let _ = Sweep.run ~cache (points3 ()) tiny_kernels in
+  let sink2 = Iced_mapper.Mapper.create_stats () in
+  let _, stats2 = Sweep.run ~mapper_stats:sink2 ~cache (points3 ()) tiny_kernels in
+  Alcotest.(check int) "all cached" 0 stats2.Sweep.fresh;
+  Alcotest.(check int) "no mapper work recorded" 0 sink2.Iced_mapper.Mapper.attempts
+
 let test_sweep_timeout_skips () =
   let config = { Sweep.default_config with Sweep.timeout_s = -1.0 } in
   let outcomes, stats =
@@ -257,4 +274,5 @@ let suite =
     ("sweep: 2 workers = serial, byte-identical", `Slow, test_sweep_parallel_matches_serial);
     ("sweep: smoke over a tiny space", `Quick, test_sweep_smoke_results);
     ("sweep: per-point timeout skips", `Quick, test_sweep_timeout_skips);
+    ("sweep: mapper telemetry accumulates", `Quick, test_sweep_mapper_stats);
   ]

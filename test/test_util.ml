@@ -125,6 +125,96 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare items)
 
+let test_heap_clear () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h p p) [ 3; 1; 2 ];
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h);
+  Alcotest.(check int) "size 0" 0 (Heap.size h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  (* the heap stays usable after a clear *)
+  List.iter (fun p -> Heap.push h p p) [ 9; 4 ];
+  Alcotest.(check bool) "min after refill" true (Heap.pop h = Some (4, 4))
+
+let test_heap_with_capacity () =
+  let h = Heap.with_capacity ~dummy:0 8 in
+  Alcotest.(check bool) "starts empty" true (Heap.is_empty h);
+  (* push past the preallocated capacity: it must grow transparently *)
+  for p = 16 downto 1 do
+    Heap.push h p p
+  done;
+  Alcotest.(check int) "holds all entries" 16 (Heap.size h);
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" (List.init 16 (fun i -> i + 1)) (drain [])
+
+(* Model check: a heap interleaving pushes, pops, and clears behaves
+   exactly like a sorted list under the same script. *)
+let prop_heap_model =
+  QCheck.Test.make ~name:"heap matches sorted-list model (push/pop/clear)" ~count:300
+    QCheck.(list (pair (int_bound 2) small_int))
+    (fun script ->
+      let h = Heap.with_capacity ~dummy:0 4 in
+      let model = ref [] in
+      let log_h = ref [] and log_m = ref [] in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | 0 ->
+            Heap.push h v v;
+            model := List.sort compare (v :: !model)
+          | 1 ->
+            (match Heap.pop h with
+            | Some (p, _) -> log_h := p :: !log_h
+            | None -> log_h := min_int :: !log_h);
+            (match !model with
+            | m :: rest ->
+              log_m := m :: !log_m;
+              model := rest
+            | [] -> log_m := min_int :: !log_m)
+          | _ ->
+            Heap.clear h;
+            model := [])
+        script;
+      !log_h = !log_m && Heap.size h = List.length !model)
+
+(* ---------------- Fnv ---------------- *)
+
+(* Digest pinning: these exact values are what makes persisted explore
+   cache keys and seeded fault campaigns stable across releases.  The
+   reference digests come from the published FNV-1a 64-bit test
+   vectors. *)
+let test_fnv_pinned_digests () =
+  let hex s = Fnv.to_hex (Fnv.hash_string s) in
+  Alcotest.(check string) "empty string" "cbf29ce484222325" (hex "");
+  Alcotest.(check string) "\"a\"" "af63dc4c8601ec8c" (hex "a");
+  Alcotest.(check string) "\"foobar\"" "85944171f73967e8" (hex "foobar")
+
+let test_fnv_constants () =
+  Alcotest.(check string) "offset basis" "cbf29ce484222325" (Fnv.to_hex Fnv.offset_basis);
+  Alcotest.(check string) "prime" "00000100000001b3" (Fnv.to_hex Fnv.prime)
+
+let test_fnv_string_matches_bytes () =
+  let s = "iced-dvfs" in
+  let folded = String.fold_left Fnv.byte Fnv.offset_basis s in
+  Alcotest.(check string) "string = fold byte"
+    (Fnv.to_hex folded)
+    (Fnv.to_hex (Fnv.string Fnv.offset_basis s))
+
+let test_fnv_int_order_sensitive () =
+  let a = Fnv.int (Fnv.int Fnv.offset_basis 1) 2 in
+  let b = Fnv.int (Fnv.int Fnv.offset_basis 2) 1 in
+  Alcotest.(check bool) "order matters" true (a <> b)
+
+let prop_fnv_hex_roundtrip =
+  QCheck.Test.make ~name:"fnv hex is 16 lowercase hex digits" ~count:200
+    QCheck.(string_gen_of_size Gen.(0 -- 64) Gen.printable)
+    (fun s ->
+      let h = Fnv.to_hex (Fnv.hash_string s) in
+      String.length h = 16
+      && String.for_all (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) h)
+
 (* ---------------- Table ---------------- *)
 
 let test_table_render () =
@@ -167,6 +257,14 @@ let suite =
     ("heap order", `Quick, test_heap_order);
     ("heap empty", `Quick, test_heap_empty);
     QCheck_alcotest.to_alcotest prop_heap_sorts;
+    ("heap clear", `Quick, test_heap_clear);
+    ("heap with_capacity", `Quick, test_heap_with_capacity);
+    QCheck_alcotest.to_alcotest prop_heap_model;
+    ("fnv pinned digests", `Quick, test_fnv_pinned_digests);
+    ("fnv constants", `Quick, test_fnv_constants);
+    ("fnv string folds bytes", `Quick, test_fnv_string_matches_bytes);
+    ("fnv int order sensitive", `Quick, test_fnv_int_order_sensitive);
+    QCheck_alcotest.to_alcotest prop_fnv_hex_roundtrip;
     ("table render", `Quick, test_table_render);
     ("table arity", `Quick, test_table_arity);
     ("table float format", `Quick, test_fmt_float);
