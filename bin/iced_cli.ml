@@ -6,7 +6,13 @@
      iced simulate gemm --iterations 50   functional simulation
      iced stream gcn --policy iced        streaming run
      iced report                          headline design comparison
-     iced explore --workers 4             design-space sweep + Pareto report *)
+     iced explore --workers 4             design-space sweep + Pareto report
+     iced fault lu --policies remap       fault-injection campaign
+     iced trace map fir --trace-out t.json  any of the above, traced
+
+   Every subcommand's term builds a thunk (its run function takes a
+   trailing unit), so the `trace` group can reuse the exact same
+   argument spec and wrap the thunk in Iced_obs.Export.capture. *)
 
 open Cmdliner
 open Iced_arch
@@ -70,6 +76,9 @@ let kernels_cmd =
   in
   Cmd.v (Cmd.info "kernels" ~doc:"List the benchmark kernels") Term.(const run $ const ())
 
+(* Subcommand terms evaluate to thunks: the plain commands apply them
+   immediately, the `trace` group wraps them in a capture session. *)
+
 let dot_arg =
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
          ~doc:"Write the kernel's DFG to FILE in Graphviz format.")
@@ -93,7 +102,9 @@ let map_json_arg =
 
 let print_mapper_stats ~json (kernel : Iced_kernels.Kernel.t) stats =
   if json then
-    Printf.printf "{\"kernel\":%S,\"mapper_stats\":%s}\n" kernel.name
+    (* %S is OCaml lexical syntax, not JSON — escape properly *)
+    Printf.printf "{\"kernel\":%s,\"mapper_stats\":%s}\n"
+      (Iced_util.Json.quote kernel.name)
       (Iced_mapper.Mapper.stats_to_json stats)
   else begin
     let t =
@@ -117,8 +128,8 @@ let print_mapper_stats ~json (kernel : Iced_kernels.Kernel.t) stats =
     Iced_util.Table.print t
   end
 
-let map_cmd =
-  let run kernel point unroll size dot floorplan config stats json =
+let map_term =
+  let run kernel point unroll size dot floorplan config stats json () =
     let cgra = Cgra.make ~rows:size ~cols:size () in
     (match dot with
     | Some path ->
@@ -149,11 +160,12 @@ let map_cmd =
         e.Design.avg_utilization e.Design.avg_dvfs e.Design.power_mw;
       if stats then print_mapper_stats ~json kernel telemetry
   in
-  Cmd.v
-    (Cmd.info "map" ~doc:"Map a kernel onto the CGRA and print the schedule")
-    Term.(
-      const run $ kernel_arg $ point_arg $ unroll_arg $ size_arg $ dot_arg $ floorplan_arg
-      $ config_arg $ stats_arg $ map_json_arg)
+  Term.(
+    const run $ kernel_arg $ point_arg $ unroll_arg $ size_arg $ dot_arg $ floorplan_arg
+    $ config_arg $ stats_arg $ map_json_arg)
+
+let map_doc = "Map a kernel onto the CGRA and print the schedule"
+let map_cmd = Cmd.v (Cmd.info "map" ~doc:map_doc) Term.(map_term $ const ())
 
 let iterations_arg =
   Arg.(value & opt int 25 & info [ "iterations" ] ~docv:"N" ~doc:"Loop iterations to run.")
@@ -162,8 +174,8 @@ let vcd_arg =
   Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE"
          ~doc:"Dump a value-change-dump waveform of the traced execution to FILE.")
 
-let simulate_cmd =
-  let run (kernel : Iced_kernels.Kernel.t) point unroll iterations vcd =
+let simulate_term =
+  let run (kernel : Iced_kernels.Kernel.t) point unroll iterations vcd () =
     match Design.evaluate ~unroll point kernel with
     | Error msg ->
       Printf.eprintf "mapping failed: %s\n" msg;
@@ -190,9 +202,10 @@ let simulate_cmd =
       if result.Iced_sim.Sim.stores <> golden || result.Iced_sim.Sim.violations <> []
       then exit 1
   in
-  Cmd.v
-    (Cmd.info "simulate" ~doc:"Execute a mapped kernel and check it functionally")
-    Term.(const run $ kernel_arg $ point_arg $ unroll_arg $ iterations_arg $ vcd_arg)
+  Term.(const run $ kernel_arg $ point_arg $ unroll_arg $ iterations_arg $ vcd_arg)
+
+let simulate_doc = "Execute a mapped kernel and check it functionally"
+let simulate_cmd = Cmd.v (Cmd.info "simulate" ~doc:simulate_doc) Term.(simulate_term $ const ())
 
 let app_arg =
   Arg.(required & pos 0 (some (enum [ ("gcn", `Gcn); ("lu", `Lu) ])) None
@@ -206,8 +219,8 @@ let policy_arg =
            Iced_stream.Runner.Iced_dvfs
        & info [ "policy" ] ~docv:"POLICY" ~doc:"Runtime policy: static, iced, or drips.")
 
-let stream_cmd =
-  let run app policy =
+let stream_term =
+  let run app policy () =
     let cgra = Cgra.iced_6x6 in
     let pipeline, inputs =
       match app with
@@ -255,9 +268,10 @@ let stream_cmd =
           Printf.sprintf "%.0f" totals.Iced_stream.Runner.overall_efficiency ];
       Iced_util.Table.print t
   in
-  Cmd.v
-    (Cmd.info "stream" ~doc:"Run a streaming application over its input dataset")
-    Term.(const run $ app_arg $ policy_arg)
+  Term.(const run $ app_arg $ policy_arg)
+
+let stream_doc = "Run a streaming application over its input dataset"
+let stream_cmd = Cmd.v (Cmd.info "stream" ~doc:stream_doc) Term.(stream_term $ const ())
 
 (* ------------------------------------------------------------------ *)
 (* explore: design-space sweep with persistent cache + Pareto report   *)
@@ -284,7 +298,7 @@ let floor_conv =
   in
   Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Dvfs.to_string l))
 
-let explore_cmd =
+let explore_term =
   let fabrics_arg =
     Arg.(value & opt (list dims_conv) [ (6, 6) ]
          & info [ "fabrics" ] ~docv:"RxC,..." ~doc:"Fabric dimensions to sweep.")
@@ -355,7 +369,7 @@ let explore_cmd =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No progress line on stderr.")
   in
   let run fabrics islands banks floors unrolls max_iis kernels sample seed workers
-      timeout cache_path no_cache csv json quiet =
+      timeout cache_path no_cache csv json quiet () =
     let islands =
       match islands with
       | Some shapes -> shapes
@@ -420,12 +434,13 @@ let explore_cmd =
     Format.eprintf "[explore] %a@." Explore.Sweep.pp_stats stats;
     Explore.Cache.close cache
   in
-  Cmd.v
-    (Cmd.info "explore" ~doc:"Sweep a design space and report its Pareto frontier")
-    Term.(
-      const run $ fabrics_arg $ islands_arg $ banks_arg $ floors_arg $ unrolls_arg
-      $ max_iis_arg $ kernels_arg $ sample_arg $ seed_arg $ workers_arg $ timeout_arg
-      $ cache_arg $ no_cache_arg $ csv_arg $ json_arg $ quiet_arg)
+  Term.(
+    const run $ fabrics_arg $ islands_arg $ banks_arg $ floors_arg $ unrolls_arg
+    $ max_iis_arg $ kernels_arg $ sample_arg $ seed_arg $ workers_arg $ timeout_arg
+    $ cache_arg $ no_cache_arg $ csv_arg $ json_arg $ quiet_arg)
+
+let explore_doc = "Sweep a design space and report its Pareto frontier"
+let explore_cmd = Cmd.v (Cmd.info "explore" ~doc:explore_doc) Term.(explore_term $ const ())
 
 (* ------------------------------------------------------------------ *)
 (* fault: seeded fault-injection campaign over the streaming pipeline  *)
@@ -433,7 +448,7 @@ let explore_cmd =
 module Campaign = Iced_campaign.Campaign
 module Fault = Iced_fault.Fault
 
-let fault_cmd =
+let fault_term =
   let app_conv =
     let parse s =
       match Campaign.app_of_string s with
@@ -526,7 +541,7 @@ let fault_cmd =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No progress line on stderr.")
   in
   let run app policy recoveries kinds seeds faults rate inputs window workers csv json
-      quiet =
+      quiet () =
     if seeds <= 0 then begin
       Printf.eprintf "--seeds must be positive\n";
       exit 1
@@ -572,16 +587,16 @@ let fault_cmd =
         Printf.eprintf "wrote %s\n" path
       | None -> ())
   in
-  Cmd.v
-    (Cmd.info "fault"
-       ~doc:"Run a seeded fault-injection campaign and compare recovery policies")
-    Term.(
-      const run $ app_arg $ policy_arg $ recoveries_arg $ kinds_arg $ seeds_arg
-      $ faults_arg $ rate_arg $ inputs_arg $ window_arg $ workers_arg $ csv_arg
-      $ json_arg $ quiet_arg)
+  Term.(
+    const run $ app_arg $ policy_arg $ recoveries_arg $ kinds_arg $ seeds_arg
+    $ faults_arg $ rate_arg $ inputs_arg $ window_arg $ workers_arg $ csv_arg
+    $ json_arg $ quiet_arg)
 
-let report_cmd =
-  let run size =
+let fault_doc = "Run a seeded fault-injection campaign and compare recovery policies"
+let fault_cmd = Cmd.v (Cmd.info "fault" ~doc:fault_doc) Term.(fault_term $ const ())
+
+let report_term =
+  let run size () =
     let cgra = Cgra.make ~rows:size ~cols:size () in
     let t =
       Iced_util.Table.create
@@ -605,9 +620,57 @@ let report_cmd =
       Design.all_points;
     Iced_util.Table.print t
   in
+  Term.(const run $ size_arg)
+
+let report_doc = "Compare the four design points on the kernel suite"
+let report_cmd = Cmd.v (Cmd.info "report" ~doc:report_doc) Term.(report_term $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* trace: any subcommand above, run under the Iced_obs collector       *)
+
+let trace_out_arg =
+  Arg.(value & opt string "trace.json"
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the Chrome/Perfetto trace-event JSON to FILE (open it in \
+                 ui.perfetto.dev or chrome://tracing).")
+
+let flame_arg =
+  Arg.(value & opt (some string) None
+       & info [ "flame" ] ~docv:"FILE"
+           ~doc:"Also write a plain-text flame summary (time per span path) to FILE.")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Also write the metrics registry (counters, gauges, histograms) as JSON \
+                 to FILE.")
+
+let traced_cmd name doc term =
+  let wrap out flame_out metrics_out thunk =
+    Iced_obs.Export.capture ~out ?flame_out ?metrics_out thunk;
+    let dropped = Iced_obs.Trace.dropped () in
+    if dropped > 0 then
+      Printf.eprintf "[trace] ring overflow: %d oldest events dropped\n" dropped;
+    Printf.eprintf "[trace] wrote %s\n" out
+  in
   Cmd.v
-    (Cmd.info "report" ~doc:"Compare the four design points on the kernel suite")
-    Term.(const run $ size_arg)
+    (Cmd.info name ~doc:(doc ^ " (traced)"))
+    Term.(const wrap $ trace_out_arg $ flame_arg $ metrics_out_arg $ term)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Run a subcommand with the tracing collector on and export the span trace, \
+          an optional flame summary, and optional metrics")
+    [
+      traced_cmd "map" map_doc map_term;
+      traced_cmd "simulate" simulate_doc simulate_term;
+      traced_cmd "stream" stream_doc stream_term;
+      traced_cmd "report" report_doc report_term;
+      traced_cmd "explore" explore_doc explore_term;
+      traced_cmd "fault" fault_doc fault_term;
+    ]
 
 let () =
   let doc = "ICED: DVFS-aware CGRA mapping, simulation, and evaluation" in
@@ -616,4 +679,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ kernels_cmd; map_cmd; simulate_cmd; stream_cmd; report_cmd; explore_cmd;
-            fault_cmd ]))
+            fault_cmd; trace_cmd ]))

@@ -45,9 +45,9 @@ let assign_levels point mapping =
   | Baseline_gated -> Levels.normal_with_gating mapping
   | Per_tile | Iced -> Levels.assign mapping
 
-let evaluate ?(cgra = Cgra.iced_6x6) ?(params = Iced_power.Params.default) ?(unroll = 1)
-    ?(label_floor = Dvfs.Rest) ?(max_ii = 64) ?(cancel = fun () -> false) ?stats point
-    kernel =
+module Trace = Iced_obs.Trace
+
+let evaluate_body ~cgra ~params ~unroll ~label_floor ~max_ii ~cancel ?stats point kernel =
   let fabric = fabric_of cgra point in
   let dfg = Iced_kernels.Kernel.dfg_at kernel ~factor:unroll in
   let req =
@@ -81,8 +81,37 @@ let evaluate ?(cgra = Cgra.iced_6x6) ?(params = Iced_power.Params.default) ?(unr
           speedup_vs_cpu = Metrics.speedup_vs_cpu mapping;
         })
 
-let evaluate_exn ?cgra ?params ?unroll ?label_floor ?max_ii ?cancel ?stats point kernel =
-  match evaluate ?cgra ?params ?unroll ?label_floor ?max_ii ?cancel ?stats point kernel with
+let evaluate ?(cgra = Cgra.iced_6x6) ?(params = Iced_power.Params.default) ?(unroll = 1)
+    ?(label_floor = Dvfs.Rest) ?(max_ii = 64) ?(cancel = fun () -> false) ?stats
+    ?(trace = true) point kernel =
+  let body () =
+    evaluate_body ~cgra ~params ~unroll ~label_floor ~max_ii ~cancel ?stats point kernel
+  in
+  let traced () =
+    if not (Trace.enabled ()) then body ()
+    else
+      Trace.with_span
+        ~args:
+          [
+            ("kernel", Trace.Str kernel.Iced_kernels.Kernel.name);
+            ("point", Trace.Str (point_to_string point));
+            ("unroll", Trace.Int unroll);
+          ]
+        ~cat:"design" ~name:"evaluate"
+        (fun () ->
+          let r = body () in
+          (match r with
+          | Ok e -> Trace.span_arg "ii" (Trace.Int e.ii)
+          | Error msg -> Trace.span_arg "error" (Trace.Str msg));
+          r)
+  in
+  if trace then traced () else Trace.suppress traced
+
+let evaluate_exn ?cgra ?params ?unroll ?label_floor ?max_ii ?cancel ?stats ?trace point
+    kernel =
+  match
+    evaluate ?cgra ?params ?unroll ?label_floor ?max_ii ?cancel ?stats ?trace point kernel
+  with
   | Ok e -> e
   | Error msg -> failwith ("Design.evaluate: " ^ msg)
 

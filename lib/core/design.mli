@@ -42,6 +42,7 @@ val evaluate :
   ?max_ii:int ->
   ?cancel:(unit -> bool) ->
   ?stats:Mapper.stats ->
+  ?trace:bool ->
   point ->
   Iced_kernels.Kernel.t ->
   (evaluation, string) result
@@ -54,7 +55,14 @@ val evaluate :
     design-space explorer's per-point work cap; [cancel] is polled
     between II attempts and aborts with a "deadline exceeded" error —
     the explorer's per-point timeout.  [stats] receives the mapper's
-    telemetry for this evaluation (merged in). *)
+    telemetry for this evaluation (merged in).
+
+    When the {!Iced_obs.Trace} collector is on, the evaluation runs
+    inside a ["design"]/["evaluate"] span carrying the kernel name,
+    design point, and unroll factor (plus the achieved II on success);
+    the mapper emits its own nested spans.  [trace:false] (default
+    [true]) suppresses all of them for this call without touching the
+    global collector — tracing never changes the result either way. *)
 
 val evaluate_exn :
   ?cgra:Cgra.t ->
@@ -64,10 +72,12 @@ val evaluate_exn :
   ?max_ii:int ->
   ?cancel:(unit -> bool) ->
   ?stats:Mapper.stats ->
+  ?trace:bool ->
   point ->
   Iced_kernels.Kernel.t ->
   evaluation
-(** @raise Failure when mapping fails. *)
+(** Same as {!evaluate} but raising on failure.
+    @raise Failure when mapping fails. *)
 
 val functional_check :
   ?iterations:int -> Iced_kernels.Kernel.t -> Mapping.t -> (unit, string) result

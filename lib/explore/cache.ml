@@ -25,20 +25,7 @@ let content_hash s = Iced_util.Fnv.(to_hex (hash_string s))
 (* ------------------------------------------------------------------ *)
 (* the flat-JSON subset the store emits                                *)
 
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let escape = Iced_util.Json.escape
 
 let record_to_line key (r : record) =
   let common = Printf.sprintf "\"v\":%d,\"h\":\"%s\",\"k\":\"%s\"" version (content_hash key) (escape key) in

@@ -18,7 +18,9 @@ type stats = {
   elapsed_s : float;
 }
 
-let run ?(config = default_config) ?mapper_stats ~cache points kernels =
+module Obs = Iced_obs.Trace
+
+let run_untraced ~config ?mapper_stats ~trace ~cache points kernels =
   let t0 = Unix.gettimeofday () in
   (* keys are computed once, up front: they embed the unrolled DFG's
      statistics, which are not free to recompute *)
@@ -47,6 +49,14 @@ let run ?(config = default_config) ?mapper_stats ~cache points kernels =
   in
   let jobs = Array.of_list jobs in
   let cached_pairs = List.length pairs - Array.length jobs in
+  Iced_obs.Metrics.incr ~by:cached_pairs "sweep.cache.hits";
+  Iced_obs.Metrics.incr ~by:(Array.length jobs) "sweep.cache.misses";
+  if trace && Obs.enabled () then
+    Obs.counter ~cat:"sweep" ~name:"cache"
+      [
+        ("hits", float_of_int cached_pairs);
+        ("misses", float_of_int (Array.length jobs));
+      ];
   let completed = ref 0 in
   let on_item _ =
     incr completed;
@@ -58,10 +68,34 @@ let run ?(config = default_config) ?mapper_stats ~cache points kernels =
      its own record, and the records are merged on the calling domain
      once the pool has drained — no cross-domain contention. *)
   let job_stats = Array.map (fun _ -> Iced_mapper.Mapper.create_stats ()) jobs in
+  (* [trace] rides into the worker closure as a plain bool: DLS-based
+     suppression does not inherit across domains, so each worker
+     decides locally.  Traced evaluations get a ["sweep"]/["point"]
+     span whose tid is the worker's domain id. *)
   let evaluate (i, (point, kernel, _key)) =
-    let started = Unix.gettimeofday () in
-    let cancel () = Unix.gettimeofday () -. started > config.timeout_s in
-    Outcome.evaluate_kernel ~cancel ~stats:job_stats.(i) ~params:config.params point kernel
+    let body () =
+      let started = Unix.gettimeofday () in
+      let cancel () = Unix.gettimeofday () -. started > config.timeout_s in
+      Outcome.evaluate_kernel ~cancel ~stats:job_stats.(i) ~params:config.params point
+        kernel
+    in
+    if not trace then Obs.suppress body
+    else if not (Obs.enabled ()) then body ()
+    else
+      Obs.with_span
+        ~args:
+          [
+            ("point", Obs.Str (Space.to_string point));
+            ("kernel", Obs.Str kernel.Iced_kernels.Kernel.name);
+          ]
+        ~cat:"sweep" ~name:"point"
+        (fun () ->
+          let r = body () in
+          (match r with
+          | Outcome.Mapped m -> Obs.span_arg "ii" (Obs.Int m.Outcome.ii)
+          | Outcome.Failed msg -> Obs.span_arg "error" (Obs.Str msg)
+          | Outcome.Timed_out -> Obs.span_arg "timeout" (Obs.Bool true));
+          r)
   in
   let fresh =
     Pool.map ~workers:config.workers ~on_item evaluate
@@ -108,6 +142,25 @@ let run ?(config = default_config) ?mapper_stats ~cache points kernels =
     }
   in
   (outcomes, stats)
+
+let run ?(config = default_config) ?mapper_stats ?(trace = true) ~cache points kernels =
+  let body () = run_untraced ~config ?mapper_stats ~trace ~cache points kernels in
+  if not trace then Obs.suppress body
+  else if not (Obs.enabled ()) then body ()
+  else
+    Obs.with_span
+      ~args:
+        [
+          ("points", Obs.Int (List.length points));
+          ("kernels", Obs.Int (List.length kernels));
+          ("workers", Obs.Int config.workers);
+        ]
+      ~cat:"sweep" ~name:"run"
+      (fun () ->
+        let ((_, stats) as r) = body () in
+        Obs.span_arg "fresh" (Obs.Int stats.fresh);
+        Obs.span_arg "cached" (Obs.Int stats.cached);
+        r)
 
 let pp_stats fmt s =
   Format.fprintf fmt

@@ -35,6 +35,7 @@ type stats = {
 val run :
   ?config:config ->
   ?mapper_stats:Iced_mapper.Mapper.stats ->
+  ?trace:bool ->
   cache:Cache.t ->
   Space.point list ->
   Iced_kernels.Kernel.t list ->
@@ -43,6 +44,14 @@ val run :
     kernel order, regardless of [workers].  [mapper_stats] aggregates
     the mapper telemetry of every fresh evaluation (cache hits run no
     mapper and contribute nothing); workers fill private records that
-    are merged after the pool drains, so the sink needs no locking. *)
+    are merged after the pool drains, so the sink needs no locking.
+
+    When the {!Iced_obs.Trace} collector is on, the sweep emits a
+    ["sweep"]/["run"] span, one ["sweep"]/["point"] span per fresh
+    evaluation (recorded on the evaluating worker's domain, so its
+    [tid] is the domain id), and a ["sweep"]/["cache"] counter sample
+    with the hit/miss split.  [trace:false] silences all of it — on
+    the calling domain and on every worker — and the results are
+    byte-identical either way (pinned by the determinism test). *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -96,6 +96,40 @@ let retention_of ~(baseline : Runner.totals) (stats : Runner.fault_stats)
   in
   completion *. speed
 
+let cell_untraced spec ~cgra ~partition ~baseline ~inputs (seed, recovery) =
+  let plan =
+    Fault.random_plan ~seed ~cgra ~inputs:spec.inputs ~rate:spec.upset_rate
+      ~kinds:spec.kinds ~count:spec.faults_per_run ()
+  in
+  match
+    Runner.run_resilient ~window:spec.window ~faults:plan ~recovery partition spec.policy
+      inputs
+  with
+  | exception e ->
+    {
+      seed;
+      recovery;
+      plan;
+      stats = Runner.no_faults;
+      totals = Runner.aggregate [];
+      retention = 0.0;
+      survived = false;
+      error = Some (Printexc.to_string e);
+    }
+  | reports, stats ->
+    let totals = Runner.aggregate reports in
+    let retention = retention_of ~baseline stats totals in
+    {
+      seed;
+      recovery;
+      plan;
+      stats;
+      totals;
+      retention;
+      survived = retention >= 0.5;
+      error = None;
+    }
+
 let run ?(progress = fun _ _ -> ()) spec =
   match validate spec with
   | Error e -> Error e
@@ -120,38 +154,21 @@ let run ?(progress = fun _ _ -> ()) spec =
       in
       let total = Array.length jobs in
       let cell (seed, recovery) =
-        let plan =
-          Fault.random_plan ~seed ~cgra ~inputs:spec.inputs ~rate:spec.upset_rate
-            ~kinds:spec.kinds ~count:spec.faults_per_run ()
-        in
-        match
-          Runner.run_resilient ~window:spec.window ~faults:plan ~recovery partition
-            spec.policy inputs
-        with
-        | exception e ->
-          {
-            seed;
-            recovery;
-            plan;
-            stats = Runner.no_faults;
-            totals = Runner.aggregate [];
-            retention = 0.0;
-            survived = false;
-            error = Some (Printexc.to_string e);
-          }
-        | reports, stats ->
-          let totals = Runner.aggregate reports in
-          let retention = retention_of ~baseline stats totals in
-          {
-            seed;
-            recovery;
-            plan;
-            stats;
-            totals;
-            retention;
-            survived = retention >= 0.5;
-            error = None;
-          }
+        if not (Iced_obs.Trace.enabled ()) then
+          cell_untraced spec ~cgra ~partition ~baseline ~inputs (seed, recovery)
+        else
+          Iced_obs.Trace.with_span
+            ~args:
+              [
+                ("seed", Iced_obs.Trace.Int seed);
+                ("recovery", Iced_obs.Trace.Str (Runner.recovery_to_string recovery));
+              ]
+            ~cat:"campaign" ~name:"cell"
+            (fun () ->
+              let r = cell_untraced spec ~cgra ~partition ~baseline ~inputs (seed, recovery) in
+              Iced_obs.Trace.span_arg "retention" (Iced_obs.Trace.Float r.retention);
+              Iced_obs.Trace.span_arg "survived" (Iced_obs.Trace.Bool r.survived);
+              r)
       in
       let finished = ref 0 in
       let on_item _ =

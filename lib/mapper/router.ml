@@ -162,7 +162,7 @@ let route ?(extra_cost = fun ~tile:_ ~time:_ -> 0) ?(hop_width = fun _ -> 1) ?sc
   (match stats with
   | Some (s : Telemetry.t) -> s.route_calls <- s.route_calls + 1
   | None -> ());
-  let result =
+  let compute () =
     let cgra = Mrrg.cgra mrrg in
     let tiles = Cgra.tile_count cgra in
     if deadline < src_time then
@@ -253,6 +253,26 @@ let route ?(extra_cost = fun ~tile:_ ~time:_ -> 0) ?(hop_width = fun _ -> 1) ?sc
         match reserve [] hops with Ok () -> Ok (hops, cost) | Error msg -> Error msg
       end
     end
+  in
+  let result =
+    if not (Iced_obs.Trace.enabled ()) then compute ()
+    else
+      Iced_obs.Trace.with_span
+        ~args:
+          [
+            ( "edge",
+              Iced_obs.Trace.Str
+                (Printf.sprintf "n%d->n%d" edge.Graph.src edge.Graph.dst) );
+          ]
+        ~cat:"mapper" ~name:"route"
+        (fun () ->
+          match compute () with
+          | Ok (_, cost) as r ->
+            Iced_obs.Trace.span_arg "cost" (Iced_obs.Trace.Int cost);
+            r
+          | Error _ as r ->
+            Iced_obs.Trace.span_arg "ok" (Iced_obs.Trace.Bool false);
+            r)
   in
   (match (result, stats) with
   | Error _, Some (s : Telemetry.t) -> s.route_failures <- s.route_failures + 1

@@ -1,6 +1,7 @@
 open Iced_arch
 open Iced_dfg
 module Mrrg = Iced_mrrg.Mrrg
+module Obs = Iced_obs.Trace
 
 type strategy = Cost.strategy = Conventional | Dvfs_aware
 
@@ -316,7 +317,7 @@ let route_incident state node tile time =
     undo ();
     Error msg
 
-let place_node state node =
+let place_node_untraced state node =
   let cgra = state.req.cgra in
   let op = (Graph.node state.dfg node).op in
   let memory_ok tile = (not (Op.needs_memory op)) || List.mem tile state.memory_tiles in
@@ -456,6 +457,19 @@ let place_node state node =
       | Error msg -> ( match rest with [] -> Error msg | _ -> first_success msg rest))
   in
   first_success "no tile sets" tile_sets
+
+let place_node state node =
+  if not (Obs.enabled ()) then place_node_untraced state node
+  else
+    Obs.with_span
+      ~args:[ ("node", Obs.Int node) ]
+      ~cat:"mapper" ~name:"place"
+      (fun () ->
+        match place_node_untraced state node with
+        | Ok () as r -> r
+        | Error msg as r ->
+          Obs.span_arg "error" (Obs.Str msg);
+          r)
 
 let attempt_ii ~scratch ~stats req dfg ~tiles ~memory_tiles ~ii ~margin =
   let labels =
@@ -628,7 +642,7 @@ let run ?stats (req : request) dfg =
   let t = Telemetry.create () in
   let scratch = Router.create_scratch () in
   let t0 = Unix.gettimeofday () in
-  let result =
+  let compute () =
     match Graph.validate dfg with
     | Error msg -> Error ("invalid DFG: " ^ msg)
     | Ok () ->
@@ -664,6 +678,7 @@ let run ?stats (req : request) dfg =
               Error
                 (Printf.sprintf "no mapping up to II=%d (last: %s)" req.max_ii last_err)
             else begin
+              let attempt_block () =
               let ii_t0 = Unix.gettimeofday () in
               let rec margins req last_err position = function
                 | [] -> Error last_err
@@ -707,10 +722,36 @@ let run ?stats (req : request) dfg =
               in
               let outcome = try_attempts last_err attempts in
               Telemetry.add_ii_time t ~ii (Unix.gettimeofday () -. ii_t0);
+              outcome
+              in
+              let outcome =
+                if not (Obs.enabled ()) then attempt_block ()
+                else
+                  Obs.with_span
+                    ~args:[ ("ii", Obs.Int ii) ]
+                    ~cat:"mapper" ~name:"ii"
+                    (fun () ->
+                      let o = attempt_block () in
+                      (match o with
+                      | Ok _ -> Obs.span_arg "ok" (Obs.Bool true)
+                      | Error msg -> Obs.span_arg "error" (Obs.Str msg));
+                      Obs.counter ~cat:"mapper" ~name:"telemetry"
+                        [
+                          ("attempts", float_of_int t.Telemetry.attempts);
+                          ("placements", float_of_int t.Telemetry.placements_tried);
+                          ("route_calls", float_of_int t.Telemetry.route_calls);
+                          ("expansions", float_of_int t.Telemetry.expansions);
+                        ];
+                      o)
+              in
               match outcome with
               | Ok mapping -> Ok mapping
               | Error msg ->
                 t.Telemetry.ii_bumps <- t.Telemetry.ii_bumps + 1;
+                if Obs.enabled () then
+                  Obs.instant
+                    ~args:[ ("from_ii", Obs.Int ii); ("reason", Obs.Str msg) ]
+                    ~cat:"mapper" ~name:"ii_bump" ();
                 search (ii + 1) msg
             end
           in
@@ -718,6 +759,23 @@ let run ?stats (req : request) dfg =
         end
       end
   in
+  let result =
+    if not (Obs.enabled ()) then compute ()
+    else
+      Obs.with_span
+        ~args:[ ("nodes", Obs.Int (Graph.node_count dfg)) ]
+        ~cat:"mapper" ~name:"map"
+        (fun () ->
+          let r = compute () in
+          (match r with
+          | Ok m -> Obs.span_arg "ii" (Obs.Int m.Mapping.ii)
+          | Error msg -> Obs.span_arg "error" (Obs.Str msg));
+          r)
+  in
   t.Telemetry.wall_s <- Unix.gettimeofday () -. t0;
   (match stats with Some sink -> Telemetry.merge ~into:sink t | None -> ());
+  Iced_obs.Metrics.incr "mapper.runs";
+  Iced_obs.Metrics.incr ~by:t.Telemetry.attempts "mapper.attempts";
+  Iced_obs.Metrics.incr ~by:t.Telemetry.route_calls "mapper.route_calls";
+  Iced_obs.Metrics.observe "mapper.wall_s" t.Telemetry.wall_s;
   result

@@ -1,0 +1,161 @@
+module Json = Iced_util.Json
+
+(* Log2 bucket exponents: 2^-16 (~15 us if samples are seconds) up to
+   2^47.  64 buckets total; out-of-range samples clamp to the ends. *)
+let min_exp = -16
+let max_exp = 47
+let n_buckets = max_exp - min_exp + 1
+
+type histogram = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let mu = Mutex.create ()
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let locked f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+    Mutex.unlock mu;
+    v
+  | exception e ->
+    Mutex.unlock mu;
+    raise e
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset counters;
+      Hashtbl.reset gauges;
+      Hashtbl.reset histograms)
+
+let incr ?(by = 1) name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c := !c + by
+      | None -> Hashtbl.replace counters name (ref by))
+
+let gauge name v =
+  locked (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g := v
+      | None -> Hashtbl.replace gauges name (ref v))
+
+let bucket_of v =
+  if v <= 0.0 || Float.is_nan v then 0
+  else
+    let e = int_of_float (Float.ceil (Float.log2 v)) in
+    let e = if e < min_exp then min_exp else if e > max_exp then max_exp else e in
+    e - min_exp
+
+let observe name v =
+  locked (fun () ->
+      let h =
+        match Hashtbl.find_opt histograms name with
+        | Some h -> h
+        | None ->
+          let h =
+            {
+              buckets = Array.make n_buckets 0;
+              count = 0;
+              sum = 0.0;
+              min_v = Float.infinity;
+              max_v = Float.neg_infinity;
+            }
+          in
+          Hashtbl.replace histograms name h;
+          h
+      in
+      let b = bucket_of v in
+      h.buckets.(b) <- h.buckets.(b) + 1;
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      if v < h.min_v then h.min_v <- v;
+      if v > h.max_v then h.max_v <- v)
+
+let counter_value name =
+  locked (fun () -> Option.map (fun c -> !c) (Hashtbl.find_opt counters name))
+
+let gauge_value name =
+  locked (fun () -> Option.map (fun g -> !g) (Hashtbl.find_opt gauges name))
+
+let histogram_stats name =
+  locked (fun () ->
+      Option.map
+        (fun h -> (h.count, h.sum, h.min_v, h.max_v))
+        (Hashtbl.find_opt histograms name))
+
+(* ------------------------------------------------------------------ *)
+(* export                                                              *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let bucket_label i = Printf.sprintf "<=2^%d" (i + min_exp)
+
+let histogram_json h =
+  let buckets =
+    Array.to_list
+      (Array.mapi
+         (fun i n -> if n = 0 then None else Some (Printf.sprintf "%s:%d" (Json.quote (bucket_label i)) n))
+         h.buckets)
+    |> List.filter_map Fun.id
+  in
+  Printf.sprintf "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"buckets\":{%s}}" h.count
+    (Json.number h.sum) (Json.number h.min_v) (Json.number h.max_v)
+    (String.concat "," buckets)
+
+let to_json () =
+  locked (fun () ->
+      let counters =
+        sorted_bindings counters
+        |> List.map (fun (k, c) -> Printf.sprintf "%s:%d" (Json.quote k) !c)
+      in
+      let gauges =
+        sorted_bindings gauges
+        |> List.map (fun (k, g) -> Printf.sprintf "%s:%s" (Json.quote k) (Json.number !g))
+      in
+      let histograms =
+        sorted_bindings histograms
+        |> List.map (fun (k, h) -> Printf.sprintf "%s:%s" (Json.quote k) (histogram_json h))
+      in
+      Printf.sprintf
+        "{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}}\n"
+        (String.concat "," counters)
+        (String.concat "," gauges)
+        (String.concat "," histograms))
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv () =
+  locked (fun () ->
+      let b = Buffer.create 256 in
+      Buffer.add_string b "kind,name,field,value\n";
+      List.iter
+        (fun (k, c) -> Buffer.add_string b (Printf.sprintf "counter,%s,value,%d\n" (csv_escape k) !c))
+        (sorted_bindings counters);
+      List.iter
+        (fun (k, g) ->
+          Buffer.add_string b (Printf.sprintf "gauge,%s,value,%s\n" (csv_escape k) (Json.number !g)))
+        (sorted_bindings gauges);
+      List.iter
+        (fun (k, h) ->
+          let row field v =
+            Buffer.add_string b (Printf.sprintf "histogram,%s,%s,%s\n" (csv_escape k) field v)
+          in
+          row "count" (string_of_int h.count);
+          row "sum" (Json.number h.sum);
+          row "min" (Json.number h.min_v);
+          row "max" (Json.number h.max_v))
+        (sorted_bindings histograms);
+      Buffer.contents b)

@@ -1,4 +1,5 @@
 open Iced_arch
+module Obs = Iced_obs.Trace
 
 type t = {
   window_size : int;
@@ -11,6 +12,7 @@ type t = {
          survive a return of the recent past, not just this window *)
   mutable inputs_seen : int;
   mutable adjustments : int;
+  mutable last_bottleneck : (string * float) option;
 }
 
 (* Lowering a kernel one level doubles its time; only lower when even
@@ -30,6 +32,7 @@ let create ?(window = 10) ?(floor = Dvfs.Rest) ?(label_floors = []) ~labels () =
     long_worst = Hashtbl.create 16;
     inputs_seen = 0;
     adjustments = 0;
+    last_bottleneck = None;
   }
 
 let window t = t.window_size
@@ -49,7 +52,7 @@ let mean samples = Iced_util.Stats.mean samples
 
 let long_worst_decay = 0.5
 
-let adjust t =
+let adjust_body t =
   let stats =
     List.filter_map
       (fun (label, _) ->
@@ -78,6 +81,11 @@ let adjust t =
         (fun (bl, bt) (l, time, _) -> if time > bt then (l, time) else (bl, bt))
         (first_label, first_time) rest
     in
+    t.last_bottleneck <- Some (bottleneck_label, bottleneck_time);
+    if Obs.enabled () then begin
+      Obs.span_arg "bottleneck" (Obs.Str bottleneck_label);
+      Obs.span_arg "bottleneck_us" (Obs.Float bottleneck_time)
+    end;
     let changed = ref false in
     let new_levels =
       List.map
@@ -134,12 +142,37 @@ let adjust t =
               else level
             end
           in
-          if next <> level then changed := true;
+          if next <> level then begin
+            changed := true;
+            if Obs.enabled () then
+              Obs.instant
+                ~args:
+                  [
+                    ("kernel", Obs.Str label);
+                    ("from", Obs.Str (Dvfs.to_string level));
+                    ("to", Obs.Str (Dvfs.to_string next));
+                  ]
+                ~cat:"controller" ~name:"level" ()
+          end;
           (label, next))
         t.levels
     in
     if !changed then t.adjustments <- t.adjustments + 1;
     t.levels <- new_levels
+
+(* The decision step of Algorithm 3, traced as one ["controller"]
+   ["adjust"] span per window: the window index, the bottleneck kernel
+   and its time land as span args; every per-kernel level move is a
+   ["level"] instant. *)
+let adjust t =
+  if not (Obs.enabled ()) then adjust_body t
+  else
+    Obs.with_span
+      ~args:[ ("window", Obs.Int ((t.inputs_seen / t.window_size) - 1)) ]
+      ~cat:"controller" ~name:"adjust"
+      (fun () -> adjust_body t)
+
+let last_bottleneck t = t.last_bottleneck
 
 let input_done t =
   t.inputs_seen <- t.inputs_seen + 1;

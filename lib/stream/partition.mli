@@ -17,13 +17,15 @@ open Iced_mapper
 
 type candidate = {
   islands : int;  (** island count this mapping was built for *)
-  mapping : Mapping.t;
+  mapping : Mapping.t;  (** the mapping achieved at that count *)
 }
+(** One pre-compiled (island count, mapping) option for an instance. *)
 
 type prepared_instance = {
   instance : Pipeline.instance;
   candidates : candidate list;  (** one per feasible island count *)
 }
+(** An instance with every mapping the allocator may pick from. *)
 
 type t = {
   cgra : Cgra.t;
@@ -39,9 +41,12 @@ type t = {
           set, derived from each kernel's profiled worst-case share of
           the bottleneck *)
 }
+(** A chosen partition: the prepared mappings plus the island
+    allocation the exhaustive search settled on. *)
 
 val candidate_for : prepared_instance -> int -> candidate option
-(** The mapping prepared for a given island count. *)
+(** The mapping prepared for a given island count, [None] when the
+    instance could not map at that count. *)
 
 val ii_for : t -> string -> int -> int
 (** II of an instance when given [count] islands; [max_int] when no

@@ -21,8 +21,11 @@ type instance = {
 }
 
 type stage = instance list
+(** Instances that run concurrently on disjoint island sets; an input
+    leaves a stage only when every instance in it is done. *)
 
 type t = { name : string; stages : stage list }
+(** A whole streaming application: stages in dataflow order. *)
 
 val gcn : unit -> t
 (** The 2-layer GCN inference pipeline: compress -> aggregate ->
@@ -37,7 +40,12 @@ val instances : t -> instance list
 (** All instances, pipeline order. *)
 
 val of_gcn_graph : Workload.gcn_graph -> input
+(** Lift a synthetic GCN graph into the feature vector the {!gcn}
+    pipeline's iteration functions read ("vertices", "edges"). *)
+
 val of_lu_matrix : Workload.lu_matrix -> input
+(** Lift a synthetic LU matrix into the feature vector the {!lu}
+    pipeline's iteration functions read ("dim", "nnz"). *)
 
 val find : t -> string -> instance
 (** @raise Not_found for unknown labels. *)

@@ -3,6 +3,7 @@ module Model = Iced_power.Model
 module Params = Iced_power.Params
 module Metrics = Iced_sim.Metrics
 module Fault = Iced_fault.Fault
+module Obs = Iced_obs.Trace
 
 type policy = Static | Iced_dvfs | Drips
 
@@ -271,8 +272,8 @@ let rebuild ?stats cgra st =
 (* ------------------------------------------------------------------ *)
 (* the resilient streaming loop *)
 
-let run_resilient ?(window = 10) ?(params = Params.default) ?(faults = Fault.none)
-    ?(recovery = Fail_stop) ?stats (partition : Partition.t) policy inputs =
+let run_resilient_untraced ~window ~params ~faults ~recovery ?stats
+    (partition : Partition.t) policy inputs =
   if policy = Drips && not (Fault.is_empty faults) then
     invalid_arg
       "Runner.run_resilient: the DRIPS baseline has no fault model; use Static or Iced_dvfs";
@@ -483,8 +484,26 @@ let run_resilient ?(window = 10) ?(params = Params.default) ?(faults = Fault.non
   in
   let total = List.length inputs in
   let consume i input =
-    (* injections scheduled for this input fire just before it *)
-    List.iter inject (Fault.events_at faults i);
+    (* injections scheduled for this input fire just before it; when
+       traced, each gets an activation instant plus a recovery span
+       carrying the reconfiguration latency it charged (MTTR feed) *)
+    List.iter
+      (fun fault ->
+        if not (Obs.enabled ()) then inject fault
+        else begin
+          Obs.instant
+            ~args:
+              [ ("input", Obs.Int i); ("kind", Obs.Str (Fault.kind_to_string fault)) ]
+            ~cat:"fault" ~name:"activate" ();
+          Obs.with_span
+            ~args:[ ("recovery", Obs.Str (recovery_to_string recovery)) ]
+            ~cat:"fault" ~name:"recover"
+            (fun () ->
+              let before = !recovery_time_us in
+              inject fault;
+              Obs.span_arg "recovery_us" (Obs.Float (!recovery_time_us -. before)))
+        end)
+      (Fault.events_at faults i);
     let period_us, costs, tiles, sram_activity =
       account ~override params partition ~allocation:(allocation ()) ~level_of input
     in
@@ -540,10 +559,60 @@ let run_resilient ?(window = 10) ?(params = Params.default) ?(faults = Fault.non
     (match policy with
     | Iced_dvfs -> Controller.input_done controller
     | Drips -> Drips.input_done drips
-    | Static -> ());
-    if (i + 1) mod window = 0 then flush (i / window)
+    | Static -> ())
   in
-  (try List.iteri consume inputs
+  (* One window of the stream: consume its inputs, then flush the
+     report (full windows only; a trailing partial window is flushed
+     once by the caller, exactly as the flat loop did).  When traced,
+     the window runs inside a ["stream"]/["window"] span stamped with
+     the report's input counts, the controller's bottleneck kernel,
+     and the closing per-kernel levels. *)
+  let consume_window w first these =
+    let body () =
+      List.iteri (fun j input -> consume (first + j) input) these;
+      if List.length these = window then flush w
+    in
+    if not (Obs.enabled ()) then body ()
+    else
+      Obs.with_span
+        ~args:[ ("window", Obs.Int w) ]
+        ~cat:"stream" ~name:"window"
+        (fun () ->
+          body ();
+          (match Controller.last_bottleneck controller with
+          | Some (label, _) when policy = Iced_dvfs ->
+            Obs.span_arg "bottleneck" (Obs.Str label)
+          | _ -> ());
+          match !reports with
+          | r :: _ when r.index = w ->
+            Obs.span_arg "inputs" (Obs.Int r.inputs);
+            Obs.span_arg "dropped" (Obs.Int r.dropped);
+            Obs.span_arg "replayed" (Obs.Int r.replayed);
+            List.iter
+              (fun (label, lvl) ->
+                Obs.span_arg ("level:" ^ label) (Obs.Str (Dvfs.to_string lvl)))
+              r.levels
+          | _ -> ())
+  in
+  let rec split_at n l =
+    if n = 0 then ([], l)
+    else
+      match l with
+      | [] -> ([], [])
+      | x :: rest ->
+        let a, b = split_at (n - 1) rest in
+        (x :: a, b)
+  in
+  (try
+     let rec loop w first remaining =
+       match remaining with
+       | [] -> ()
+       | _ ->
+         let these, rest = split_at window remaining in
+         consume_window w first these;
+         loop (w + 1) (first + List.length these) rest
+     in
+     loop 0 0 inputs
    with Recovery_failed _ ->
      (* fail-stop (or an exhausted recovery): the remaining stream is
         lost; account the loss instead of hiding it *)
@@ -570,10 +639,34 @@ let run_resilient ?(window = 10) ?(params = Params.default) ?(faults = Fault.non
       completed = !completed;
     }
   in
+  Iced_obs.Metrics.incr "stream.runs";
+  Iced_obs.Metrics.incr ~by:stats.injected "stream.faults.injected";
+  Iced_obs.Metrics.incr ~by:stats.recoveries "stream.faults.recoveries";
   (List.rev !reports, stats)
 
-let run ?window ?params partition policy inputs =
-  fst (run_resilient ?window ?params ~faults:Fault.none partition policy inputs)
+let run_resilient ?(window = 10) ?(params = Params.default) ?(faults = Fault.none)
+    ?(recovery = Fail_stop) ?stats ?(trace = true) partition policy inputs =
+  let body () =
+    run_resilient_untraced ~window ~params ~faults ~recovery ?stats partition policy
+      inputs
+  in
+  let traced () =
+    if not (Obs.enabled ()) then body ()
+    else
+      Obs.with_span
+        ~args:
+          [
+            ("policy", Obs.Str (policy_to_string policy));
+            ("recovery", Obs.Str (recovery_to_string recovery));
+            ("inputs", Obs.Int (List.length inputs));
+            ("window", Obs.Int window);
+          ]
+        ~cat:"stream" ~name:"run" body
+  in
+  if trace then traced () else Obs.suppress body
+
+let run ?window ?params ?trace partition policy inputs =
+  fst (run_resilient ?window ?params ~faults:Fault.none ?trace partition policy inputs)
 
 type totals = {
   total_inputs : int;

@@ -19,7 +19,20 @@
     fires.  Everything stays deterministic: the plan's seed drives the
     upset draws, and remap retries are bounded by a poll budget rather
     than wall-clock time, so a fault campaign is byte-identical across
-    worker counts. *)
+    worker counts.
+
+    {2 Tracing}
+
+    When the {!Iced_obs.Trace} collector is on, a run emits a
+    ["stream"]/["run"] span wrapping the whole stream, one
+    ["stream"]/["window"] span per observation window (stamped with the
+    window index, consumed/dropped/replayed input counts, the
+    controller's bottleneck kernel, and the closing per-kernel levels),
+    a ["fault"]/["activate"] instant per injected fault, and a
+    ["fault"]/["recover"] span per recovery action carrying the
+    reconfiguration latency it charged.  Pass [trace:false] to silence
+    all of it for one call; either way the reports are byte-identical
+    — tracing observes, never steers. *)
 
 open Iced_arch
 
@@ -83,13 +96,15 @@ val no_faults : fault_stats
 val run :
   ?window:int ->
   ?params:Iced_power.Params.t ->
+  ?trace:bool ->
   Partition.t ->
   policy ->
   Pipeline.input list ->
   window_report list
 (** Stream the inputs through the pipeline.  [window] defaults to the
-    paper's 10 inputs.  Equivalent to {!run_resilient} under the empty
-    fault plan. *)
+    paper's 10 inputs; [trace:false] silences this run's trace spans
+    (see the {e Tracing} section above).  Equivalent to
+    {!run_resilient} under the empty fault plan. *)
 
 val run_resilient :
   ?window:int ->
@@ -97,6 +112,7 @@ val run_resilient :
   ?faults:Iced_fault.Fault.plan ->
   ?recovery:recovery ->
   ?stats:Iced_mapper.Mapper.stats ->
+  ?trace:bool ->
   Partition.t ->
   policy ->
   Pipeline.input list ->
@@ -106,7 +122,9 @@ val run_resilient :
     at input [k] fires just before input [k] is consumed.  Under the
     empty plan the reports are identical to {!run}'s.  [stats]
     accumulates the mapper telemetry of every recovery remap (clean
-    geometries reuse prepared mappings and contribute nothing).
+    geometries reuse prepared mappings and contribute nothing);
+    [trace:false] silences this run's trace spans (see the {e Tracing}
+    section above).
     @raise Invalid_argument for [Drips] with a non-empty plan (the
     DRIPS baseline has no fault model). *)
 

@@ -1,0 +1,27 @@
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let quote s = "\"" ^ escape s ^ "\""
+
+let number f =
+  match Float.classify_float f with
+  | Float.FP_infinite -> if f > 0.0 then "\"inf\"" else "\"-inf\""
+  | Float.FP_nan -> "\"nan\""
+  | _ ->
+    let s = Printf.sprintf "%.6g" f in
+    (* "%.6g" can produce "1e+06", valid JSON; bare "." forms are not
+       emitted by %g, so the string is always a JSON number *)
+    s

@@ -1,0 +1,25 @@
+(** Minimal JSON string encoding: the one escaping routine every
+    hand-rolled JSON emitter in the repository shares.
+
+    The explore cache, the CLI's [--stats --json] payload, and the
+    observability exporters all write flat JSON with [Printf]; each used
+    to carry its own escaping (or lean on [%S], whose OCaml lexical
+    escapes — ["\123"], ["\xFF"] — are not JSON).  This module is the
+    single copy.  Only encoding lives here: the explore cache keeps its
+    own tolerant line parser. *)
+
+val escape : string -> string
+(** Body of a JSON string literal for [s], without the surrounding
+    quotes: escapes ["\""], ["\\"], newline, carriage return, tab, and
+    all other control bytes below [0x20] as [\u00XX].  Every other byte
+    passes through unchanged. *)
+
+val quote : string -> string
+(** [quote s] is [escape s] wrapped in double quotes — a complete JSON
+    string literal. *)
+
+val number : float -> string
+(** A finite JSON number rendering of [f] ([%.17g]-precision round-trip
+    is not attempted; [%.6g] is used).  JSON has no [inf]/[nan]
+    literals, so non-finite values are rendered as quoted strings
+    (["\"inf\""], ["\"-inf\""], ["\"nan\""]) — lossy but parseable. *)

@@ -16,4 +16,5 @@ let () =
       ("fault", Test_fault.suite);
       ("design", Test_design.suite);
       ("explore", Test_explore.suite);
+      ("obs", Test_obs.suite);
     ]

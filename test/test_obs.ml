@@ -1,0 +1,511 @@
+(* Tests for the observability subsystem (lib/obs): the trace-event
+   JSON exporter is validated against a real JSON parser, a qcheck
+   property drives random span trees through the collector, and two
+   determinism pins guarantee that tracing observes without steering —
+   the golden mapper corpus and a sweep run must be byte-identical with
+   the collector on or off. *)
+
+module Trace = Iced_obs.Trace
+module Export = Iced_obs.Export
+module Metrics = Iced_obs.Metrics
+
+(* ---------------- a small strict JSON parser ----------------
+
+   Validation against the trace-event format has to start from the raw
+   bytes the exporter produced, so the tests carry their own
+   recursive-descent parser (the repo has no JSON dependency by
+   design).  Strict: rejects trailing garbage, raw control characters
+   in strings, and malformed escapes. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_lit lit v =
+    let len = String.length lit in
+    if !pos + len <= n && String.sub s !pos len = lit then begin
+      pos := !pos + len;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' ->
+        advance ();
+        Buffer.contents b
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          for _ = 1 to 4 do
+            (match peek () with
+            | Some c when is_hex c -> ()
+            | _ -> fail "non-hex digit in \\u escape");
+            advance ()
+          done
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+          advance ();
+          Buffer.add_char b '?'
+        | _ -> fail "invalid escape");
+        go ()
+      | Some c when Char.code c < 0x20 -> fail "raw control character in string"
+      | Some c ->
+        advance ();
+        Buffer.add_char b c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    let str = String.sub s start (!pos - start) in
+    match float_of_string_opt str with
+    | Some f -> Num f
+    | None -> fail ("malformed number " ^ str)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> parse_obj ()
+    | Some '[' -> parse_arr ()
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> parse_lit "true" (Bool true)
+    | Some 'f' -> parse_lit "false" (Bool false)
+    | Some 'n' -> parse_lit "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | _ -> fail "unexpected character"
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      advance ();
+      Obj []
+    end
+    else
+      let rec members acc =
+        skip_ws ();
+        let key = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          members ((key, v) :: acc)
+        | Some '}' ->
+          advance ();
+          Obj (List.rev ((key, v) :: acc))
+        | _ -> fail "expected ',' or '}' in object"
+      in
+      members []
+  and parse_arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      advance ();
+      Arr []
+    end
+    else
+      let rec elems acc =
+        let v = parse_value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          elems (v :: acc)
+        | Some ']' ->
+          advance ();
+          Arr (List.rev (v :: acc))
+        | _ -> fail "expected ',' or ']' in array"
+      in
+      elems []
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function Obj l -> List.assoc_opt key l | _ -> None
+
+let num_member key ev =
+  match member key ev with
+  | Some (Num f) -> f
+  | _ -> raise (Bad_json (Printf.sprintf "missing numeric member %S" key))
+
+let str_member key ev =
+  match member key ev with
+  | Some (Str s) -> s
+  | _ -> raise (Bad_json (Printf.sprintf "missing string member %S" key))
+
+(* Validate a rendered document against the trace-event contract.
+   Returns the parsed event objects for further assertions. *)
+let validate_doc doc_str =
+  let doc = parse_json doc_str in
+  (match member "displayTimeUnit" doc with
+  | Some (Str "ms") -> ()
+  | _ -> failwith "displayTimeUnit missing or not \"ms\"");
+  let events =
+    match member "traceEvents" doc with
+    | Some (Arr l) -> l
+    | _ -> failwith "traceEvents missing or not an array"
+  in
+  (* Per (pid, tid) track: "B" pushes, "E" pops a non-empty stack, the
+     stack drains by the end, and timestamps never step backwards. *)
+  let tracks : (float * float, float * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let ph = str_member "ph" ev in
+      let pid = num_member "pid" ev in
+      let tid = num_member "tid" ev in
+      let ts = num_member "ts" ev in
+      ignore (str_member "name" ev);
+      if pid <> float_of_int Export.pid then failwith "unexpected pid";
+      if not (List.mem ph [ "B"; "E"; "i"; "C" ]) then
+        failwith ("unexpected phase " ^ ph);
+      if ph = "i" && member "s" ev <> Some (Str "t") then
+        failwith "instant without thread scope";
+      let last_ts, depth =
+        match Hashtbl.find_opt tracks (pid, tid) with
+        | Some st -> st
+        | None -> (neg_infinity, 0)
+      in
+      if ts < last_ts then
+        failwith
+          (Printf.sprintf "timestamp regression on tid %g: %.3f < %.3f" tid ts
+             last_ts);
+      let depth =
+        match ph with
+        | "B" -> depth + 1
+        | "E" -> if depth = 0 then failwith "E without matching B" else depth - 1
+        | _ -> depth
+      in
+      Hashtbl.replace tracks (pid, tid) (ts, depth))
+    events;
+  Hashtbl.iter
+    (fun (_, tid) (_, depth) ->
+      if depth <> 0 then
+        failwith (Printf.sprintf "%d unclosed B events on tid %g" depth tid))
+    tracks;
+  events
+
+(* ---------------- property: random span trees ---------------- *)
+
+(* A random tree of spans with instants and counters at the leaves,
+   executed for real through the collector.  Shapes the generator
+   cannot produce (orphan ends, overflow) get their own tests below. *)
+type tree =
+  | Span of string * tree list
+  | Leaf_instant
+  | Leaf_counter
+
+let tree_gen =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self size ->
+           let leaf = oneofl [ Leaf_instant; Leaf_counter ] in
+           if size = 0 then leaf
+           else
+             frequency
+               [
+                 (1, leaf);
+                 ( 3,
+                   map2
+                     (fun name kids -> Span (name, kids))
+                     (oneofl [ "alpha"; "beta"; "gamma"; "delta" ])
+                     (list_size (int_bound 3) (self (size / 2))) );
+               ]))
+
+let rec count_spans = function
+  | Span (_, kids) -> 1 + List.fold_left (fun a k -> a + count_spans k) 0 kids
+  | Leaf_instant | Leaf_counter -> 0
+
+let rec exec = function
+  | Span (name, kids) ->
+    Trace.with_span
+      ~args:[ ("depth", Trace.Int (List.length kids)) ]
+      ~cat:"prop" ~name
+      (fun () ->
+        Trace.span_arg "visited" (Trace.Bool true);
+        List.iter exec kids)
+  | Leaf_instant -> Trace.instant ~cat:"prop" ~name:"tick" ()
+  | Leaf_counter -> Trace.counter ~cat:"prop" ~name:"load" [ ("v", 1.0) ]
+
+let prop_random_tree_exports_valid_json =
+  QCheck.Test.make ~name:"random span tree exports valid trace JSON" ~count:60
+    (QCheck.make ~print:(fun f -> string_of_int (count_spans f)) tree_gen)
+    (fun forest ->
+      Trace.start ();
+      exec forest;
+      Trace.stop ();
+      let events = Trace.events () in
+      let doc = Export.trace_json events in
+      Trace.clear ();
+      let parsed = validate_doc doc in
+      let begins =
+        List.length
+          (List.filter (fun ev -> str_member "ph" ev = "B") parsed)
+      in
+      (* nothing overflowed, so every span must survive the round trip *)
+      begins = count_spans forest)
+
+(* ---------------- exporter edge cases ---------------- *)
+
+let test_export_rebalances_overflow () =
+  (* A tiny ring in a fresh domain (capacity applies to buffers created
+     after the call) forces overwrites; the exporter must still emit a
+     balanced, parseable document and [dropped] must own up to the
+     loss. *)
+  Trace.set_capacity 32;
+  Trace.start ();
+  let worker =
+    Domain.spawn (fun () ->
+        for i = 1 to 100 do
+          Trace.with_span ~cat:"ring" ~name:"outer" (fun () ->
+              Trace.with_span ~cat:"ring" ~name:"inner" (fun () ->
+                  Trace.instant
+                    ~args:[ ("i", Trace.Int i) ]
+                    ~cat:"ring" ~name:"tick" ()))
+        done)
+  in
+  Domain.join worker;
+  Trace.stop ();
+  let dropped = Trace.dropped () in
+  let doc = Export.trace_json (Trace.events ()) in
+  Trace.clear ();
+  Trace.set_capacity (1 lsl 18);
+  Alcotest.(check bool) "ring overflowed" true (dropped > 0);
+  let parsed = validate_doc doc in
+  Alcotest.(check bool) "survivors exported" true (parsed <> [])
+
+let test_export_escapes_hostile_strings () =
+  Trace.start ();
+  Trace.with_span
+    ~args:[ ("note", Trace.Str "quote\" slash\\ newline\n tab\t ctrl\001") ]
+    ~cat:"weird\"cat" ~name:"name\\with\nescapes"
+    (fun () -> ());
+  Trace.stop ();
+  let doc = Export.trace_json (Trace.events ()) in
+  Trace.clear ();
+  ignore (validate_doc doc)
+
+let test_suppress_hides_events () =
+  Trace.start ();
+  Trace.suppress (fun () ->
+      Trace.with_span ~cat:"quiet" ~name:"hidden" (fun () ->
+          Trace.instant ~cat:"quiet" ~name:"hidden_tick" ()));
+  Trace.with_span ~cat:"loud" ~name:"visible" (fun () -> ());
+  Trace.stop ();
+  let events = Trace.events () in
+  Trace.clear ();
+  Alcotest.(check bool) "suppressed events absent" true
+    (List.for_all (fun e -> e.Trace.cat <> "quiet") events);
+  Alcotest.(check int) "visible span recorded" 2
+    (List.length (List.filter (fun e -> e.Trace.cat = "loud") events))
+
+let test_capture_writes_on_exception () =
+  let out = Filename.temp_file "iced_obs" ".json" in
+  (try
+     Export.capture ~out (fun () ->
+         Trace.with_span ~cat:"cap" ~name:"doomed" (fun () -> raise Exit))
+   with Exit -> ());
+  let ic = open_in out in
+  let len = in_channel_length ic in
+  let doc = really_input_string ic len in
+  close_in ic;
+  Sys.remove out;
+  let parsed = validate_doc doc in
+  Alcotest.(check bool) "doomed span exported despite the raise" true
+    (List.exists (fun ev -> str_member "name" ev = "doomed") parsed)
+
+(* ---------------- metrics ---------------- *)
+
+let test_metrics_instruments () =
+  Metrics.reset ();
+  Metrics.incr "req";
+  Metrics.incr ~by:4 "req";
+  Metrics.gauge "temp" 2.5;
+  Metrics.gauge "temp" 3.5;
+  Metrics.observe "lat" 0.001;
+  Metrics.observe "lat" 3.0;
+  Alcotest.(check (option int)) "counter accumulates" (Some 5)
+    (Metrics.counter_value "req");
+  Alcotest.(check (option (float 1e-9))) "gauge last-write-wins" (Some 3.5)
+    (Metrics.gauge_value "temp");
+  (match Metrics.histogram_stats "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some (count, sum, mn, mx) ->
+    Alcotest.(check int) "sample count" 2 count;
+    Alcotest.(check (float 1e-9)) "sum" 3.001 sum;
+    Alcotest.(check (float 1e-9)) "min" 0.001 mn;
+    Alcotest.(check (float 1e-9)) "max" 3.0 mx);
+  Alcotest.(check (option int)) "unknown counter" None
+    (Metrics.counter_value "nope");
+  let doc = parse_json (Metrics.to_json ()) in
+  (match member "counters" doc with
+  | Some (Obj [ ("req", Num 5.0) ]) -> ()
+  | _ -> Alcotest.fail "counters member malformed");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "csv mentions every instrument" true
+    (let csv = Metrics.to_csv () in
+     List.for_all (contains csv) [ "req"; "temp"; "lat" ]);
+  Metrics.reset ();
+  Alcotest.(check (option int)) "reset forgets" None
+    (Metrics.counter_value "req")
+
+(* ---------------- determinism pins ---------------- *)
+
+open Iced_explore
+
+let sweep_spec =
+  {
+    Space.fabrics = [ (4, 4) ];
+    islands = [ (2, 2); (4, 4) ];
+    spm_banks = [ 8 ];
+    floors = [ Iced_arch.Dvfs.Rest ];
+    unrolls = [ 1 ];
+    max_iis = [ 32 ];
+  }
+
+let sweep_kernels = List.filter_map Iced_kernels.Registry.by_name [ "fir"; "relu" ]
+
+let test_sweep_tracing_deterministic () =
+  (* The acceptance bar from the tracing design: Sweep.run with the
+     collector live must return byte-identical reports to a run with it
+     off, serial and parallel alike. *)
+  let run ~collector ~trace ~workers =
+    if collector then Trace.start ();
+    let config = { Sweep.default_config with Sweep.workers } in
+    let outcomes, _ =
+      Sweep.run ~config ~trace ~cache:(Cache.in_memory ())
+        (Space.enumerate sweep_spec) sweep_kernels
+    in
+    if collector then begin
+      Trace.stop ();
+      Trace.clear ()
+    end;
+    Report.render outcomes ^ "\n---\n" ^ Report.csv outcomes
+  in
+  let baseline = run ~collector:false ~trace:false ~workers:1 in
+  Alcotest.(check string) "traced serial = untraced serial" baseline
+    (run ~collector:true ~trace:true ~workers:1);
+  Alcotest.(check string) "traced 4 domains = untraced serial" baseline
+    (run ~collector:true ~trace:true ~workers:4);
+  Alcotest.(check string) "trace:false under live collector" baseline
+    (run ~collector:true ~trace:false ~workers:4)
+
+let test_sweep_traced_spans_recorded () =
+  Trace.start ();
+  let config = { Sweep.default_config with Sweep.workers = 2 } in
+  let _ =
+    Sweep.run ~config ~cache:(Cache.in_memory ())
+      (Space.enumerate sweep_spec) sweep_kernels
+  in
+  Trace.stop ();
+  let events = Trace.events () in
+  let doc = Export.trace_json events in
+  Trace.clear ();
+  ignore (validate_doc doc);
+  let spans name =
+    List.filter
+      (fun e ->
+        e.Trace.phase = Trace.Begin && e.Trace.cat = "sweep"
+        && e.Trace.name = name)
+      events
+  in
+  Alcotest.(check int) "one sweep run span" 1 (List.length (spans "run"));
+  Alcotest.(check int) "one point span per fresh (point, kernel)" 4
+    (List.length (spans "point"));
+  Alcotest.(check bool) "worker spans carry worker tids" true
+    (List.exists (fun e -> e.Trace.tid <> (Domain.self () :> int)) (spans "point"))
+
+let golden_path = "golden/mapper_golden.txt"
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let test_golden_corpus_with_tracing_on () =
+  (* The strongest available pin that tracing never steers the mapper:
+     re-map the entire differential corpus with the collector recording
+     and require every fingerprint line byte-identical to the golden
+     file (the same file test_differential checks with tracing off). *)
+  Trace.start ();
+  let actual = Iced_testgen.Diff_gen.golden_lines () in
+  Trace.stop ();
+  let recorded = Trace.events () <> [] in
+  Trace.clear ();
+  Alcotest.(check bool) "collector actually recorded mapper spans" true recorded;
+  let expected = read_lines golden_path in
+  Alcotest.(check int) "corpus size" (List.length expected) (List.length actual);
+  List.iter2
+    (fun e a ->
+      if not (String.equal e a) then
+        Alcotest.failf "tracing perturbed a mapping\n  golden: %s\n  traced: %s" e a)
+    expected actual
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_random_tree_exports_valid_json;
+    ("export re-balances ring overflow", `Quick, test_export_rebalances_overflow);
+    ("export escapes hostile strings", `Quick, test_export_escapes_hostile_strings);
+    ("suppress hides events", `Quick, test_suppress_hides_events);
+    ("capture writes outputs on exception", `Quick, test_capture_writes_on_exception);
+    ("metrics instruments and export", `Quick, test_metrics_instruments);
+    ("sweep byte-identical with tracing on/off, 1 vs 4 domains", `Slow,
+     test_sweep_tracing_deterministic);
+    ("sweep records run/point spans on worker domains", `Quick,
+     test_sweep_traced_spans_recorded);
+    ("golden corpus byte-identical with tracing on", `Slow,
+     test_golden_corpus_with_tracing_on);
+  ]
