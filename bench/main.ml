@@ -754,12 +754,130 @@ let fault_injection () =
   | Ok campaign -> print_string (Iced_campaign.Campaign.render campaign)
 
 (* ------------------------------------------------------------------ *)
+(* Serve: closed-loop load generator against an in-process daemon pool *)
+(* (BENCH_serve.json; the CI smoke job parses it).                     *)
+(* ICED_BENCH_SERVE_REQUESTS / _WORKERS override the defaults.         *)
+
+let serve_bench () =
+  let module Server = Iced_serve.Server in
+  let module Protocol = Iced_serve.Protocol in
+  let module Cache = Iced_explore.Cache in
+  let module Space = Iced_explore.Space in
+  let getenv_int name default =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some n when n > 0 -> n
+    | _ -> default
+  in
+  let requests = getenv_int "ICED_BENCH_SERVE_REQUESTS" 2000 in
+  let workers = getenv_int "ICED_BENCH_SERVE_WORKERS" 4 in
+  let queue_depth = 256 in
+  (* request mix: ~90% map draws over a small point x kernel pool, so
+     most requests repeat an earlier one and exercise the dedup path;
+     the rest are pings threaded between the expensive work *)
+  let points =
+    [ Protocol.default_point;
+      { Protocol.default_point with Space.floor = Dvfs.Relax } ]
+  in
+  let kernel_names = List.map (fun (k : Kernel.t) -> k.name) kernels in
+  let rng = Iced_util.Rng.create 2026 in
+  let frames =
+    List.init requests (fun i ->
+        let id = Printf.sprintf "r%04d" i in
+        if Iced_util.Rng.int rng 10 = 0 then { Protocol.id; request = Protocol.Ping }
+        else
+          let point = Iced_util.Rng.choose rng points in
+          let kernel = Iced_util.Rng.choose rng kernel_names in
+          { Protocol.id; request = Protocol.Map { point; kernel } })
+  in
+  let cache = Cache.in_memory () in
+  let latencies = Array.make requests 0.0 in
+  let recorded = ref 0 in
+  let mu = Mutex.create () in
+  let advanced = Condition.create () in
+  let outstanding = ref 0 in
+  (* closed loop: enough concurrency to keep every worker busy without
+     ever tripping admission control *)
+  let window = workers * 4 in
+  let respond _line ~latency_s =
+    Mutex.lock mu;
+    latencies.(!recorded) <- latency_s;
+    incr recorded;
+    decr outstanding;
+    Condition.broadcast advanced;
+    Mutex.unlock mu
+  in
+  let server = Server.create ~respond { Server.workers; queue_depth; cache } in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun frame ->
+      Mutex.lock mu;
+      while !outstanding >= window do
+        Condition.wait advanced mu
+      done;
+      incr outstanding;
+      Mutex.unlock mu;
+      ignore (Server.submit server frame))
+    frames;
+  Server.shutdown server;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let n = !recorded in
+  let lat = Array.sub latencies 0 n in
+  Array.sort compare lat;
+  let pct p =
+    if n = 0 then 0.0
+    else lat.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  let p50 = pct 0.5 and p99 = pct 0.99 in
+  let hits = Cache.hits cache and misses = Cache.misses cache in
+  let coalesced = Cache.coalesced cache in
+  let hit_rate =
+    if hits + misses = 0 then 0.0
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  let throughput = float_of_int n /. wall_s in
+  let shed = Server.shed server in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "iced serve: %d requests, %d workers (closed loop, window %d)"
+           requests workers window)
+      ~columns:[ "metric"; "value" ]
+  in
+  List.iter
+    (fun (k, v) -> Table.add_row t [ k; v ])
+    [ ("responses", string_of_int n);
+      ("wall s", Printf.sprintf "%.2f" wall_s);
+      ("throughput rps", Printf.sprintf "%.0f" throughput);
+      ("p50 ms", Printf.sprintf "%.3f" (p50 *. 1e3));
+      ("p99 ms", Printf.sprintf "%.3f" (p99 *. 1e3));
+      ("cache hits", string_of_int hits);
+      ("cache misses", string_of_int misses);
+      ("coalesced", string_of_int coalesced);
+      ("dedup hit rate", Printf.sprintf "%.3f" hit_rate);
+      ("shed", string_of_int shed) ];
+  Table.print t;
+  let json =
+    Printf.sprintf
+      "{\"schema\":\"iced-bench-serve-v1\",\"requests\":%d,\"responses\":%d,\
+       \"workers\":%d,\"queue_depth\":%d,\"window\":%d,\"wall_s\":%.6f,\
+       \"throughput_rps\":%.1f,\"p50_ms\":%.4f,\"p99_ms\":%.4f,\
+       \"dedup\":{\"hits\":%d,\"misses\":%d,\"coalesced\":%d,\"hit_rate\":%.4f},\
+       \"shed\":%d}\n"
+      requests n workers queue_depth window wall_s throughput (p50 *. 1e3) (p99 *. 1e3)
+      hits misses coalesced hit_rate shed
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json (%d responses)\n" n
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("table1", table1); ("fig2", fig2); ("fig4", fig4); ("fig8", fig8); ("fig9", fig9);
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("fig13", fig13);
     ("fig14", fig14); ("ablation", ablation); ("explore", explore); ("perf", perf);
-    ("mapper", mapper_bench); ("fault", fault_injection) ]
+    ("mapper", mapper_bench); ("fault", fault_injection); ("serve", serve_bench) ]
 
 let () =
   let requested =

@@ -8,6 +8,7 @@
      iced report                          headline design comparison
      iced explore --workers 4             design-space sweep + Pareto report
      iced fault lu --policies remap       fault-injection campaign
+     iced serve --workers 4               mapping-as-a-service daemon
      iced trace map fir --trace-out t.json  any of the above, traced
 
    Every subcommand's term builds a thunk (its run function takes a
@@ -626,6 +627,62 @@ let report_doc = "Compare the four design points on the kernel suite"
 let report_cmd = Cmd.v (Cmd.info "report" ~doc:report_doc) Term.(report_term $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* serve: the mapping-as-a-service daemon                              *)
+
+let serve_term =
+  let workers_arg =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N" ~doc:"Evaluation domains in the worker pool.")
+  in
+  let depth_arg =
+    Arg.(value & opt int 64
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"Admission-control bound: requests past this queue depth are shed \
+                   with a structured overloaded reply instead of waiting.")
+  in
+  let cache_arg =
+    Arg.(value & opt string ".serve-cache.jsonl"
+         & info [ "cache" ] ~docv:"FILE"
+             ~doc:"Persistent evaluation-cache file — the daemon's second tier, \
+                   shared with `iced explore`'s format.")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"In-memory cache tier only.")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket at PATH (clients served one at a \
+                   time) instead of stdin/stdout.")
+  in
+  let once_arg =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"No worker pool: evaluate serially on the calling domain, replying \
+                   in arrival order.  The one-shot oracle the byte-identity tests \
+                   compare the daemon against.")
+  in
+  let run workers depth cache_path no_cache socket once () =
+    let cache =
+      if no_cache then Explore.Cache.in_memory ()
+      else Explore.Cache.open_file cache_path
+    in
+    let config = { Iced_serve.Server.workers; queue_depth = depth; cache } in
+    (match socket with
+    | Some path -> Iced_serve.Server.serve_socket ~once config path
+    | None ->
+      (match Iced_serve.Server.serve_channels ~once config stdin stdout with
+      | Iced_serve.Server.Eof | Iced_serve.Server.Requested -> ()));
+    Explore.Cache.close cache
+  in
+  Term.(
+    const run $ workers_arg $ depth_arg $ cache_arg $ no_cache_arg $ socket_arg
+    $ once_arg)
+
+let serve_doc = "Field map/explore/stream/fault requests as a long-lived daemon"
+let serve_cmd = Cmd.v (Cmd.info "serve" ~doc:serve_doc) Term.(serve_term $ const ())
+
+(* ------------------------------------------------------------------ *)
 (* trace: any subcommand above, run under the Iced_obs collector       *)
 
 let trace_out_arg =
@@ -670,6 +727,7 @@ let trace_cmd =
       traced_cmd "report" report_doc report_term;
       traced_cmd "explore" explore_doc explore_term;
       traced_cmd "fault" fault_doc fault_term;
+      traced_cmd "serve" serve_doc serve_term;
     ]
 
 let () =
@@ -679,4 +737,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ kernels_cmd; map_cmd; simulate_cmd; stream_cmd; report_cmd; explore_cmd;
-            fault_cmd; trace_cmd ]))
+            fault_cmd; serve_cmd; trace_cmd ]))

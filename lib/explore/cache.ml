@@ -1,14 +1,33 @@
 type record = Outcome.status
 
+(* One mutex guards the whole store: the in-memory tier, the hit/miss
+   accounting, and the append channel of the persistent tier.  The
+   condition variable serves [find_or_store]: a domain that finds its
+   key in flight on another domain parks here until the evaluator
+   broadcasts. *)
 type t = {
   table : (string, record) Hashtbl.t;
+  in_flight : (string, unit) Hashtbl.t;
+  mu : Mutex.t;
+  changed : Condition.t;
   file : out_channel option;
   path : string option;
   mutable hits : int;
   mutable misses : int;
+  mutable coalesced : int;
 }
 
 let version = 1
+
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
 
 (* ------------------------------------------------------------------ *)
 (* keys                                                                *)
@@ -38,127 +57,65 @@ let record_to_line key (r : record) =
   | Outcome.Failed msg -> Printf.sprintf "{%s,\"s\":\"fail\",\"msg\":\"%s\"}" common (escape msg)
   | Outcome.Timed_out -> Printf.sprintf "{%s,\"s\":\"timeout\"}" common
 
-type field = S of string | F of float
-
-(* Parse one flat object of string/number fields; [None] on any
-   malformed input (the loader skips such lines). *)
-let parse_line line =
-  let n = String.length line in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some line.[!pos] else None in
-  let advance () = incr pos in
-  let skip_ws () =
-    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do advance () done
-  in
-  let expect c = if peek () = Some c then (advance (); true) else false in
-  let parse_string () =
-    if not (expect '"') then None
-    else begin
-      let b = Buffer.create 16 in
-      let rec go () =
-        match peek () with
-        | None -> None
-        | Some '"' -> advance (); Some (Buffer.contents b)
-        | Some '\\' ->
-          advance ();
-          (match peek () with
-          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
-          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
-          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
-          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
-          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
-          | Some 'u' when !pos + 4 < n ->
-            (match int_of_string_opt ("0x" ^ String.sub line (!pos + 1) 4) with
-            | Some code when code < 256 ->
-              Buffer.add_char b (Char.chr code);
-              pos := !pos + 5;
-              go ()
-            | _ -> None)
-          | _ -> None)
-        | Some c -> Buffer.add_char b c; advance (); go ()
-      in
-      go ()
-    end
-  in
-  let parse_number () =
-    let start = !pos in
-    let numeric c =
-      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-    in
-    while (match peek () with Some c when numeric c -> true | _ -> false) do advance () done;
-    if !pos = start then None
-    else float_of_string_opt (String.sub line start (!pos - start))
-  in
-  skip_ws ();
-  if not (expect '{') then None
-  else begin
-    let rec fields acc =
-      skip_ws ();
-      match parse_string () with
-      | None -> None
-      | Some name -> (
-        skip_ws ();
-        if not (expect ':') then None
-        else begin
-          skip_ws ();
-          let value =
-            match peek () with
-            | Some '"' -> Option.map (fun s -> S s) (parse_string ())
-            | _ -> Option.map (fun f -> F f) (parse_number ())
-          in
-          match value with
-          | None -> None
-          | Some v -> (
-            let acc = (name, v) :: acc in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); fields acc
-            | Some '}' -> advance (); Some (List.rev acc)
-            | _ -> None)
-        end)
-    in
-    fields []
-  end
-
-let record_of_fields fields =
-  let str name = match List.assoc_opt name fields with Some (S s) -> Some s | _ -> None in
-  let num name = match List.assoc_opt name fields with Some (F f) -> Some f | _ -> None in
-  match (num "v", str "k", str "s") with
-  | Some v, Some key, Some status when int_of_float v = version -> (
-    match status with
-    | "ok" -> (
-      match
-        (str "kernel", num "ii", num "util", num "dvfs", num "power", num "thpt",
-         num "energy", num "edp")
-      with
-      | Some kernel, Some ii, Some util, Some dvfs, Some power, Some thpt, Some energy,
-        Some edp ->
-        Some
-          ( key,
-            Outcome.Mapped
-              {
-                Outcome.kernel;
-                ii = int_of_float ii;
-                utilization = util;
-                dvfs;
-                power_mw = power;
-                throughput_mips = thpt;
-                energy_nj = energy;
-                edp;
-              } )
+(* Decode one stored line back to a (key, record); [None] on any
+   malformed input (the loader skips such lines, e.g. a truncated
+   final line after a crash, so a damaged store degrades to misses). *)
+let record_of_line line =
+  let module J = Iced_util.Json in
+  match J.parse line with
+  | Error _ -> None
+  | Ok v -> (
+    let str name = Option.bind (J.member name v) J.get_string in
+    let num name = Option.bind (J.member name v) J.get_number in
+    let int name = Option.bind (J.member name v) J.get_int in
+    match (int "v", str "k", str "s") with
+    | Some v, Some key, Some status when v = version -> (
+      match status with
+      | "ok" -> (
+        match
+          (str "kernel", int "ii", num "util", num "dvfs", num "power", num "thpt",
+           num "energy", num "edp")
+        with
+        | Some kernel, Some ii, Some util, Some dvfs, Some power, Some thpt,
+          Some energy, Some edp ->
+          Some
+            ( key,
+              Outcome.Mapped
+                {
+                  Outcome.kernel;
+                  ii;
+                  utilization = util;
+                  dvfs;
+                  power_mw = power;
+                  throughput_mips = thpt;
+                  energy_nj = energy;
+                  edp;
+                } )
+        | _ -> None)
+      | "fail" -> Option.map (fun msg -> (key, Outcome.Failed msg)) (str "msg")
+      | "timeout" -> Some (key, Outcome.Timed_out)
       | _ -> None)
-    | "fail" -> Option.map (fun msg -> (key, Outcome.Failed msg)) (str "msg")
-    | "timeout" -> Some (key, Outcome.Timed_out)
     | _ -> None)
-  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* store                                                               *)
 
 let header = Printf.sprintf "{\"iced_explore_cache\":%d}" version
 
-let in_memory () =
-  { table = Hashtbl.create 64; file = None; path = None; hits = 0; misses = 0 }
+let make ~file ~path table =
+  {
+    table;
+    in_flight = Hashtbl.create 8;
+    mu = Mutex.create ();
+    changed = Condition.create ();
+    file;
+    path;
+    hits = 0;
+    misses = 0;
+    coalesced = 0;
+  }
+
+let in_memory () = make ~file:None ~path:None (Hashtbl.create 64)
 
 let load_lines path table =
   let ic = open_in path in
@@ -169,7 +126,7 @@ let load_lines path table =
     (try
        while true do
          let line = input_line ic in
-         match Option.bind (parse_line line) record_of_fields with
+         match record_of_line line with
          | Some (key, record) -> Hashtbl.replace table key record
          | None -> ()
        done
@@ -193,20 +150,22 @@ let open_file path =
       oc
     end
   in
-  { table; file = Some file; path = Some path; hits = 0; misses = 0 }
+  make ~file:(Some file) ~path:(Some path) table
 
-let close t = match t.file with Some oc -> close_out oc | None -> ()
+let close t = locked t (fun () -> match t.file with Some oc -> close_out oc | None -> ())
 
 let find t key =
-  match Hashtbl.find_opt t.table key with
-  | Some r ->
-    t.hits <- t.hits + 1;
-    Some r
-  | None ->
-    t.misses <- t.misses + 1;
-    None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some r ->
+        t.hits <- t.hits + 1;
+        Some r
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
 
-let store t ~key status =
+(* caller holds [t.mu] *)
+let store_locked t ~key status =
   match status with
   | Outcome.Timed_out -> ()
   | _ ->
@@ -217,7 +176,51 @@ let store t ~key status =
       flush oc
     | None -> ())
 
-let size t = Hashtbl.length t.table
-let hits t = t.hits
-let misses t = t.misses
+let store t ~key status = locked t (fun () -> store_locked t ~key status)
+
+let find_or_store t ~key evaluate =
+  Mutex.lock t.mu;
+  let rec resolve () =
+    match Hashtbl.find_opt t.table key with
+    | Some r ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.mu;
+      r
+    | None ->
+      if Hashtbl.mem t.in_flight key then begin
+        (* another domain is evaluating this key right now: park until
+           it stores (or gives up), then re-check — one evaluation
+           serves every coalesced caller *)
+        t.coalesced <- t.coalesced + 1;
+        Condition.wait t.changed t.mu;
+        resolve ()
+      end
+      else begin
+        Hashtbl.replace t.in_flight key ();
+        t.misses <- t.misses + 1;
+        Mutex.unlock t.mu;
+        let finish () =
+          Hashtbl.remove t.in_flight key;
+          Condition.broadcast t.changed
+        in
+        match evaluate () with
+        | r ->
+          Mutex.lock t.mu;
+          store_locked t ~key r;
+          finish ();
+          Mutex.unlock t.mu;
+          r
+        | exception e ->
+          Mutex.lock t.mu;
+          finish ();
+          Mutex.unlock t.mu;
+          raise e
+      end
+  in
+  resolve ()
+
+let size t = locked t (fun () -> Hashtbl.length t.table)
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let coalesced t = locked t (fun () -> t.coalesced)
 let path t = t.path

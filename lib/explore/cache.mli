@@ -1,13 +1,22 @@
-(** Persistent evaluation cache: sweep results memoized by a content
-    hash of (architecture point, kernel identity, mapper knobs).
+(** Shared two-tier evaluation cache: results memoized by a content
+    hash of (architecture point, kernel identity, mapper knobs), in an
+    in-memory table backed by an append-only persistent file.
 
-    The store is one JSON-lines file: a version header followed by one
-    flat JSON object per cached (point, kernel) evaluation.  New
-    results are appended and flushed as they arrive, so an interrupted
-    sweep resumes where it stopped; a re-run of the same space does no
-    fresh mapping at all.  Records from an older format version (and
-    unparseable lines, e.g. a truncated final line after a crash) are
-    skipped on load, never propagated.
+    The persistent tier is one JSON-lines file: a version header
+    followed by one flat JSON object per cached (point, kernel)
+    evaluation.  New results are appended and flushed as they arrive,
+    so an interrupted sweep resumes where it stopped; a re-run of the
+    same space does no fresh mapping at all.  Records from an older
+    format version (and unparseable lines, e.g. a truncated final line
+    after a crash) are skipped on load, never propagated.
+
+    Every operation is safe to call from any domain: one store is
+    shared between the sweep driver's worker pool and the serving
+    daemon's worker pool (a mutex guards the table, the statistics, and
+    the append channel).  {!find_or_store} additionally coalesces
+    concurrent evaluations of one key — the first caller computes,
+    every other caller parks and reuses the result — which is the
+    daemon's request-deduplication primitive.
 
     Keys embed everything the result depends on — the canonical point
     id (fabric, island, banks, floor, unroll, II cap), the kernel name,
@@ -22,7 +31,7 @@ val version : int
 (** Current on-disk format version. *)
 
 val in_memory : unit -> t
-(** A cache with no backing file (bench/test use). *)
+(** A cache with no backing file (bench/test/daemon-default use). *)
 
 val open_file : string -> t
 (** Open or create a backing file, loading every current-version
@@ -45,7 +54,24 @@ val store : t -> key:string -> Outcome.status -> unit
 (** Insert and (when file-backed) append + flush.  [Timed_out] is
     ignored. *)
 
+val find_or_store : t -> key:string -> (unit -> Outcome.status) -> Outcome.status
+(** Atomic lookup-or-evaluate.  A present key returns immediately (a
+    hit).  An absent key runs [evaluate] on the calling domain and
+    stores the result (a miss) — unless another domain is already
+    evaluating the same key, in which case the call parks until that
+    evaluation lands and returns its result (counted in {!coalesced}
+    and, on wake, as a hit).  [evaluate] runs outside the store's lock,
+    so long evaluations of distinct keys proceed in parallel.  A
+    [Timed_out] result (never stored) and a raised exception both
+    release the key; parked callers then retry the evaluation
+    themselves. *)
+
 val size : t -> int
 val hits : t -> int
 val misses : t -> int
+
+val coalesced : t -> int
+(** How many {!find_or_store} calls parked behind an in-flight
+    evaluation of their key instead of computing or missing. *)
+
 val path : t -> string option

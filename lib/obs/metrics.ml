@@ -91,6 +91,28 @@ let histogram_stats name =
         (fun h -> (h.count, h.sum, h.min_v, h.max_v))
         (Hashtbl.find_opt histograms name))
 
+let quantile name q =
+  locked (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | None -> None
+      | Some h when h.count = 0 -> None
+      | Some h ->
+        let q = Float.min 1.0 (Float.max 0.0 q) in
+        (* rank of the q-quantile sample, 1-based *)
+        let rank =
+          max 1 (int_of_float (Float.ceil (q *. float_of_int h.count)))
+        in
+        let rec walk i seen =
+          if i >= n_buckets then h.max_v
+          else
+            let seen = seen + h.buckets.(i) in
+            if seen >= rank then
+              (* the bucket's upper edge, clamped to the observed range *)
+              Float.min h.max_v (Float.max h.min_v (Float.pow 2.0 (float_of_int (i + min_exp))))
+            else walk (i + 1) seen
+        in
+        Some (walk 0 0))
+
 (* ------------------------------------------------------------------ *)
 (* export                                                              *)
 

@@ -44,6 +44,14 @@ val histogram_stats : string -> (int * float * float * float) option
 (** [(count, sum, min, max)] of a histogram's samples, [None] if no
     sample was ever observed. *)
 
+val quantile : string -> float -> float option
+(** Estimated [q]-quantile ([q] clamped to [0, 1]) of the histogram
+    named [name]: the upper edge of the log2 bucket holding the
+    [ceil (q * count)]-th sample, clamped to the observed min/max —
+    so the estimate is within one power of two of the true value.
+    The serving daemon's [stats] reply reads its p50/p99 from here.
+    [None] if no sample was ever observed. *)
+
 (** {2 Export} *)
 
 val to_json : unit -> string

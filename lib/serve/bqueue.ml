@@ -1,0 +1,52 @@
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
+  {
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
+
+let try_push t x =
+  locked t (fun () ->
+      if t.closed || Queue.length t.items >= t.capacity then false
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.items && not t.closed do
+    Condition.wait t.nonempty t.mu
+  done;
+  let item = if Queue.is_empty t.items then None else Some (Queue.pop t.items) in
+  Mutex.unlock t.mu;
+  item
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = locked t (fun () -> Queue.length t.items)

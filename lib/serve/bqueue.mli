@@ -1,0 +1,30 @@
+(** Bounded multi-producer/multi-consumer queue — the daemon's request
+    queue and admission-control valve.
+
+    Any domain may push or pop.  [try_push] never blocks: past the
+    capacity it returns [false], which the server turns into a
+    structured [overloaded] reply (shedding at the door instead of
+    letting latency grow without bound).  [pop] blocks until an item
+    arrives or the queue is closed and drained, so worker domains
+    need no polling loop and exit cleanly at shutdown. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue if the queue holds fewer than [capacity] items and is not
+    closed; [false] otherwise (the item is shed). *)
+
+val pop : 'a t -> 'a option
+(** Dequeue, blocking while the queue is empty and open.  [None] once
+    the queue is closed {e and} drained — the consumer's exit signal.
+    Items pushed before [close] are always delivered. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake every blocked consumer.
+    Idempotent. *)
+
+val length : 'a t -> int
+(** Current occupancy (a racy snapshot, for gauges and shed replies). *)

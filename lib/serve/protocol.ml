@@ -1,0 +1,379 @@
+module J = Iced_util.Json
+module Space = Iced_explore.Space
+module Outcome = Iced_explore.Outcome
+module Runner = Iced_stream.Runner
+module Campaign = Iced_campaign.Campaign
+
+type app = Campaign.app
+
+type request =
+  | Ping
+  | Sleep of int
+  | Map of { point : Space.point; kernel : string }
+  | Explore of { spec : Space.spec; kernels : string list }
+  | Stream of { app : app; policy : Runner.policy; inputs : int }
+  | Fault of { app : app; seeds : int; faults : int; inputs : int; window : int }
+  | Stats
+  | Shutdown
+
+type frame = { id : string; request : request }
+
+type decode_error =
+  | Malformed of J.error
+  | Invalid of { id : string; reason : string }
+
+let op_to_string = function
+  | Ping -> "ping"
+  | Sleep _ -> "sleep"
+  | Map _ -> "map"
+  | Explore _ -> "explore"
+  | Stream _ -> "stream"
+  | Fault _ -> "fault"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let default_point =
+  {
+    Space.rows = 6;
+    cols = 6;
+    island_rows = 2;
+    island_cols = 2;
+    spm_banks = 8;
+    floor = Iced_arch.Dvfs.Rest;
+    unroll = 1;
+    max_ii = 64;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* field converters                                                    *)
+
+let floor_to_string = function
+  | Iced_arch.Dvfs.Rest -> "rest"
+  | Iced_arch.Dvfs.Relax -> "relax"
+  | Iced_arch.Dvfs.Normal -> "normal"
+  | Iced_arch.Dvfs.Power_gated -> "gated"
+
+let floor_of_string = function
+  | "rest" -> Some Iced_arch.Dvfs.Rest
+  | "relax" -> Some Iced_arch.Dvfs.Relax
+  | "normal" -> Some Iced_arch.Dvfs.Normal
+  | _ -> None
+
+let policy_of_string = function
+  | "static" -> Some Runner.Static
+  | "iced" -> Some Runner.Iced_dvfs
+  | "drips" -> Some Runner.Drips
+  | _ -> None
+
+let dims_to_string (r, c) = Printf.sprintf "%dx%d" r c
+
+let dims_of_string s =
+  match String.split_on_char 'x' s with
+  | [ a; b ] -> (
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some r, Some c when r > 0 && c > 0 -> Some (r, c)
+    | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* decoding                                                            *)
+
+exception Bad of string
+
+let decode line =
+  match J.parse line with
+  | Error e -> Error (Malformed e)
+  | Ok doc -> (
+    let id =
+      match J.member "id" doc with
+      | None -> Ok ""
+      | Some v -> (
+        match J.get_string v with
+        | Some s -> Ok s
+        | None -> Error "id must be a string")
+    in
+    match id with
+    | Error reason -> Error (Invalid { id = ""; reason })
+    | Ok id -> (
+      let fail reason = raise (Bad reason) in
+      let str_field ?default name =
+        match (J.member name doc, default) with
+        | None, Some d -> d
+        | None, None -> fail (Printf.sprintf "missing field %S" name)
+        | Some v, _ -> (
+          match J.get_string v with
+          | Some s -> s
+          | None -> fail (Printf.sprintf "field %S must be a string" name))
+      in
+      let int_field ?default name =
+        match (J.member name doc, default) with
+        | None, Some d -> d
+        | None, None -> fail (Printf.sprintf "missing field %S" name)
+        | Some v, _ -> (
+          match J.get_int v with
+          | Some i -> i
+          | None -> fail (Printf.sprintf "field %S must be an integer" name))
+      in
+      (* a JSON array of strings, each run through [conv] *)
+      let list_field ~conv ~what ?default name =
+        match (J.member name doc, default) with
+        | None, Some d -> d
+        | None, None -> fail (Printf.sprintf "missing field %S" name)
+        | Some v, _ -> (
+          match J.get_list v with
+          | None -> fail (Printf.sprintf "field %S must be an array" name)
+          | Some items ->
+            List.map
+              (fun item ->
+                match Option.bind (J.get_string item) conv with
+                | Some x -> x
+                | None -> fail (Printf.sprintf "field %S: expected %s" name what))
+              items)
+      in
+      let int_list_field ?default name =
+        match (J.member name doc, default) with
+        | None, Some d -> d
+        | None, None -> fail (Printf.sprintf "missing field %S" name)
+        | Some v, _ -> (
+          match J.get_list v with
+          | None -> fail (Printf.sprintf "field %S must be an array" name)
+          | Some items ->
+            List.map
+              (fun item ->
+                match J.get_int item with
+                | Some i -> i
+                | None -> fail (Printf.sprintf "field %S: expected an integer" name))
+              items)
+      in
+      let app_field ?default name =
+        match Campaign.app_of_string (str_field ?default name) with
+        | Some a -> a
+        | None -> fail (Printf.sprintf "field %S must be \"gcn\" or \"lu\"" name)
+      in
+      match
+        match J.member "op" doc with
+        | None -> fail "missing field \"op\""
+        | Some v -> (
+          match J.get_string v with
+          | None -> fail "field \"op\" must be a string"
+          | Some "ping" -> Ping
+          | Some "sleep" ->
+            let ms = int_field "ms" in
+            if ms < 0 then fail "field \"ms\" must be >= 0";
+            Sleep ms
+          | Some "map" ->
+            let kernel = str_field "kernel" in
+            let point_s = str_field ~default:(Space.to_string default_point) "point" in
+            (match Space.of_string point_s with
+            | Some point when Space.is_valid point -> Map { point; kernel }
+            | _ -> fail (Printf.sprintf "bad design point %S" point_s))
+          | Some "explore" ->
+            let fabrics =
+              list_field ~conv:dims_of_string ~what:"dimensions \"RxC\""
+                ~default:[ (6, 6) ] "fabrics"
+            in
+            let islands =
+              list_field ~conv:dims_of_string ~what:"dimensions \"RxC\""
+                ~default:
+                  (List.sort_uniq compare
+                     (List.concat_map
+                        (fun (r, c) -> Space.tiling_islands r c)
+                        fabrics))
+                "islands"
+            in
+            let spec =
+              {
+                Space.fabrics;
+                islands;
+                spm_banks = int_list_field ~default:[ 8 ] "banks";
+                floors =
+                  list_field ~conv:floor_of_string
+                    ~what:"\"rest\", \"relax\", or \"normal\""
+                    ~default:[ Iced_arch.Dvfs.Rest ] "floors";
+                unrolls = int_list_field ~default:[ 1 ] "unrolls";
+                max_iis = int_list_field ~default:[ 64 ] "max_iis";
+              }
+            in
+            Explore
+              { spec; kernels = list_field ~conv:Option.some ~what:"a string"
+                                  ~default:[] "kernels" }
+          | Some "stream" ->
+            let app = app_field "app" in
+            let policy =
+              match policy_of_string (str_field ~default:"iced" "policy") with
+              | Some p -> p
+              | None -> fail "field \"policy\" must be \"static\", \"iced\", or \"drips\""
+            in
+            let inputs = int_field ~default:0 "inputs" in
+            if inputs < 0 then fail "field \"inputs\" must be >= 0";
+            Stream { app; policy; inputs }
+          | Some "fault" ->
+            let app = app_field ~default:"lu" "app" in
+            let seeds = int_field ~default:4 "seeds" in
+            let faults = int_field ~default:2 "faults" in
+            let inputs = int_field ~default:200 "inputs" in
+            let window = int_field ~default:10 "window" in
+            if seeds <= 0 then fail "field \"seeds\" must be > 0";
+            if faults < 0 then fail "field \"faults\" must be >= 0";
+            if inputs <= 0 then fail "field \"inputs\" must be > 0";
+            if window <= 0 then fail "field \"window\" must be > 0";
+            Fault { app; seeds; faults; inputs; window }
+          | Some "stats" -> Stats
+          | Some "shutdown" -> Shutdown
+          | Some op -> fail (Printf.sprintf "unknown op %S" op))
+      with
+      | request -> Ok { id; request }
+      | exception Bad reason -> Error (Invalid { id; reason })))
+
+(* ------------------------------------------------------------------ *)
+(* encoding                                                            *)
+
+let str_list l = "[" ^ String.concat "," (List.map J.quote l) ^ "]"
+let int_list l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
+let encode_request { id; request } =
+  let common op = Printf.sprintf "\"id\":%s,\"op\":\"%s\"" (J.quote id) op in
+  match request with
+  | Ping -> Printf.sprintf "{%s}" (common "ping")
+  | Sleep ms -> Printf.sprintf "{%s,\"ms\":%d}" (common "sleep") ms
+  | Map { point; kernel } ->
+    Printf.sprintf "{%s,\"point\":%s,\"kernel\":%s}" (common "map")
+      (J.quote (Space.to_string point))
+      (J.quote kernel)
+  | Explore { spec; kernels } ->
+    Printf.sprintf
+      "{%s,\"fabrics\":%s,\"islands\":%s,\"banks\":%s,\"floors\":%s,\"unrolls\":%s,\
+       \"max_iis\":%s%s}"
+      (common "explore")
+      (str_list (List.map dims_to_string spec.Space.fabrics))
+      (str_list (List.map dims_to_string spec.Space.islands))
+      (int_list spec.Space.spm_banks)
+      (str_list (List.map floor_to_string spec.Space.floors))
+      (int_list spec.Space.unrolls)
+      (int_list spec.Space.max_iis)
+      (if kernels = [] then "" else ",\"kernels\":" ^ str_list kernels)
+  | Stream { app; policy; inputs } ->
+    Printf.sprintf "{%s,\"app\":\"%s\",\"policy\":\"%s\",\"inputs\":%d}"
+      (common "stream") (Campaign.app_to_string app)
+      (Runner.policy_to_string policy) inputs
+  | Fault { app; seeds; faults; inputs; window } ->
+    Printf.sprintf
+      "{%s,\"app\":\"%s\",\"seeds\":%d,\"faults\":%d,\"inputs\":%d,\"window\":%d}"
+      (common "fault") (Campaign.app_to_string app) seeds faults inputs window
+  | Stats -> Printf.sprintf "{%s}" (common "stats")
+  | Shutdown -> Printf.sprintf "{%s}" (common "shutdown")
+
+(* ------------------------------------------------------------------ *)
+(* responses                                                           *)
+
+(* [%.17g]: float_of_string round-trips exactly, so a measurement read
+   back from the persistent cache renders byte-identically to the
+   fresh evaluation that produced it *)
+let num17 f =
+  match Float.classify_float f with
+  | Float.FP_infinite -> if f > 0.0 then "\"inf\"" else "\"-inf\""
+  | Float.FP_nan -> "\"nan\""
+  | _ -> Printf.sprintf "%.17g" f
+
+let head ~id ~status op = Printf.sprintf "\"id\":%s,\"status\":\"%s\",\"op\":\"%s\"" (J.quote id) status op
+
+let response_ping ~id = Printf.sprintf "{%s}" (head ~id ~status:"ok" "ping")
+let response_sleep ~id ~ms = Printf.sprintf "{%s,\"ms\":%d}" (head ~id ~status:"ok" "sleep") ms
+
+let response_map ~id ~point ~kernel status =
+  let where =
+    Printf.sprintf "\"point\":%s,\"kernel\":%s" (J.quote (Space.to_string point)) (J.quote kernel)
+  in
+  match status with
+  | Outcome.Mapped m ->
+    Printf.sprintf
+      "{%s,%s,\"ii\":%d,\"util\":%s,\"dvfs\":%s,\"power_mw\":%s,\"throughput_mips\":%s,\
+       \"energy_nj\":%s,\"edp\":%s}"
+      (head ~id ~status:"ok" "map") where m.Outcome.ii (num17 m.Outcome.utilization)
+      (num17 m.Outcome.dvfs) (num17 m.Outcome.power_mw)
+      (num17 m.Outcome.throughput_mips) (num17 m.Outcome.energy_nj)
+      (num17 m.Outcome.edp)
+  | Outcome.Failed msg ->
+    Printf.sprintf "{%s,%s,\"msg\":%s}" (head ~id ~status:"unmapped" "map") where (J.quote msg)
+  | Outcome.Timed_out ->
+    Printf.sprintf "{%s,%s}" (head ~id ~status:"timeout" "map") where
+
+let response_explore ~id ~frontier outcomes =
+  let on_frontier (s : Outcome.summary) =
+    List.exists (fun (f : Outcome.summary) -> f.Outcome.point = s.Outcome.point) frontier
+  in
+  let pairs =
+    List.fold_left (fun acc (r : Outcome.point_result) -> acc + List.length r.Outcome.per_kernel) 0 outcomes
+  in
+  let summaries =
+    List.map
+      (fun r ->
+        let s = Outcome.summarize r in
+        Printf.sprintf
+          "{\"point\":%s,\"mapped\":%d,\"total\":%d,\"geo_thpt_mips\":%s,\
+           \"mean_energy_nj\":%s,\"mean_edp\":%s,\"mean_power_mw\":%s,\"pareto\":%b}"
+          (J.quote (Space.to_string s.Outcome.point))
+          s.Outcome.mapped s.Outcome.total
+          (num17 s.Outcome.geo_throughput_mips)
+          (num17 s.Outcome.mean_energy_nj) (num17 s.Outcome.mean_edp)
+          (num17 s.Outcome.mean_power_mw) (on_frontier s))
+      outcomes
+  in
+  Printf.sprintf "{%s,\"points\":%d,\"pairs\":%d,\"summaries\":[%s]}"
+    (head ~id ~status:"ok" "explore")
+    (List.length outcomes) pairs (String.concat "," summaries)
+
+let response_stream ~id ~app ~policy ~windows (t : Runner.totals) =
+  Printf.sprintf
+    "{%s,\"app\":\"%s\",\"policy\":\"%s\",\"windows\":%d,\"inputs\":%d,\
+     \"throughput_per_s\":%s,\"power_mw\":%s,\"efficiency\":%s}"
+    (head ~id ~status:"ok" "stream")
+    (Campaign.app_to_string app) (Runner.policy_to_string policy) windows
+    t.Runner.total_inputs
+    (num17 t.Runner.overall_throughput_per_s)
+    (num17 (t.Runner.total_energy_uj /. t.Runner.total_time_us *. 1000.0))
+    (num17 t.Runner.overall_efficiency)
+
+let response_fault ~id (c : Campaign.t) =
+  let mean l = match l with [] -> nan | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  let policies =
+    List.map
+      (fun recovery ->
+        let cells =
+          List.filter (fun (r : Campaign.run_result) -> r.Campaign.recovery = recovery) c.Campaign.runs
+        in
+        let survived = List.length (List.filter (fun (r : Campaign.run_result) -> r.Campaign.survived) cells) in
+        Printf.sprintf
+          "{\"recovery\":\"%s\",\"cells\":%d,\"survival\":%s,\"mean_retention\":%s,\
+           \"mean_mttr_us\":%s}"
+          (Runner.recovery_to_string recovery)
+          (List.length cells)
+          (num17 (float_of_int survived /. float_of_int (max 1 (List.length cells))))
+          (num17 (mean (List.map (fun (r : Campaign.run_result) -> r.Campaign.retention) cells)))
+          (num17
+             (mean
+                (List.map
+                   (fun (r : Campaign.run_result) -> r.Campaign.stats.Runner.mttr_us)
+                   cells))))
+      c.Campaign.spec.Campaign.recoveries
+  in
+  Printf.sprintf "{%s,\"app\":\"%s\",\"cells\":%d,\"policies\":[%s]}"
+    (head ~id ~status:"ok" "fault")
+    (Campaign.app_to_string c.Campaign.spec.Campaign.app)
+    (List.length c.Campaign.runs)
+    (String.concat "," policies)
+
+let response_shutdown ~id = Printf.sprintf "{%s}" (head ~id ~status:"ok" "shutdown")
+
+let response_error ~id msg =
+  Printf.sprintf "{\"id\":%s,\"status\":\"error\",\"error\":%s}" (J.quote id) (J.quote msg)
+
+let response_overloaded ~id ~depth =
+  Printf.sprintf "{\"id\":%s,\"status\":\"overloaded\",\"queue_depth\":%d}" (J.quote id) depth
+
+let response_invalid = function
+  | Malformed e ->
+    Printf.sprintf "{\"status\":\"invalid\",\"error\":%s}"
+      (J.quote ("parse error: " ^ J.error_to_string e))
+  | Invalid { id; reason } ->
+    Printf.sprintf "{\"id\":%s,\"status\":\"invalid\",\"error\":%s}" (J.quote id) (J.quote reason)

@@ -1,0 +1,116 @@
+(** The `iced serve` wire protocol: line-delimited JSON frames.
+
+    One request per line on the way in, one response per line on the
+    way out; a client correlates them by the [id] it chose (responses
+    may arrive out of submission order — the daemon's worker pool
+    completes cheap requests while expensive ones are still mapping).
+    Every payload is a single flat-ish JSON object, decoded with the
+    strict {!Iced_util.Json} parser, so a malformed or truncated frame
+    is rejected with a positioned error instead of being guessed at.
+
+    Result payloads are deterministic: floats are rendered at [%.17g]
+    (exact round-trip precision, matching the evaluation cache's
+    persistent tier), so the same request yields byte-identical
+    response lines whether it was computed fresh, served from cache,
+    handled by the one-shot CLI, or by a daemon of any worker count.
+    Only [stats] replies — snapshots of live SLO instruments — are
+    exempt from that guarantee.
+
+    See docs/SERVING.md for the full request/response reference. *)
+
+type app = Iced_campaign.Campaign.app
+
+type request =
+  | Ping  (** liveness check *)
+  | Sleep of int  (** hold a worker for N ms — load/backpressure testing *)
+  | Map of { point : Iced_explore.Space.point; kernel : string }
+      (** evaluate one kernel at one design point; deduplicated and
+          cached by the shared {!Iced_explore.Cache} *)
+  | Explore of { spec : Iced_explore.Space.spec; kernels : string list }
+      (** run a sweep over a declarative space ([kernels = []] means
+          the standalone Table I set); shares the daemon's cache *)
+  | Stream of { app : app; policy : Iced_stream.Runner.policy; inputs : int }
+      (** run a streaming application over its dataset ([inputs = 0]
+          means the whole dataset) and return aggregate totals *)
+  | Fault of { app : app; seeds : int; faults : int; inputs : int; window : int }
+      (** run a seeded fault campaign (all recovery policies and fault
+          families) and return per-policy survival/retention *)
+  | Stats  (** SLO snapshot: queue depth, latency quantiles, dedup counters *)
+  | Shutdown  (** acknowledge, then stop accepting requests *)
+
+type frame = { id : string; request : request }
+(** [id] is the client's correlation token (possibly [""]); it is
+    echoed verbatim in the response. *)
+
+type decode_error =
+  | Malformed of Iced_util.Json.error
+      (** not a JSON document at all: truncated frame, trailing
+          garbage, raw control bytes, bad escapes *)
+  | Invalid of { id : string; reason : string }
+      (** parseable JSON that is not a valid request: missing/unknown
+          [op], wrong field types, out-of-range values *)
+
+val op_to_string : request -> string
+(** The request's [op] tag: ["ping"], ["map"], ["explore"], ... *)
+
+val decode : string -> (frame, decode_error) result
+(** Decode one request line. *)
+
+val encode_request : frame -> string
+(** Canonical encoding of a frame — [decode (encode_request f)] is
+    [Ok f].  The load generator and the round-trip tests use it;
+    hand-written client lines may of course order fields freely. *)
+
+val default_point : Iced_explore.Space.point
+(** The point a [map] request evaluates when it names none: the
+    paper's 6x6 prototype, 2x2 islands, 8 banks, floor [rest],
+    unroll 1, II cap 64. *)
+
+(** {2 Response rendering}
+
+    Responses are built directly as strings (the repository's JSON
+    emitters are all [Printf]-style); each helper returns one complete
+    line without the trailing newline. *)
+
+val response_ping : id:string -> string
+val response_sleep : id:string -> ms:int -> string
+
+val response_map :
+  id:string ->
+  point:Iced_explore.Space.point ->
+  kernel:string ->
+  Iced_explore.Outcome.status ->
+  string
+(** [status "ok"] with the measurement fields, [status "unmapped"]
+    with the mapper's message, or [status "timeout"]. *)
+
+val response_explore :
+  id:string ->
+  frontier:Iced_explore.Outcome.summary list ->
+  Iced_explore.Outcome.point_result list ->
+  string
+(** Per-point summaries in sweep order, each flagged with its Pareto
+    membership. *)
+
+val response_stream :
+  id:string ->
+  app:app ->
+  policy:Iced_stream.Runner.policy ->
+  windows:int ->
+  Iced_stream.Runner.totals ->
+  string
+
+val response_fault : id:string -> Iced_campaign.Campaign.t -> string
+(** Per-recovery-policy aggregates over the campaign's cells. *)
+
+val response_shutdown : id:string -> string
+val response_error : id:string -> string -> string
+(** [status "error"]: a well-formed request the handler rejected
+    (unknown kernel, empty space, unpartitionable app...). *)
+
+val response_overloaded : id:string -> depth:int -> string
+(** [status "overloaded"]: admission control shed this request because
+    the queue held [depth] items. *)
+
+val response_invalid : decode_error -> string
+(** [status "invalid"]: the frame never made it to a handler. *)

@@ -1,0 +1,374 @@
+module J = Iced_util.Json
+module Cache = Iced_explore.Cache
+module Space = Iced_explore.Space
+module Outcome = Iced_explore.Outcome
+module Sweep = Iced_explore.Sweep
+module Report = Iced_explore.Report
+module Registry = Iced_kernels.Registry
+module Runner = Iced_stream.Runner
+module Campaign = Iced_campaign.Campaign
+module Metrics = Iced_obs.Metrics
+module Trace = Iced_obs.Trace
+
+type config = { workers : int; queue_depth : int; cache : Cache.t }
+
+let default_config () = { workers = 2; queue_depth = 64; cache = Cache.in_memory () }
+
+(* ------------------------------------------------------------------ *)
+(* request handlers                                                    *)
+
+let params = Iced_power.Params.default
+
+let handle_map ~cache ~id ~point ~kernel =
+  match Registry.by_name kernel with
+  | None -> Protocol.response_error ~id (Printf.sprintf "unknown kernel %S" kernel)
+  | Some k ->
+    let status =
+      Cache.find_or_store cache ~key:(Cache.key point k) (fun () ->
+          Outcome.evaluate_kernel ~params point k)
+    in
+    Protocol.response_map ~id ~point ~kernel status
+
+let handle_explore ~cache ~id ~spec ~kernels =
+  let resolved =
+    match kernels with
+    | [] -> Ok Registry.standalone
+    | names ->
+      List.fold_left
+        (fun acc name ->
+          match (acc, Registry.by_name name) with
+          | Error _, _ -> acc
+          | Ok _, None -> Error name
+          | Ok ks, Some k -> Ok (k :: ks))
+        (Ok []) names
+      |> Result.map List.rev
+  in
+  match resolved with
+  | Error name -> Protocol.response_error ~id (Printf.sprintf "unknown kernel %S" name)
+  | Ok ks -> (
+    match Space.enumerate spec with
+    | [] -> Protocol.response_error ~id "the space enumerates to no valid points"
+    | points ->
+      (* workers = 1: the daemon's own pool is the parallelism; nesting
+         a sweep pool inside a worker domain would oversubscribe *)
+      let outcomes, _stats = Sweep.run ~config:Sweep.default_config ~cache points ks in
+      Protocol.response_explore ~id ~frontier:(Report.frontier_summaries outcomes) outcomes)
+
+let take n l = if n <= 0 then l else List.filteri (fun i _ -> i < n) l
+
+let handle_stream ~id ~app ~policy ~inputs =
+  let cgra = Iced_arch.Cgra.iced_6x6 in
+  let pipeline, all =
+    match (app : Campaign.app) with
+    | Campaign.Gcn ->
+      ( Iced_stream.Pipeline.gcn (),
+        List.map Iced_stream.Pipeline.of_gcn_graph
+          (Iced_stream.Workload.enzyme_graphs ~seed:42 ()) )
+    | Campaign.Lu ->
+      ( Iced_stream.Pipeline.lu (),
+        List.map Iced_stream.Pipeline.of_lu_matrix
+          (Iced_stream.Workload.ufl_matrices ~seed:7 ()) )
+  in
+  let stream = take inputs all in
+  let profile =
+    let step = max 1 (List.length stream / 50) in
+    List.filteri (fun i _ -> i mod step = 0) stream
+  in
+  match Iced_stream.Partition.prepare cgra pipeline ~profile with
+  | Error msg -> Protocol.response_error ~id ("partitioning failed: " ^ msg)
+  | Ok partition ->
+    let reports = Runner.run partition policy stream in
+    Protocol.response_stream ~id ~app ~policy ~windows:(List.length reports)
+      (Runner.aggregate reports)
+
+let handle_fault ~id ~app ~seeds ~faults ~inputs ~window =
+  let spec =
+    {
+      Campaign.default_spec with
+      Campaign.app;
+      seeds = List.init seeds Fun.id;
+      faults_per_run = faults;
+      inputs;
+      window;
+      workers = 1;
+    }
+  in
+  match Campaign.run spec with
+  | Error msg -> Protocol.response_error ~id ("campaign failed: " ^ msg)
+  | Ok c -> Protocol.response_fault ~id c
+
+let dispatch ~cache ~stats (frame : Protocol.frame) =
+  let id = frame.Protocol.id in
+  match frame.Protocol.request with
+  | Protocol.Ping -> Protocol.response_ping ~id
+  | Protocol.Sleep ms ->
+    Unix.sleepf (float_of_int ms /. 1000.0);
+    Protocol.response_sleep ~id ~ms
+  | Protocol.Map { point; kernel } -> handle_map ~cache ~id ~point ~kernel
+  | Protocol.Explore { spec; kernels } -> handle_explore ~cache ~id ~spec ~kernels
+  | Protocol.Stream { app; policy; inputs } -> handle_stream ~id ~app ~policy ~inputs
+  | Protocol.Fault { app; seeds; faults; inputs; window } ->
+    handle_fault ~id ~app ~seeds ~faults ~inputs ~window
+  | Protocol.Stats -> stats ~id
+  | Protocol.Shutdown -> Protocol.response_shutdown ~id
+
+let handle ~cache ~stats (frame : Protocol.frame) =
+  let op = Protocol.op_to_string frame.Protocol.request in
+  match
+    Trace.with_span
+      ~args:[ ("id", Trace.Str frame.Protocol.id) ]
+      ~cat:"serve" ~name:op
+      (fun () -> dispatch ~cache ~stats frame)
+  with
+  | line -> line
+  | exception e ->
+    Protocol.response_error ~id:frame.Protocol.id
+      ("internal error: " ^ Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* the stats reply                                                     *)
+
+let stats_line ~id ~workers ~queue_depth ~queue_length ~pending ~served ~shed cache =
+  let hits = Cache.hits cache and misses = Cache.misses cache in
+  let hit_rate =
+    if hits + misses = 0 then 0.0
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  let latency =
+    match Metrics.histogram_stats "serve.latency_s" with
+    | None -> "null"
+    | Some (count, sum, _, _) ->
+      let q p =
+        match Metrics.quantile "serve.latency_s" p with
+        | Some v -> J.number v
+        | None -> "null"
+      in
+      Printf.sprintf "{\"count\":%d,\"mean_s\":%s,\"p50_s\":%s,\"p99_s\":%s}" count
+        (J.number (sum /. float_of_int count))
+        (q 0.5) (q 0.99)
+  in
+  Printf.sprintf
+    "{\"id\":%s,\"status\":\"ok\",\"op\":\"stats\",\"workers\":%d,\"queue_depth\":%d,\
+     \"queue_length\":%d,\"pending\":%d,\"served\":%d,\"shed\":%d,\
+     \"cache\":{\"size\":%d,\"hits\":%d,\"misses\":%d,\"coalesced\":%d,\"hit_rate\":%s},\
+     \"latency\":%s}"
+    (J.quote id) workers queue_depth queue_length pending served shed (Cache.size cache)
+    hits misses (Cache.coalesced cache) (J.number hit_rate) latency
+
+(* ------------------------------------------------------------------ *)
+(* the pool                                                            *)
+
+type item = { frame : Protocol.frame; submitted : float }
+
+type t = {
+  config : config;
+  queue : item Bqueue.t;
+  respond : string -> latency_s:float -> unit;
+  respond_mu : Mutex.t;
+  state_mu : Mutex.t;
+  idle : Condition.t;  (* signalled when [pending] returns to 0 *)
+  mutable pending : int;  (* accepted, response not yet emitted *)
+  mutable served_n : int;
+  mutable shed_n : int;
+  mutable domains : unit Domain.t list;
+}
+
+let emit t line ~latency_s =
+  Mutex.lock t.respond_mu;
+  (match t.respond line ~latency_s with
+  | () -> Mutex.unlock t.respond_mu
+  | exception e ->
+    Mutex.unlock t.respond_mu;
+    raise e);
+  Mutex.lock t.state_mu;
+  t.served_n <- t.served_n + 1;
+  Mutex.unlock t.state_mu
+
+let pool_stats t ~id =
+  Mutex.lock t.state_mu;
+  let served = t.served_n and shed = t.shed_n and pending = t.pending in
+  Mutex.unlock t.state_mu;
+  stats_line ~id ~workers:t.config.workers ~queue_depth:t.config.queue_depth
+    ~queue_length:(Bqueue.length t.queue) ~pending ~served ~shed t.config.cache
+
+let mark_done t =
+  Mutex.lock t.state_mu;
+  t.pending <- t.pending - 1;
+  if t.pending = 0 then Condition.broadcast t.idle;
+  Mutex.unlock t.state_mu
+
+let rec worker_loop t =
+  match Bqueue.pop t.queue with
+  | None -> ()
+  | Some { frame; submitted } ->
+    Metrics.gauge "serve.queue_depth" (float_of_int (Bqueue.length t.queue));
+    let line = handle ~cache:t.config.cache ~stats:(pool_stats t) frame in
+    let latency_s = Unix.gettimeofday () -. submitted in
+    Metrics.observe "serve.latency_s" latency_s;
+    Metrics.observe
+      ("serve.latency." ^ Protocol.op_to_string frame.Protocol.request)
+      latency_s;
+    emit t line ~latency_s;
+    mark_done t;
+    worker_loop t
+
+let create ?(respond = fun _line ~latency_s:_ -> ()) config =
+  if config.workers < 1 then invalid_arg "Server.create: workers must be >= 1";
+  if config.queue_depth < 1 then invalid_arg "Server.create: queue_depth must be >= 1";
+  let t =
+    {
+      config;
+      queue = Bqueue.create ~capacity:config.queue_depth;
+      respond;
+      respond_mu = Mutex.create ();
+      state_mu = Mutex.create ();
+      idle = Condition.create ();
+      pending = 0;
+      served_n = 0;
+      shed_n = 0;
+      domains = [];
+    }
+  in
+  t.domains <- List.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t (frame : Protocol.frame) =
+  Metrics.incr "serve.requests";
+  Metrics.incr ("serve.req." ^ Protocol.op_to_string frame.Protocol.request);
+  Mutex.lock t.state_mu;
+  t.pending <- t.pending + 1;
+  Mutex.unlock t.state_mu;
+  if Bqueue.try_push t.queue { frame; submitted = Unix.gettimeofday () } then begin
+    Metrics.gauge "serve.queue_depth" (float_of_int (Bqueue.length t.queue));
+    true
+  end
+  else begin
+    let depth = Bqueue.length t.queue in
+    Mutex.lock t.state_mu;
+    t.pending <- t.pending - 1;
+    t.shed_n <- t.shed_n + 1;
+    if t.pending = 0 then Condition.broadcast t.idle;
+    Mutex.unlock t.state_mu;
+    Metrics.incr "serve.shed";
+    emit t (Protocol.response_overloaded ~id:frame.Protocol.id ~depth) ~latency_s:0.0;
+    false
+  end
+
+let submit_line t line =
+  match Protocol.decode line with
+  | Error e ->
+    Metrics.incr "serve.invalid";
+    emit t (Protocol.response_invalid e) ~latency_s:0.0;
+    `Invalid
+  | Ok frame ->
+    if not (submit t frame) then `Rejected
+    else if frame.Protocol.request = Protocol.Shutdown then `Shutdown
+    else `Submitted
+
+let drain t =
+  Mutex.lock t.state_mu;
+  while t.pending > 0 do
+    Condition.wait t.idle t.state_mu
+  done;
+  Mutex.unlock t.state_mu
+
+let shutdown t =
+  drain t;
+  Bqueue.close t.queue;
+  let ds = t.domains in
+  t.domains <- [];
+  List.iter Domain.join ds
+
+let served t =
+  Mutex.lock t.state_mu;
+  let n = t.served_n in
+  Mutex.unlock t.state_mu;
+  n
+
+let shed t =
+  Mutex.lock t.state_mu;
+  let n = t.shed_n in
+  Mutex.unlock t.state_mu;
+  n
+
+let queue_length t = Bqueue.length t.queue
+
+(* ------------------------------------------------------------------ *)
+(* transports                                                          *)
+
+type stop_reason = Eof | Requested
+
+let is_blank line = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') line
+
+let serve_once config ic oc =
+  let write line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let served = ref 0 in
+  let stats ~id =
+    stats_line ~id ~workers:0 ~queue_depth:0 ~queue_length:0 ~pending:0
+      ~served:!served ~shed:0 config.cache
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> Eof
+    | line when is_blank line -> loop ()
+    | line -> (
+      match Protocol.decode line with
+      | Error e ->
+        write (Protocol.response_invalid e);
+        incr served;
+        loop ()
+      | Ok frame ->
+        write (handle ~cache:config.cache ~stats frame);
+        incr served;
+        if frame.Protocol.request = Protocol.Shutdown then Requested else loop ())
+  in
+  loop ()
+
+let serve_channels ?(once = false) config ic oc =
+  if once then serve_once config ic oc
+  else begin
+    let t =
+      create config ~respond:(fun line ~latency_s:_ ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
+    in
+    let rec loop () =
+      match input_line ic with
+      | exception End_of_file -> Eof
+      | line when is_blank line -> loop ()
+      | line -> ( match submit_line t line with `Shutdown -> Requested | _ -> loop ())
+    in
+    let reason = loop () in
+    shutdown t;
+    reason
+  end
+
+let serve_socket ?once config path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let reason =
+          Fun.protect
+            ~finally:(fun () ->
+              (try flush oc with Sys_error _ -> ());
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> serve_channels ?once config ic oc)
+        in
+        match reason with Requested -> () | Eof -> accept_loop ()
+      in
+      accept_loop ())

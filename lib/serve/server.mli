@@ -1,0 +1,95 @@
+(** The `iced serve` daemon: a long-lived mapping-as-a-service worker
+    pool behind the line-delimited JSON protocol of {!Protocol}.
+
+    Architecture: a reader (the transport loop, or the bench's load
+    generator) decodes frames and {!submit}s them into a bounded
+    {!Bqueue}; [workers] OCaml 5 domains pop, evaluate through the
+    shared {!Iced_explore.Cache} (so identical in-flight requests
+    coalesce onto one evaluation and repeats hit the cache), and emit
+    response lines through a serialized [respond] callback.  Admission
+    control is shedding: a full queue turns the request into an
+    immediate [overloaded] reply instead of unbounded latency.
+
+    SLO accounting rides on {!Iced_obs}: every request runs in a
+    ["serve"]/op span, the queue depth is a gauge, per-request wall
+    time lands in the ["serve.latency_s"] histogram (plus a per-op
+    one), and shed/served/dedup counters are readable through the
+    protocol's [stats] request.
+
+    Responses are deterministic (see {!Protocol}), so a daemon of any
+    worker count emits byte-identical lines to {!handle} called
+    serially — the ordering, not the bytes, is what concurrency
+    changes. *)
+
+type config = {
+  workers : int;  (** evaluation domains, >= 1 *)
+  queue_depth : int;  (** admission-control bound, >= 1 *)
+  cache : Iced_explore.Cache.t;
+      (** shared two-tier result store — pass {!Iced_explore.Cache.open_file}
+          for a persistent tier that survives restarts *)
+}
+
+val default_config : unit -> config
+(** 2 workers, queue depth 64, a fresh in-memory cache. *)
+
+val handle :
+  cache:Iced_explore.Cache.t -> stats:(id:string -> string) -> Protocol.frame -> string
+(** Evaluate one frame to its response line, synchronously on the
+    calling domain — the one-shot execution path ([iced serve --once])
+    and the byte-identity oracle for the pool.  [stats] renders the
+    [stats] reply (the daemon injects live queue counters; a one-shot
+    context has none). *)
+
+(** {2 The pool} *)
+
+type t
+
+val create : ?respond:(string -> latency_s:float -> unit) -> config -> t
+(** Spawn the worker domains.  [respond] receives every response line
+    exactly once, serialized under an internal lock, from whichever
+    domain finished the request; [latency_s] is submit-to-respond wall
+    time (0 for shed requests).  Default: discard. *)
+
+val submit : t -> Protocol.frame -> bool
+(** Enqueue a request ([false]: the queue was full or closed — the
+    [overloaded] reply has already been emitted through [respond]). *)
+
+val submit_line : t -> string -> [ `Submitted | `Invalid | `Rejected | `Shutdown ]
+(** Decode then {!submit} one raw request line.  [`Invalid] frames get
+    their error reply emitted immediately; [`Shutdown] means the frame
+    was accepted and the transport should stop reading. *)
+
+val drain : t -> unit
+(** Block until every accepted request has been responded to. *)
+
+val shutdown : t -> unit
+(** {!drain}, close the queue, and join the worker domains — no stuck
+    domains, no lost responses.  Safe to call twice. *)
+
+val served : t -> int
+(** Responses emitted so far (including error/overloaded replies). *)
+
+val shed : t -> int
+(** Requests refused by admission control so far. *)
+
+val queue_length : t -> int
+
+(** {2 Transports} *)
+
+type stop_reason =
+  | Eof  (** the client closed its end *)
+  | Requested  (** a [shutdown] frame was served *)
+
+val serve_channels :
+  ?once:bool -> config -> in_channel -> out_channel -> stop_reason
+(** Serve one client: read request lines from [ic] until EOF or a
+    [shutdown] frame, write response lines to [oc] (flushed per line),
+    then drain and stop the pool.  Blank lines are ignored.  [once]
+    skips the pool entirely and evaluates serially in arrival order on
+    the calling domain — same bytes, deterministic interleaving. *)
+
+val serve_socket : ?once:bool -> config -> string -> unit
+(** Listen on a Unix-domain socket at [path] (an existing socket file
+    is replaced) and serve clients sequentially, each with
+    {!serve_channels}, until one sends [shutdown].  The socket file is
+    removed on exit. *)

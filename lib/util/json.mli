@@ -1,12 +1,17 @@
-(** Minimal JSON string encoding: the one escaping routine every
-    hand-rolled JSON emitter in the repository shares.
+(** Minimal JSON encoding and strict decoding: the one escaping routine
+    and the one parser every hand-rolled JSON endpoint in the
+    repository shares.
 
     The explore cache, the CLI's [--stats --json] payload, and the
     observability exporters all write flat JSON with [Printf]; each used
     to carry its own escaping (or lean on [%S], whose OCaml lexical
     escapes — ["\123"], ["\xFF"] — are not JSON).  This module is the
-    single copy.  Only encoding lives here: the explore cache keeps its
-    own tolerant line parser. *)
+    single copy of that escaping, and — since the serving daemon must
+    decode request frames off the wire — of the inverse: a strict
+    recursive-descent parser with positioned error values, promoted
+    here from the obs test suite. *)
+
+(** {1 Encoding} *)
 
 val escape : string -> string
 (** Body of a JSON string literal for [s], without the surrounding
@@ -23,3 +28,49 @@ val number : float -> string
     is not attempted; [%.6g] is used).  JSON has no [inf]/[nan]
     literals, so non-finite values are rendered as quoted strings
     (["\"inf\""], ["\"-inf\""], ["\"nan\""]) — lossy but parseable. *)
+
+(** {1 Decoding} *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+      (** Members in document order; duplicate keys are kept as-is
+          ({!member} returns the first). *)
+
+type error = { at : int;  (** byte offset of the failure *) reason : string }
+(** A positioned decode failure — the protocol layer's "malformed or
+    truncated frame" evidence. *)
+
+val error_to_string : error -> string
+(** ["<reason> at byte <at>"]. *)
+
+val parse : string -> (value, error) result
+(** Parse one complete JSON document.  Strict: rejects trailing
+    garbage, raw control characters inside strings, malformed or
+    truncated [\u] escapes (including lone surrogates), and truncated
+    documents.  String escapes are decoded for real ([\n] becomes a
+    newline, [\uXXXX] is emitted as UTF-8, surrogate pairs combined).
+    Numbers are read with OCaml's float parser over the maximal
+    number-shaped span. *)
+
+(** {2 Accessors}
+
+    Shape-checking helpers so callers destructure without rewriting
+    the same matches: each returns [None] on a shape mismatch. *)
+
+val member : string -> value -> value option
+(** First member named [key] of an [Obj]; [None] otherwise. *)
+
+val get_string : value -> string option
+val get_number : value -> float option
+
+val get_int : value -> int option
+(** [Num f] when [f] is integral (no fractional part, in [int] range). *)
+
+val get_bool : value -> bool option
+val get_list : value -> value list option
+val get_obj : value -> (string * value) list option

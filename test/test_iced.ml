@@ -17,4 +17,5 @@ let () =
       ("design", Test_design.suite);
       ("explore", Test_explore.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
     ]

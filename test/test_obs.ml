@@ -9,15 +9,15 @@ module Trace = Iced_obs.Trace
 module Export = Iced_obs.Export
 module Metrics = Iced_obs.Metrics
 
-(* ---------------- a small strict JSON parser ----------------
+(* ---------------- the strict JSON parser ----------------
 
    Validation against the trace-event format has to start from the raw
-   bytes the exporter produced, so the tests carry their own
-   recursive-descent parser (the repo has no JSON dependency by
-   design).  Strict: rejects trailing garbage, raw control characters
-   in strings, and malformed escapes. *)
+   bytes the exporter produced.  The strict recursive-descent parser
+   that used to live here is now [Iced_util.Json.parse] (the serving
+   daemon decodes protocol frames with it); these tests consume it
+   through the same public API. *)
 
-type json =
+type json = Iced_util.Json.value =
   | Null
   | Bool of bool
   | Num of float
@@ -28,144 +28,11 @@ type json =
 exception Bad_json of string
 
 let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let parse_lit lit v =
-    let len = String.length lit in
-    if !pos + len <= n && String.sub s !pos len = lit then begin
-      pos := !pos + len;
-      v
-    end
-    else fail ("expected " ^ lit)
-  in
-  let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' ->
-        advance ();
-        Buffer.contents b
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-        | Some 'u' ->
-          advance ();
-          if !pos + 4 > n then fail "truncated \\u escape";
-          for _ = 1 to 4 do
-            (match peek () with
-            | Some c when is_hex c -> ()
-            | _ -> fail "non-hex digit in \\u escape");
-            advance ()
-          done
-        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
-          advance ();
-          Buffer.add_char b '?'
-        | _ -> fail "invalid escape");
-        go ()
-      | Some c when Char.code c < 0x20 -> fail "raw control character in string"
-      | Some c ->
-        advance ();
-        Buffer.add_char b c;
-        go ()
-    in
-    go ()
-  in
-  let parse_number () =
-    let start = !pos in
-    let num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> num_char c | None -> false) do
-      advance ()
-    done;
-    let str = String.sub s start (!pos - start) in
-    match float_of_string_opt str with
-    | Some f -> Num f
-    | None -> fail ("malformed number " ^ str)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' -> parse_obj ()
-    | Some '[' -> parse_arr ()
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> parse_lit "true" (Bool true)
-    | Some 'f' -> parse_lit "false" (Bool false)
-    | Some 'n' -> parse_lit "null" Null
-    | Some ('-' | '0' .. '9') -> parse_number ()
-    | _ -> fail "unexpected character"
-  and parse_obj () =
-    expect '{';
-    skip_ws ();
-    if peek () = Some '}' then begin
-      advance ();
-      Obj []
-    end
-    else
-      let rec members acc =
-        skip_ws ();
-        let key = parse_string () in
-        skip_ws ();
-        expect ':';
-        let v = parse_value () in
-        skip_ws ();
-        match peek () with
-        | Some ',' ->
-          advance ();
-          members ((key, v) :: acc)
-        | Some '}' ->
-          advance ();
-          Obj (List.rev ((key, v) :: acc))
-        | _ -> fail "expected ',' or '}' in object"
-      in
-      members []
-  and parse_arr () =
-    expect '[';
-    skip_ws ();
-    if peek () = Some ']' then begin
-      advance ();
-      Arr []
-    end
-    else
-      let rec elems acc =
-        let v = parse_value () in
-        skip_ws ();
-        match peek () with
-        | Some ',' ->
-          advance ();
-          elems (v :: acc)
-        | Some ']' ->
-          advance ();
-          Arr (List.rev (v :: acc))
-        | _ -> fail "expected ',' or ']' in array"
-      in
-      elems []
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
+  match Iced_util.Json.parse s with
+  | Ok v -> v
+  | Error e -> raise (Bad_json (Iced_util.Json.error_to_string e))
 
-let member key = function Obj l -> List.assoc_opt key l | _ -> None
+let member = Iced_util.Json.member
 
 let num_member key ev =
   match member key ev with

@@ -1,0 +1,373 @@
+(* Tests for the iced serve daemon: protocol encode/decode round-trips
+   (including hostile ids and truncated frames), the bounded queue,
+   cache dedup/coalescing across domains, admission-control shedding,
+   and — the load-bearing invariant — byte-identical responses between
+   the one-shot path and daemons of any worker count. *)
+
+module Protocol = Iced_serve.Protocol
+module Server = Iced_serve.Server
+module Bqueue = Iced_serve.Bqueue
+module Cache = Iced_explore.Cache
+module Space = Iced_explore.Space
+module Outcome = Iced_explore.Outcome
+module Campaign = Iced_campaign.Campaign
+module Runner = Iced_stream.Runner
+module Json = Iced_util.Json
+
+let frame id request = { Protocol.id; request }
+
+let small_spec =
+  {
+    Space.fabrics = [ (4, 4) ];
+    islands = [ (2, 2) ];
+    spm_banks = [ 4 ];
+    floors = [ Iced_arch.Dvfs.Rest ];
+    unrolls = [ 1 ];
+    max_iis = [ 32 ];
+  }
+
+(* ---------------- protocol round-trips ---------------- *)
+
+let roundtrip f =
+  let line = Protocol.encode_request f in
+  match Protocol.decode line with
+  | Ok f' -> Alcotest.(check bool) line true (f = f')
+  | Error _ -> Alcotest.failf "decode rejected its own encoding: %s" line
+
+let test_roundtrip_all_ops () =
+  List.iter roundtrip
+    [
+      frame "a" Protocol.Ping;
+      frame "" Protocol.Stats;
+      frame "x" Protocol.Shutdown;
+      frame "s" (Protocol.Sleep 5);
+      frame "m" (Protocol.Map { point = Protocol.default_point; kernel = "fir" });
+      frame "e" (Protocol.Explore { spec = small_spec; kernels = [ "fir"; "gemm" ] });
+      frame "e2" (Protocol.Explore { spec = small_spec; kernels = [] });
+      frame "st"
+        (Protocol.Stream { app = Campaign.Gcn; policy = Runner.Iced_dvfs; inputs = 12 });
+      frame "f"
+        (Protocol.Fault { app = Campaign.Lu; seeds = 2; faults = 1; inputs = 50; window = 10 });
+    ]
+
+let test_roundtrip_hostile_ids () =
+  List.iter
+    (fun id -> roundtrip (frame id Protocol.Ping))
+    [ "quote\"s"; "back\\slash"; "new\nline"; "tab\tand\x01ctrl"; "unicode \xc3\xa9" ]
+
+let expect_malformed line =
+  match Protocol.decode line with
+  | Error (Protocol.Malformed _) -> ()
+  | Ok _ -> Alcotest.failf "accepted malformed %S" line
+  | Error (Protocol.Invalid _) -> Alcotest.failf "Invalid rather than Malformed: %S" line
+
+let expect_invalid line ~id =
+  match Protocol.decode line with
+  | Error (Protocol.Invalid e) -> Alcotest.(check string) line id e.id
+  | Ok _ -> Alcotest.failf "accepted invalid %S" line
+  | Error (Protocol.Malformed _) -> Alcotest.failf "Malformed rather than Invalid: %S" line
+
+let test_decode_malformed () =
+  List.iter expect_malformed
+    [
+      "";
+      "{";
+      "{\"id\":\"a\",\"op\":\"pi";  (* truncated mid-string *)
+      "{\"op\":\"ping\"} extra";  (* trailing garbage *)
+      "{\"op\":\"ping\",}";
+      "\"op";
+      "{\"op\":\"ping\"\x01}";  (* raw control byte *)
+    ]
+
+let test_decode_invalid () =
+  expect_invalid "{\"id\":\"a\",\"op\":\"fly\"}" ~id:"a";
+  expect_invalid "{\"id\":\"a\"}" ~id:"a";
+  expect_invalid "{\"id\":7,\"op\":\"ping\"}" ~id:"";
+  expect_invalid "42" ~id:"";
+  expect_invalid "{\"id\":\"s\",\"op\":\"sleep\"}" ~id:"s";
+  expect_invalid "{\"id\":\"m\",\"op\":\"map\",\"kernel\":\"fir\",\"point\":\"bogus\"}"
+    ~id:"m";
+  expect_invalid "{\"id\":\"st\",\"op\":\"stream\",\"app\":\"gcn\",\"policy\":\"warp\"}"
+    ~id:"st";
+  expect_invalid "{\"id\":\"f\",\"op\":\"fault\",\"seeds\":0}" ~id:"f"
+
+let test_invalid_responses_are_json () =
+  List.iter
+    (fun line ->
+      match Protocol.decode line with
+      | Ok _ -> Alcotest.failf "expected a decode error for %S" line
+      | Error e -> (
+        match Json.parse (Protocol.response_invalid e) with
+        | Error pe ->
+          Alcotest.failf "unparseable invalid reply: %s" (Json.error_to_string pe)
+        | Ok doc ->
+          Alcotest.(check (option string))
+            "status" (Some "invalid")
+            (Option.bind (Json.member "status" doc) Json.get_string)))
+    [ "{\"op\""; "{\"id\":\"we\\\"ird\",\"op\":\"fly\"}"; "nope" ]
+
+let prop_decode_total =
+  QCheck.Test.make ~count:500 ~name:"decode never raises" QCheck.string (fun s ->
+      match Protocol.decode s with Ok _ | Error _ -> true)
+
+(* ---------------- bounded queue ---------------- *)
+
+let test_bqueue_bounds () =
+  let q = Bqueue.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Bqueue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Bqueue.try_push q 2);
+  Alcotest.(check bool) "push 3 shed" false (Bqueue.try_push q 3);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Bqueue.pop q);
+  Alcotest.(check bool) "push 4" true (Bqueue.try_push q 4);
+  Bqueue.close q;
+  Alcotest.(check bool) "push after close" false (Bqueue.try_push q 5);
+  Alcotest.(check (option int)) "drains 2" (Some 2) (Bqueue.pop q);
+  Alcotest.(check (option int)) "drains 4" (Some 4) (Bqueue.pop q);
+  Alcotest.(check (option int)) "then closed" None (Bqueue.pop q);
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Bqueue.create: capacity must be >= 1") (fun () ->
+      ignore (Bqueue.create ~capacity:0))
+
+(* ---------------- cache dedup and coalescing ---------------- *)
+
+let test_find_or_store_single_evaluation () =
+  let cache = Cache.in_memory () in
+  let evals = Atomic.make 0 in
+  let eval () =
+    Atomic.incr evals;
+    Unix.sleepf 0.05;
+    Outcome.Failed "computed-once"
+  in
+  let domains =
+    List.init 8 (fun _ ->
+        Domain.spawn (fun () -> Cache.find_or_store cache ~key:"k" eval))
+  in
+  let results = List.map Domain.join domains in
+  Alcotest.(check int) "one evaluation" 1 (Atomic.get evals);
+  Alcotest.(check int) "one miss" 1 (Cache.misses cache);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "same status" true (r = Outcome.Failed "computed-once"))
+    results
+
+let test_timed_out_not_cached () =
+  let cache = Cache.in_memory () in
+  let calls = ref 0 in
+  let eval () =
+    incr calls;
+    Outcome.Timed_out
+  in
+  ignore (Cache.find_or_store cache ~key:"t" eval);
+  ignore (Cache.find_or_store cache ~key:"t" eval);
+  Alcotest.(check int) "timeouts re-evaluate" 2 !calls;
+  Alcotest.(check int) "never stored" 0 (Cache.size cache)
+
+(* ---------------- admission control ---------------- *)
+
+let test_shed_overloaded () =
+  let replies = ref [] in
+  let mu = Mutex.create () in
+  let respond line ~latency_s:_ =
+    Mutex.lock mu;
+    replies := line :: !replies;
+    Mutex.unlock mu
+  in
+  let t =
+    Server.create ~respond
+      { Server.workers = 1; queue_depth = 1; cache = Cache.in_memory () }
+  in
+  Alcotest.(check bool) "first accepted" true
+    (Server.submit t (frame "busy" (Protocol.Sleep 150)));
+  (* wait for the worker to pop it so the next submit fills the queue *)
+  while Server.queue_length t > 0 do
+    Unix.sleepf 0.002
+  done;
+  Alcotest.(check bool) "second queued" true
+    (Server.submit t (frame "queued" (Protocol.Sleep 1)));
+  Alcotest.(check bool) "third shed" false (Server.submit t (frame "shed-me" Protocol.Ping));
+  Server.shutdown t;
+  Alcotest.(check int) "shed count" 1 (Server.shed t);
+  Alcotest.(check int) "all replies emitted" 3 (Server.served t);
+  let overloaded =
+    List.filter
+      (fun line ->
+        match Json.parse line with
+        | Ok doc ->
+          Option.bind (Json.member "status" doc) Json.get_string = Some "overloaded"
+          && Option.bind (Json.member "id" doc) Json.get_string = Some "shed-me"
+        | Error _ -> false)
+      !replies
+  in
+  Alcotest.(check int) "one overloaded reply" 1 (List.length overloaded)
+
+(* ---------------- byte identity: one-shot vs pool ---------------- *)
+
+let no_stats ~id = Protocol.response_error ~id "stats: not under test"
+
+let identity_requests =
+  let relax = { Protocol.default_point with Space.floor = Iced_arch.Dvfs.Relax } in
+  [
+    frame "01" Protocol.Ping;
+    frame "02" (Protocol.Map { point = Protocol.default_point; kernel = "fir" });
+    frame "03" (Protocol.Map { point = Protocol.default_point; kernel = "fir" });
+    frame "04" (Protocol.Map { point = Protocol.default_point; kernel = "mvt" });
+    frame "05" (Protocol.Map { point = relax; kernel = "fir" });
+    frame "06" (Protocol.Map { point = Protocol.default_point; kernel = "nope" });
+    frame "07" (Protocol.Sleep 1);
+    frame "08" (Protocol.Explore { spec = small_spec; kernels = [ "fir"; "mvt" ] });
+    frame "09" Protocol.Ping;
+  ]
+
+let oneshot_responses () =
+  let cache = Cache.in_memory () in
+  List.map (Server.handle ~cache ~stats:no_stats) identity_requests
+
+let pool_responses workers =
+  let acc = ref [] in
+  let mu = Mutex.create () in
+  let respond line ~latency_s:_ =
+    Mutex.lock mu;
+    acc := line :: !acc;
+    Mutex.unlock mu
+  in
+  let t =
+    Server.create ~respond { Server.workers; queue_depth = 64; cache = Cache.in_memory () }
+  in
+  List.iter (fun f -> ignore (Server.submit t f)) identity_requests;
+  Server.shutdown t;
+  !acc
+
+let test_pool_byte_identity () =
+  let expected = List.sort compare (oneshot_responses ()) in
+  List.iter
+    (fun workers ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "%d workers" workers)
+        expected
+        (List.sort compare (pool_responses workers)))
+    [ 1; 4 ]
+
+let test_persistent_cache_identity () =
+  (* a response computed fresh and one replayed from the persistent
+     tier must render byte-identically: %.17g round-trips exactly *)
+  let path = Filename.temp_file "iced-serve-cache" ".jsonl" in
+  let req = frame "m" (Protocol.Map { point = Protocol.default_point; kernel = "fft" }) in
+  let once () =
+    let cache = Cache.open_file path in
+    let r = Server.handle ~cache ~stats:no_stats req in
+    Cache.close cache;
+    r
+  in
+  let fresh = once () in
+  let replayed = once () in
+  Sys.remove path;
+  Alcotest.(check string) "fresh = replayed" fresh replayed
+
+(* ---------------- the channel transport ---------------- *)
+
+let test_serve_channels_pipe () =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let server =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr req_r in
+        let oc = Unix.out_channel_of_descr resp_w in
+        let reason =
+          Server.serve_channels
+            { Server.workers = 2; queue_depth = 8; cache = Cache.in_memory () }
+            ic oc
+        in
+        flush oc;
+        reason)
+  in
+  let client_oc = Unix.out_channel_of_descr req_w in
+  let client_ic = Unix.in_channel_of_descr resp_r in
+  List.iter
+    (fun line ->
+      output_string client_oc line;
+      output_char client_oc '\n')
+    [
+      "{\"id\":\"a\",\"op\":\"ping\"}";
+      "this is not json";
+      "{\"id\":\"b\",\"op\":\"ping\"}";
+      "{\"id\":\"z\",\"op\":\"shutdown\"}";
+    ];
+  flush client_oc;
+  let responses = List.init 4 (fun _ -> input_line client_ic) in
+  let reason = Domain.join server in
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ req_r; req_w; resp_r; resp_w ];
+  Alcotest.(check bool) "stopped on shutdown" true (reason = Server.Requested);
+  let sorted = List.sort compare responses in
+  Alcotest.(check (list string))
+    "response lines"
+    (List.sort compare
+       [
+         "{\"id\":\"a\",\"status\":\"ok\",\"op\":\"ping\"}";
+         "{\"status\":\"invalid\",\"error\":\"parse error: expected true at byte 0\"}";
+         "{\"id\":\"b\",\"status\":\"ok\",\"op\":\"ping\"}";
+         "{\"id\":\"z\",\"status\":\"ok\",\"op\":\"shutdown\"}";
+       ])
+    sorted
+
+(* ---------------- stats ---------------- *)
+
+let test_stats_reply_shape () =
+  let acc = ref [] in
+  let mu = Mutex.create () in
+  let respond line ~latency_s:_ =
+    Mutex.lock mu;
+    acc := line :: !acc;
+    Mutex.unlock mu
+  in
+  let t =
+    Server.create ~respond
+      { Server.workers = 2; queue_depth = 8; cache = Cache.in_memory () }
+  in
+  ignore (Server.submit t (frame "p1" Protocol.Ping));
+  Server.drain t;
+  ignore (Server.submit t (frame "s1" Protocol.Stats));
+  Server.shutdown t;
+  let stats_line =
+    List.find
+      (fun line ->
+        match Json.parse line with
+        | Ok doc -> Option.bind (Json.member "op" doc) Json.get_string = Some "stats"
+        | Error _ -> false)
+      !acc
+  in
+  match Json.parse stats_line with
+  | Error e -> Alcotest.failf "unparseable stats: %s" (Json.error_to_string e)
+  | Ok doc ->
+    let int_member name =
+      match Option.bind (Json.member name doc) Json.get_int with
+      | Some v -> v
+      | None -> Alcotest.failf "stats reply lacks %S: %s" name stats_line
+    in
+    Alcotest.(check int) "workers" 2 (int_member "workers");
+    Alcotest.(check int) "queue_depth" 8 (int_member "queue_depth");
+    Alcotest.(check int) "shed" 0 (int_member "shed");
+    Alcotest.(check bool) "served >= 1" true (int_member "served" >= 1);
+    (match Json.member "cache" doc with
+    | Some (Json.Obj _) -> ()
+    | _ -> Alcotest.fail "stats reply lacks a cache object");
+    match Json.member "latency" doc with
+    | Some (Json.Obj _) | Some Json.Null -> ()
+    | _ -> Alcotest.fail "stats reply lacks a latency field"
+
+let suite =
+  [
+    ("protocol roundtrip, all ops", `Quick, test_roundtrip_all_ops);
+    ("protocol roundtrip, hostile ids", `Quick, test_roundtrip_hostile_ids);
+    ("decode rejects malformed frames", `Quick, test_decode_malformed);
+    ("decode rejects invalid requests", `Quick, test_decode_invalid);
+    ("invalid replies are JSON", `Quick, test_invalid_responses_are_json);
+    QCheck_alcotest.to_alcotest prop_decode_total;
+    ("bqueue bounds and close", `Quick, test_bqueue_bounds);
+    ("find_or_store evaluates once", `Quick, test_find_or_store_single_evaluation);
+    ("timeouts are never cached", `Quick, test_timed_out_not_cached);
+    ("full queue sheds with overloaded", `Quick, test_shed_overloaded);
+    ("pool responses = one-shot bytes", `Quick, test_pool_byte_identity);
+    ("persistent tier replays identical bytes", `Quick, test_persistent_cache_identity);
+    ("serve_channels over a pipe", `Quick, test_serve_channels_pipe);
+    ("stats reply shape", `Quick, test_stats_reply_shape);
+  ]

@@ -235,6 +235,76 @@ let test_fmt_float () =
   Alcotest.(check string) "integer" "3" (Table.fmt_float 3.0);
   Alcotest.(check string) "nan" "-" (Table.fmt_float nan)
 
+(* ---------------- Json ---------------- *)
+
+let parse_ok s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S: %s" s (Json.error_to_string e)
+
+let test_json_scalars () =
+  Alcotest.(check bool) "null" true (parse_ok "null" = Json.Null);
+  Alcotest.(check bool) "true" true (parse_ok "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (parse_ok " false " = Json.Bool false);
+  Alcotest.(check bool) "int" true (parse_ok "42" = Json.Num 42.0);
+  Alcotest.(check bool) "negative exp" true (parse_ok "-1.5e3" = Json.Num (-1500.0));
+  Alcotest.(check bool) "string" true (parse_ok "\"hi\"" = Json.Str "hi")
+
+let test_json_escapes () =
+  Alcotest.(check bool) "simple escapes" true
+    (parse_ok "\"a\\n\\t\\\\\\\"b\\/\"" = Json.Str "a\n\t\\\"b/");
+  Alcotest.(check bool) "\\u BMP to UTF-8" true
+    (parse_ok "\"caf\\u00e9\"" = Json.Str "caf\xc3\xa9");
+  Alcotest.(check bool) "surrogate pair" true
+    (parse_ok "\"\\ud83d\\ude00\"" = Json.Str "\xf0\x9f\x98\x80")
+
+let test_json_nested () =
+  let doc = parse_ok "{\"a\": [1, {\"b\": null}, \"x\"], \"n\": -0.5}" in
+  (match Option.bind (Json.member "a" doc) Json.get_list with
+  | Some [ Json.Num 1.0; Json.Obj [ ("b", Json.Null) ]; Json.Str "x" ] -> ()
+  | _ -> Alcotest.fail "nested array structure");
+  Alcotest.(check (option (float 1e-12))) "number member" (Some (-0.5))
+    (Option.bind (Json.member "n" doc) Json.get_number);
+  Alcotest.(check (option int)) "get_int rejects fractions" None
+    (Option.bind (Json.member "n" doc) Json.get_int)
+
+let test_json_rejects () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [
+      "";
+      "{";
+      "[1,2";
+      "\"abc";  (* truncated string *)
+      "\"\\u12";  (* truncated escape *)
+      "\"\\x\"";  (* unknown escape *)
+      "\"\\ud800\"";  (* lone surrogate *)
+      "\"a\x01b\"";  (* raw control byte *)
+      "{\"a\":1,}";
+      "1 2";  (* trailing garbage *)
+      "tru";
+      "nan";
+    ]
+
+let test_json_error_position () =
+  match Json.parse "[1,x]" with
+  | Error e ->
+    Alcotest.(check bool) "position points at the x" true
+      (String.length (Json.error_to_string e) > 0);
+    Alcotest.(check int) "byte offset" 3 (match e with { Json.at; _ } -> at)
+  | Ok _ -> Alcotest.fail "accepted [1,x]"
+
+let prop_json_quote_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"json quote/parse roundtrip" QCheck.string (fun s ->
+      Json.parse (Json.quote s) = Ok (Json.Str s))
+
+let prop_json_parse_total =
+  QCheck.Test.make ~count:500 ~name:"json parse never raises" QCheck.string (fun s ->
+      match Json.parse s with Ok _ | Error _ -> true)
+
 let suite =
   [
     ("rng deterministic", `Quick, test_rng_deterministic);
@@ -268,4 +338,11 @@ let suite =
     ("table render", `Quick, test_table_render);
     ("table arity", `Quick, test_table_arity);
     ("table float format", `Quick, test_fmt_float);
+    ("json scalars", `Quick, test_json_scalars);
+    ("json escapes", `Quick, test_json_escapes);
+    ("json nested access", `Quick, test_json_nested);
+    ("json rejects malformed", `Quick, test_json_rejects);
+    ("json error position", `Quick, test_json_error_position);
+    QCheck_alcotest.to_alcotest prop_json_quote_roundtrip;
+    QCheck_alcotest.to_alcotest prop_json_parse_total;
   ]
