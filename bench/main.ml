@@ -783,11 +783,12 @@ let serve_bench () =
   let frames =
     List.init requests (fun i ->
         let id = Printf.sprintf "r%04d" i in
-        if Iced_util.Rng.int rng 10 = 0 then { Protocol.id; request = Protocol.Ping }
+        if Iced_util.Rng.int rng 10 = 0 then
+          { Protocol.id; request = Protocol.Ping; deadline_ms = None }
         else
           let point = Iced_util.Rng.choose rng points in
           let kernel = Iced_util.Rng.choose rng kernel_names in
-          { Protocol.id; request = Protocol.Map { point; kernel } })
+          { Protocol.id; request = Protocol.Map { point; kernel }; deadline_ms = None })
   in
   let cache = Cache.in_memory () in
   let latencies = Array.make requests 0.0 in
@@ -806,7 +807,11 @@ let serve_bench () =
     Condition.broadcast advanced;
     Mutex.unlock mu
   in
-  let server = Server.create ~respond { Server.workers; queue_depth; cache } in
+  let server =
+    Server.create ~respond
+      { Server.workers; queue_depth; cache; restart_budget = 8;
+        default_deadline_ms = None }
+  in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun frame ->
@@ -872,12 +877,387 @@ let serve_bench () =
   Printf.printf "wrote BENCH_serve.json (%d responses)\n" n
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: seeded fault injection against a live forked daemon          *)
+(* (BENCH_chaos.json; the CI chaos-soak job parses it).                *)
+(* ICED_BENCH_CHAOS_SEED / _EVENTS override the defaults.  The whole   *)
+(* scenario runs twice with the same seed and the two deterministic    *)
+(* summaries must match byte-for-byte.                                 *)
+
+type chaos_summary = {
+  ch_seed : int;
+  ch_events : int;
+  ch_errors : int;  (* crash kill=false -> internal_error barrier *)
+  ch_kills : int;  (* crash kill=true  -> worker supervision *)
+  ch_slows : int;  (* expired-deadline sleeps -> timeout shed *)
+  ch_disconnects : int;  (* client vanishes mid-frame *)
+  ch_restarts : int;  (* SIGTERM drain under in-flight load *)
+  ch_corruptions : int;  (* SIGKILL + cache-byte damage + recovery *)
+  ch_skipped_corruptions : int;  (* cache empty, nothing to damage *)
+  ch_daemon_restarts : int;
+  ch_cache_recoveries : int;
+  ch_probes : int;
+  ch_probes_ok : int;
+}
+
+let chaos () =
+  let module Server = Iced_serve.Server in
+  let module Protocol = Iced_serve.Protocol in
+  let module Lineio = Iced_serve.Lineio in
+  let module Cache = Iced_explore.Cache in
+  let module Space = Iced_explore.Space in
+  let module J = Iced_util.Json in
+  let getenv_int name default =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some n when n > 0 -> n
+    | _ -> default
+  in
+  let seed = getenv_int "ICED_BENCH_CHAOS_SEED" 7 in
+  let events = getenv_int "ICED_BENCH_CHAOS_EVENTS" 500 in
+  let daemon_log = "chaos_daemon.log" in
+  (try Sys.remove daemon_log with Sys_error _ -> ());
+  let failf fmt = Printf.ksprintf (fun m -> failwith ("chaos: " ^ m)) fmt in
+  (* -------------------------------------------------------------- *)
+  (* daemon lifecycle: the daemon is a fork of this process serving  *)
+  (* a Unix socket; its stderr goes to the log the CI job greps      *)
+  let start_daemon ~socket_path ~cache_path =
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      (try
+         let log =
+           Unix.openfile daemon_log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+         in
+         Unix.dup2 log Unix.stderr;
+         Unix.close log;
+         let stop_flag = Atomic.make false in
+         Sys.set_signal Sys.sigterm
+           (Sys.Signal_handle (fun _ -> Atomic.set stop_flag true));
+         let cache = Cache.open_file cache_path in
+         let config =
+           { Server.workers = 2; queue_depth = 64; cache; restart_budget = 1_000_000;
+             default_deadline_ms = None }
+         in
+         ignore
+           (Server.serve_socket ~stop:(fun () -> Atomic.get stop_flag) config socket_path);
+         Cache.close cache;
+         exit 0
+       with e ->
+         Printf.eprintf "[chaos-daemon] fatal: %s\n%!" (Printexc.to_string e);
+         exit 1)
+    | pid -> pid
+  in
+  let connect ~socket_path =
+    let give_up = Unix.gettimeofday () +. 30.0 in
+    let rec go () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+      | () ->
+        (* a wedged daemon should fail the bench loudly, not hang it *)
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 120.0;
+        (Lineio.reader fd, Lineio.writer fd, fd)
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+        Unix.close fd;
+        if Unix.gettimeofday () > give_up then failf "daemon never came up";
+        ignore (Unix.sleepf 0.01);
+        go ()
+    in
+    go ()
+  in
+  let recv reader =
+    match Lineio.read_line reader with
+    | `Line l -> l
+    | `Eof -> failf "daemon hung up mid-conversation"
+    | `Stopped -> assert false
+  in
+  let stop_daemon ~signal ~socket_path pid =
+    Unix.kill pid signal;
+    (match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 when signal = Sys.sigterm -> ()
+    | _, Unix.WSIGNALED s when signal = Sys.sigkill && s = Sys.sigkill -> ()
+    | _, status ->
+      let show = function
+        | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+        | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+        | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+      in
+      failf "daemon died wrong: %s" (show status));
+    if signal = Sys.sigterm && Sys.file_exists socket_path then
+      failf "socket file survived a graceful shutdown"
+  in
+  (* -------------------------------------------------------------- *)
+  (* the scenario *)
+  let run_scenario run_idx =
+    let socket_path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "iced_chaos_%d_%d.sock" (Unix.getpid ()) run_idx)
+    in
+    let cache_path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "iced_chaos_%d_%d.cache" (Unix.getpid ()) run_idx)
+    in
+    (try Sys.remove cache_path with Sys_error _ -> ());
+    (try Sys.remove (cache_path ^ ".bak") with Sys_error _ -> ());
+    let rng = Iced_util.Rng.create seed in
+    let oracle = Cache.in_memory () in
+    let oracle_stats ~id:_ = "" in
+    let expect frame = Server.handle ~cache:oracle ~stats:oracle_stats frame in
+    let points =
+      [ Protocol.default_point;
+        { Protocol.default_point with Space.floor = Dvfs.Relax } ]
+    in
+    let kernel_names = [ "fir"; "relu"; "spmv" ] in
+    let s = ref { ch_seed = seed; ch_events = events; ch_errors = 0; ch_kills = 0;
+                  ch_slows = 0; ch_disconnects = 0; ch_restarts = 0; ch_corruptions = 0;
+                  ch_skipped_corruptions = 0; ch_daemon_restarts = 0;
+                  ch_cache_recoveries = 0; ch_probes = 0; ch_probes_ok = 0 }
+    in
+    let probe_lat = ref [] in
+    let pid = ref (start_daemon ~socket_path ~cache_path) in
+    let conn = ref (connect ~socket_path) in
+    let send frame =
+      let _, w, _ = !conn in
+      if not (Lineio.write_line w (Protocol.encode_request frame)) then
+        failf "daemon closed the socket unexpectedly"
+    in
+    let roundtrip frame =
+      send frame;
+      let r, _, _ = !conn in
+      recv r
+    in
+    let reconnect () =
+      let _, _, fd = !conn in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      conn := connect ~socket_path
+    in
+    let restart_daemon () =
+      s := { !s with ch_daemon_restarts = !s.ch_daemon_restarts + 1 };
+      pid := start_daemon ~socket_path ~cache_path;
+      reconnect ()
+    in
+    (* after every event the daemon must answer a probe correctly;
+       every 10th probe is a map checked byte-for-byte against the
+       serial oracle, the rest are pings *)
+    let probe k =
+      let id = Printf.sprintf "p%05d" k in
+      let frame =
+        if k mod 10 = 5 then
+          let point = Iced_util.Rng.choose rng points in
+          let kernel = Iced_util.Rng.choose rng kernel_names in
+          { Protocol.id; request = Protocol.Map { point; kernel }; deadline_ms = None }
+        else { Protocol.id; request = Protocol.Ping; deadline_ms = None }
+      in
+      let want = expect frame in
+      let t0 = Unix.gettimeofday () in
+      let got = roundtrip frame in
+      probe_lat := (Unix.gettimeofday () -. t0) :: !probe_lat;
+      s :=
+        { !s with
+          ch_probes = !s.ch_probes + 1;
+          ch_probes_ok = (!s.ch_probes_ok + if got = want then 1 else 0) };
+      if got <> want then
+        Printf.eprintf "[chaos] probe %s diverged:\n  want %s\n  got  %s\n%!" id want got
+    in
+    let event k =
+      let id = Printf.sprintf "e%05d" k in
+      match Iced_util.Rng.int rng 100 with
+      | d when d < 30 ->
+        (* handler exception: the barrier answers with a fingerprint *)
+        s := { !s with ch_errors = !s.ch_errors + 1 };
+        let got =
+          roundtrip
+            { Protocol.id; request = Protocol.Crash { kill = false }; deadline_ms = None }
+        in
+        let want =
+          Protocol.response_internal_error ~id ~op:"crash"
+            ~fingerprint:(Server.fingerprint Server.Chaos_failure)
+        in
+        if got <> want then failf "error event %s: want %s, got %s" id want got
+      | d when d < 55 ->
+        (* worker-domain death: supervisor answers, restarts the worker *)
+        s := { !s with ch_kills = !s.ch_kills + 1 };
+        let got =
+          roundtrip
+            { Protocol.id; request = Protocol.Crash { kill = true }; deadline_ms = None }
+        in
+        let want =
+          Protocol.response_internal_error ~id ~op:"crash"
+            ~fingerprint:(Server.fingerprint Server.Worker_kill)
+        in
+        if got <> want then failf "kill event %s: want %s, got %s" id want got
+      | d when d < 75 ->
+        (* a request whose budget is already spent: deterministic shed *)
+        s := { !s with ch_slows = !s.ch_slows + 1 };
+        let got =
+          roundtrip { Protocol.id; request = Protocol.Sleep 200; deadline_ms = Some 0 }
+        in
+        let want = Protocol.response_timeout ~id ~op:"sleep" in
+        if got <> want then failf "slow event %s: want %s, got %s" id want got
+      | d when d < 90 ->
+        (* client vanishes mid-frame: the torn line must be discarded *)
+        s := { !s with ch_disconnects = !s.ch_disconnects + 1 };
+        let _, w, _ = !conn in
+        ignore (Lineio.write_line w (Printf.sprintf "{\"id\":\"%s\",\"op\":\"pi" id));
+        reconnect ()
+      | d when d < 95 ->
+        (* SIGTERM under load: accepted sleeps drain, exit 0, socket gone *)
+        s := { !s with ch_restarts = !s.ch_restarts + 1 };
+        let sleeps =
+          List.init 3 (fun i ->
+              { Protocol.id = Printf.sprintf "%s-s%d" id i;
+                request = Protocol.Sleep 50; deadline_ms = None })
+        in
+        List.iter send sleeps;
+        let r, _, _ = !conn in
+        let first = recv r in
+        Unix.kill !pid Sys.sigterm;
+        let rest = [ recv r; recv r ] in
+        let got = List.sort compare (first :: rest) in
+        let want =
+          List.sort compare
+            (List.map
+               (fun (f : Protocol.frame) -> Protocol.response_sleep ~id:f.Protocol.id ~ms:50)
+               sleeps)
+        in
+        if got <> want then
+          failf "restart event %s: drained replies diverged (%s)" id (String.concat " " got);
+        (match Unix.waitpid [] !pid with
+        | _, Unix.WEXITED 0 -> ()
+        | _, _ -> failf "restart event %s: daemon did not exit 0" id);
+        if Sys.file_exists socket_path then
+          failf "restart event %s: socket file survived drain" id;
+        restart_daemon ()
+      | _ -> (
+        (* SIGKILL, then damage the cache file; the reopened daemon
+           must recover the intact prefix and still answer correctly *)
+        stop_daemon ~signal:Sys.sigkill ~socket_path !pid;
+        let image =
+          let ic = open_in_bin cache_path in
+          let c = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          c
+        in
+        match Cache.wal_entries image with
+        | [] ->
+          s := { !s with ch_skipped_corruptions = !s.ch_skipped_corruptions + 1 };
+          restart_daemon ()
+        | entries ->
+          s := { !s with ch_corruptions = !s.ch_corruptions + 1 };
+          let off, len = List.nth entries (Iced_util.Rng.int rng (List.length entries)) in
+          let pos = off + (len / 2) in
+          if Iced_util.Rng.int rng 2 = 0 then
+            (* torn append: the file ends mid-record *)
+            Unix.truncate cache_path pos
+          else begin
+            (* flipped byte: the record's checksum no longer matches *)
+            let b = Bytes.of_string image in
+            Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
+            let oc = open_out_bin cache_path in
+            output_bytes oc b;
+            close_out oc
+          end;
+          restart_daemon ();
+          let health =
+            roundtrip { Protocol.id; request = Protocol.Health; deadline_ms = None }
+          in
+          let recovered =
+            match J.parse health with
+            | Error _ -> false
+            | Ok v -> (
+              match Option.bind (J.member "cache" v) (J.member "recovery") with
+              | Some J.Null | None -> false
+              | Some _ -> true)
+          in
+          if not recovered then failf "corrupt event %s: health reported no recovery" id;
+          s := { !s with ch_cache_recoveries = !s.ch_cache_recoveries + 1 })
+    in
+    let t0 = Unix.gettimeofday () in
+    for k = 0 to events - 1 do
+      event k;
+      probe k
+    done;
+    (* graceful wind-down of the last daemon generation *)
+    send { Protocol.id = "bye"; request = Protocol.Shutdown; deadline_ms = None };
+    let r, _, fd = !conn in
+    let bye = recv r in
+    if bye <> Protocol.response_shutdown ~id:"bye" then failf "bad shutdown reply: %s" bye;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (match Unix.waitpid [] !pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _, _ -> failf "final daemon did not exit 0");
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (try Sys.remove cache_path with Sys_error _ -> ());
+    (!s, wall_s, !probe_lat)
+  in
+  (* -------------------------------------------------------------- *)
+  let summary, wall_s, lats = run_scenario 0 in
+  let summary2, _, _ = run_scenario 1 in
+  let deterministic = summary = summary2 in
+  if not deterministic then
+    Printf.eprintf "[chaos] WARNING: two same-seed runs produced different summaries\n%!";
+  let availability =
+    if summary.ch_probes = 0 then 1.0
+    else float_of_int summary.ch_probes_ok /. float_of_int summary.ch_probes
+  in
+  let lat = Array.of_list lats in
+  Array.sort compare lat;
+  let n = Array.length lat in
+  let pct p =
+    if n = 0 then 0.0
+    else lat.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "iced chaos: %d events, seed %d (run twice)" events seed)
+      ~columns:[ "metric"; "value" ]
+  in
+  List.iter
+    (fun (k, v) -> Table.add_row t [ k; v ])
+    [ ("handler errors", string_of_int summary.ch_errors);
+      ("worker kills", string_of_int summary.ch_kills);
+      ("expired deadlines", string_of_int summary.ch_slows);
+      ("disconnects", string_of_int summary.ch_disconnects);
+      ("drain restarts", string_of_int summary.ch_restarts);
+      ("cache corruptions", string_of_int summary.ch_corruptions);
+      ("daemon restarts", string_of_int summary.ch_daemon_restarts);
+      ("cache recoveries", string_of_int summary.ch_cache_recoveries);
+      ("probes ok", Printf.sprintf "%d/%d" summary.ch_probes_ok summary.ch_probes);
+      ("availability", Printf.sprintf "%.4f" availability);
+      ("probe p99 ms", Printf.sprintf "%.3f" (pct 0.99 *. 1e3));
+      ("deterministic", string_of_bool deterministic) ];
+  Table.print t;
+  let json =
+    Printf.sprintf
+      "{\"schema\":\"iced-bench-chaos-v1\",\"seed\":%d,\"events\":%d,\
+       \"injected\":{\"error\":%d,\"kill\":%d,\"slow\":%d,\"disconnect\":%d,\
+       \"restart\":%d,\"corrupt\":%d,\"corrupt_skipped\":%d},\
+       \"recoveries\":{\"worker_restarts\":%d,\"daemon_restarts\":%d,\
+       \"cache_recoveries\":%d},\
+       \"probes\":{\"sent\":%d,\"answered_correctly\":%d},\
+       \"availability\":%.6f,\"deterministic\":%b,\
+       \"timing\":{\"wall_s\":%.3f,\"probe_p50_ms\":%.4f,\"probe_p99_ms\":%.4f}}\n"
+      seed events summary.ch_errors summary.ch_kills summary.ch_slows
+      summary.ch_disconnects summary.ch_restarts summary.ch_corruptions
+      summary.ch_skipped_corruptions summary.ch_kills summary.ch_daemon_restarts
+      summary.ch_cache_recoveries summary.ch_probes summary.ch_probes_ok availability
+      deterministic wall_s (pct 0.5 *. 1e3) (pct 0.99 *. 1e3)
+  in
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_chaos.json (%d events, availability %.4f)\n" events
+    availability;
+  if availability < 1.0 then failwith "chaos: availability below 1.0";
+  if not deterministic then failwith "chaos: same-seed runs diverged"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("table1", table1); ("fig2", fig2); ("fig4", fig4); ("fig8", fig8); ("fig9", fig9);
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("fig13", fig13);
     ("fig14", fig14); ("ablation", ablation); ("explore", explore); ("perf", perf);
-    ("mapper", mapper_bench); ("fault", fault_injection); ("serve", serve_bench) ]
+    ("mapper", mapper_bench); ("fault", fault_injection); ("serve", serve_bench);
+    ("chaos", chaos) ]
 
 let () =
   let requested =

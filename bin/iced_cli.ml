@@ -662,22 +662,52 @@ let serve_term =
                    in arrival order.  The one-shot oracle the byte-identity tests \
                    compare the daemon against.")
   in
-  let run workers depth cache_path no_cache socket once () =
+  let restart_budget_arg =
+    Arg.(value & opt int 8
+         & info [ "restart-budget" ] ~docv:"N"
+             ~doc:"Worker-domain deaths the supervisor absorbs (restarting the \
+                   worker) before retiring workers and failing queued requests.")
+  in
+  let default_deadline_arg =
+    Arg.(value & opt (some int) None
+         & info [ "default-deadline-ms" ] ~docv:"MS"
+             ~doc:"Deadline applied to requests that carry no deadline_ms of their \
+                   own; expired requests answer status \"timeout\".")
+  in
+  let fsync_arg =
+    Arg.(value & flag
+         & info [ "cache-fsync" ]
+             ~doc:"fsync the persistent cache after every append (survives power \
+                   loss, costs a disk round-trip per record).  Without it appends \
+                   are flushed to the OS, which survives process death only.")
+  in
+  let run workers depth cache_path no_cache socket once restart_budget
+      default_deadline_ms fsync () =
     let cache =
       if no_cache then Explore.Cache.in_memory ()
-      else Explore.Cache.open_file cache_path
+      else Explore.Cache.open_file ~fsync cache_path
     in
-    let config = { Iced_serve.Server.workers; queue_depth = depth; cache } in
+    (* SIGTERM/SIGINT request a drain: stop accepting, finish accepted
+       work, flush the cache, remove the socket, exit 0.  No SA_RESTART:
+       the signal must interrupt a blocked read/accept so the transport
+       notices the flag. *)
+    let stop_flag = Atomic.make false in
+    let request_stop = Sys.Signal_handle (fun _ -> Atomic.set stop_flag true) in
+    (try Sys.set_signal Sys.sigterm request_stop with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigint request_stop with Invalid_argument _ -> ());
+    let stop () = Atomic.get stop_flag in
+    let config =
+      { Iced_serve.Server.workers; queue_depth = depth; cache; restart_budget;
+        default_deadline_ms }
+    in
     (match socket with
-    | Some path -> Iced_serve.Server.serve_socket ~once config path
-    | None ->
-      (match Iced_serve.Server.serve_channels ~once config stdin stdout with
-      | Iced_serve.Server.Eof | Iced_serve.Server.Requested -> ()));
+    | Some path -> ignore (Iced_serve.Server.serve_socket ~once ~stop config path)
+    | None -> ignore (Iced_serve.Server.serve_channels ~once ~stop config stdin stdout));
     Explore.Cache.close cache
   in
   Term.(
     const run $ workers_arg $ depth_arg $ cache_arg $ no_cache_arg $ socket_arg
-    $ once_arg)
+    $ once_arg $ restart_budget_arg $ default_deadline_arg $ fsync_arg)
 
 let serve_doc = "Field map/explore/stream/fault requests as a long-lived daemon"
 let serve_cmd = Cmd.v (Cmd.info "serve" ~doc:serve_doc) Term.(serve_term $ const ())

@@ -1,5 +1,11 @@
 type record = Outcome.status
 
+type recovery = {
+  kept_records : int;  (* intact frames replayed from the prefix *)
+  dropped_bytes : int;  (* bytes cut (or set aside) past the valid prefix *)
+  renamed_bak : bool;  (* the whole file was foreign/old and moved to .bak *)
+}
+
 (* One mutex guards the whole store: the in-memory tier, the hit/miss
    accounting, and the append channel of the persistent tier.  The
    condition variable serves [find_or_store]: a domain that finds its
@@ -12,12 +18,14 @@ type t = {
   changed : Condition.t;
   file : out_channel option;
   path : string option;
+  fsync : bool;
+  recovery : recovery option;
   mutable hits : int;
   mutable misses : int;
   mutable coalesced : int;
 }
 
-let version = 1
+let version = 2
 
 let locked t f =
   Mutex.lock t.mu;
@@ -57,9 +65,10 @@ let record_to_line key (r : record) =
   | Outcome.Failed msg -> Printf.sprintf "{%s,\"s\":\"fail\",\"msg\":\"%s\"}" common (escape msg)
   | Outcome.Timed_out -> Printf.sprintf "{%s,\"s\":\"timeout\"}" common
 
-(* Decode one stored line back to a (key, record); [None] on any
-   malformed input (the loader skips such lines, e.g. a truncated
-   final line after a crash, so a damaged store degrades to misses). *)
+(* Decode one stored payload back to a (key, record); [None] on any
+   malformed input.  A checksummed frame whose payload fails here was
+   written intentionally but by an unknown future writer — the loader
+   skips the entry and keeps scanning (the frame itself is intact). *)
 let record_of_line line =
   let module J = Iced_util.Json in
   match J.parse line with
@@ -98,11 +107,66 @@ let record_of_line line =
     | _ -> None)
 
 (* ------------------------------------------------------------------ *)
-(* store                                                               *)
+(* the write-ahead framing                                             *)
+(*                                                                     *)
+(* Each appended record is wrapped                                     *)
+(*                                                                     *)
+(*   LLLLLLLL:HHHHHHHHHHHHHHHH:<payload>\n                             *)
+(*                                                                     *)
+(* where L is the payload byte length (8 hex digits) and H the FNV-1a  *)
+(* of the payload (16 hex digits).  A crash — including kill -9 — can  *)
+(* only tear the record being appended: the torn tail fails the        *)
+(* length, newline, or checksum check, the loader truncates there, and *)
+(* every frame before it is replayed intact.                           *)
 
 let header = Printf.sprintf "{\"iced_explore_cache\":%d}" version
+let header_line = header ^ "\n"
 
-let make ~file ~path table =
+let frame payload =
+  Printf.sprintf "%08x:%s:%s\n" (String.length payload) (content_hash payload) payload
+
+let frame_record ~key status = frame (record_to_line key status)
+
+let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+
+let hex_span s off len =
+  let ok = ref true in
+  for i = off to off + len - 1 do
+    if not (is_hex s.[i]) then ok := false
+  done;
+  !ok
+
+(* Scan the region after the header for intact frames.  Returns the
+   (payload offset, payload length) of each, in order, and the byte
+   offset where scanning stopped — the end of the valid prefix. *)
+let scan_frames s start =
+  let len = String.length s in
+  let rec go off acc =
+    if off = len then (List.rev acc, off)
+    else if off + 26 > len then (List.rev acc, off)
+    else if s.[off + 8] <> ':' || s.[off + 25] <> ':' then (List.rev acc, off)
+    else if not (hex_span s off 8 && hex_span s (off + 9) 16) then (List.rev acc, off)
+    else
+      let plen = int_of_string ("0x" ^ String.sub s off 8) in
+      let payload_off = off + 26 in
+      if payload_off + plen + 1 > len then (List.rev acc, off)
+      else if s.[payload_off + plen] <> '\n' then (List.rev acc, off)
+      else
+        let payload = String.sub s payload_off plen in
+        if content_hash payload <> String.sub s (off + 9) 16 then (List.rev acc, off)
+        else go (payload_off + plen + 1) ((payload_off, plen) :: acc)
+  in
+  go start []
+
+let wal_entries s =
+  let hlen = String.length header_line in
+  if String.length s < hlen || String.sub s 0 hlen <> header_line then []
+  else fst (scan_frames s hlen)
+
+(* ------------------------------------------------------------------ *)
+(* store                                                               *)
+
+let make ?recovery ~fsync ~file ~path table =
   {
     table;
     in_flight = Hashtbl.create 8;
@@ -110,49 +174,91 @@ let make ~file ~path table =
     changed = Condition.create ();
     file;
     path;
+    fsync;
+    recovery;
     hits = 0;
     misses = 0;
     coalesced = 0;
   }
 
-let in_memory () = make ~file:None ~path:None (Hashtbl.create 64)
+let in_memory () = make ~fsync:false ~file:None ~path:None (Hashtbl.create 64)
 
-let load_lines path table =
-  let ic = open_in path in
-  let ok = ref false in
-  (match input_line ic with
-  | first when first = header ->
-    ok := true;
-    (try
-       while true do
-         let line = input_line ic in
-         match record_of_line line with
-         | Some (key, record) -> Hashtbl.replace table key record
-         | None -> ()
-       done
-     with End_of_file -> ())
-  | _ -> ()
-  | exception End_of_file -> ());
+let sync oc = Unix.fsync (Unix.descr_of_out_channel oc)
+
+let read_all path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
   close_in ic;
-  !ok
+  s
 
-let open_file path =
+let fresh_file ~fsync path =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
+  output_string oc header_line;
+  flush oc;
+  if fsync then sync oc;
+  oc
+
+let open_file ?(fsync = false) path =
   let table = Hashtbl.create 64 in
-  let compatible = if Sys.file_exists path then load_lines path table else false in
+  let recovery = ref None in
   let file =
-    if compatible then open_out_gen [ Open_append; Open_creat ] 0o644 path
+    if not (Sys.file_exists path) then fresh_file ~fsync path
     else begin
-      (* absent, foreign, or older-version file: start a fresh store *)
-      Hashtbl.reset table;
-      let oc = open_out path in
-      output_string oc (header ^ "\n");
-      flush oc;
-      oc
+      let s = read_all path in
+      let total = String.length s in
+      let hlen = String.length header_line in
+      if total = 0 then fresh_file ~fsync path
+      else if total < hlen || String.sub s 0 hlen <> header_line then begin
+        (* foreign or older-version store: preserve it, then restart *)
+        recovery := Some { kept_records = 0; dropped_bytes = total; renamed_bak = true };
+        (try Sys.rename path (path ^ ".bak") with Sys_error _ -> ());
+        fresh_file ~fsync path
+      end
+      else begin
+        let frames, valid_end = scan_frames s hlen in
+        List.iter
+          (fun (off, len) ->
+            match record_of_line (String.sub s off len) with
+            | Some (key, record) -> Hashtbl.replace table key record
+            | None -> ())
+          frames;
+        if valid_end < total then begin
+          recovery :=
+            Some
+              {
+                kept_records = List.length frames;
+                dropped_bytes = total - valid_end;
+                renamed_bak = false;
+              };
+          Unix.truncate path valid_end
+        end;
+        open_out_gen [ Open_wronly; Open_append ] 0o644 path
+      end
     end
   in
-  make ~file:(Some file) ~path:(Some path) table
+  (match !recovery with
+  | None -> ()
+  | Some r ->
+    Iced_obs.Metrics.incr "cache.recoveries";
+    Iced_obs.Metrics.incr ~by:r.dropped_bytes "cache.recovered_bytes_dropped";
+    Printf.eprintf
+      "[cache] recovered %s: kept %d record%s, %s %d trailing byte%s\n%!" path
+      r.kept_records
+      (if r.kept_records = 1 then "" else "s")
+      (if r.renamed_bak then "set aside (as .bak)" else "truncated")
+      r.dropped_bytes
+      (if r.dropped_bytes = 1 then "" else "s"))
+  ;
+  make ?recovery:!recovery ~fsync ~file:(Some file) ~path:(Some path) table
 
-let close t = locked t (fun () -> match t.file with Some oc -> close_out oc | None -> ())
+let close t =
+  locked t (fun () ->
+      match t.file with
+      | Some oc ->
+        flush oc;
+        if t.fsync then sync oc;
+        close_out oc
+      | None -> ())
 
 let find t key =
   locked t (fun () ->
@@ -172,8 +278,9 @@ let store_locked t ~key status =
     Hashtbl.replace t.table key status;
     (match t.file with
     | Some oc ->
-      output_string oc (record_to_line key status ^ "\n");
-      flush oc
+      output_string oc (frame_record ~key status);
+      flush oc;
+      if t.fsync then sync oc
     | None -> ())
 
 let store t ~key status = locked t (fun () -> store_locked t ~key status)
@@ -224,3 +331,4 @@ let hits t = locked t (fun () -> t.hits)
 let misses t = locked t (fun () -> t.misses)
 let coalesced t = locked t (fun () -> t.coalesced)
 let path t = t.path
+let recovery t = t.recovery

@@ -2,13 +2,28 @@
     hash of (architecture point, kernel identity, mapper knobs), in an
     in-memory table backed by an append-only persistent file.
 
-    The persistent tier is one JSON-lines file: a version header
-    followed by one flat JSON object per cached (point, kernel)
-    evaluation.  New results are appended and flushed as they arrive,
+    The persistent tier is a write-ahead log: a version header line
+    followed by one framed record per cached (point, kernel)
+    evaluation.  Each record is wrapped as
+
+    {v LLLLLLLL:HHHHHHHHHHHHHHHH:<flat JSON payload>\n v}
+
+    — an 8-hex-digit payload length, a 16-hex-digit FNV-1a checksum of
+    the payload, the payload, a newline.  New results are appended and
+    flushed as they arrive (and optionally fsynced, see {!open_file}),
     so an interrupted sweep resumes where it stopped; a re-run of the
-    same space does no fresh mapping at all.  Records from an older
-    format version (and unparseable lines, e.g. a truncated final line
-    after a crash) are skipped on load, never propagated.
+    same space does no fresh mapping at all.
+
+    {b Crash safety.}  A crash — including [kill -9] mid-append — can
+    only tear the record being written.  On the next {!open_file} the
+    loader scans the file front to back, replays every intact frame,
+    and truncates the file at the first torn or corrupt one, so at
+    most the in-flight record is lost and the surviving prefix
+    round-trips byte-identically.  A file whose header belongs to a
+    different format version (or to some other program entirely) is
+    set aside as [<path>.bak] before a fresh store is started, never
+    silently destroyed.  Recoveries are reported through {!recovery},
+    counted in the [cache.recoveries] metric, and logged to stderr.
 
     Every operation is safe to call from any domain: one store is
     shared between the sweep driver's worker pool and the serving
@@ -30,22 +45,48 @@ type t
 val version : int
 (** Current on-disk format version. *)
 
+type recovery = {
+  kept_records : int;  (** intact frames replayed from the prefix *)
+  dropped_bytes : int;  (** bytes truncated (or set aside) past the valid prefix *)
+  renamed_bak : bool;  (** the whole file was foreign/old and moved to [.bak] *)
+}
+(** What {!open_file} had to repair, when it had to repair anything. *)
+
 val in_memory : unit -> t
 (** A cache with no backing file (bench/test/daemon-default use). *)
 
-val open_file : string -> t
-(** Open or create a backing file, loading every current-version
-    record.  A file with a different header version is truncated and
-    rewritten at {!version}. *)
+val open_file : ?fsync:bool -> string -> t
+(** Open or create a backing file, replaying every intact
+    current-version record (see the crash-safety notes above).  With
+    [~fsync:true] every append is pushed to stable storage with
+    [fsync(2)] before {!store} returns — survives power loss, costs a
+    disk round-trip per record; the default only [flush]es to the OS,
+    which survives process death ([kill -9]) but not kernel death. *)
 
 val close : t -> unit
 (** Flush and close the backing file (no-op for {!in_memory}). *)
+
+val recovery : t -> recovery option
+(** [Some _] when the last {!open_file} found damage and repaired it;
+    [None] for a clean open or an {!in_memory} store. *)
 
 val key : Space.point -> Iced_kernels.Kernel.t -> string
 (** Canonical cache key of one (point, kernel) evaluation. *)
 
 val content_hash : string -> string
 (** 64-bit FNV-1a of a key, as 16 hex digits — the record's short id. *)
+
+val frame_record : key:string -> Outcome.status -> string
+(** The exact bytes {!store} appends for one record (length prefix,
+    checksum, payload, newline).  Exposed so crash tests and the chaos
+    harness can compute record boundaries without reimplementing the
+    framing. *)
+
+val wal_entries : string -> (int * int) list
+(** [(payload offset, payload length)] of every intact frame in a raw
+    file image (header included), in file order — the valid prefix a
+    recovery scan would keep.  Empty when the header itself is
+    missing or foreign. *)
 
 val find : t -> string -> Outcome.status option
 (** Lookup by key; counts a hit or a miss. *)

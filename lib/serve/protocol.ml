@@ -14,9 +14,11 @@ type request =
   | Stream of { app : app; policy : Runner.policy; inputs : int }
   | Fault of { app : app; seeds : int; faults : int; inputs : int; window : int }
   | Stats
+  | Health
+  | Crash of { kill : bool }
   | Shutdown
 
-type frame = { id : string; request : request }
+type frame = { id : string; request : request; deadline_ms : int option }
 
 type decode_error =
   | Malformed of J.error
@@ -30,6 +32,8 @@ let op_to_string = function
   | Stream _ -> "stream"
   | Fault _ -> "fault"
   | Stats -> "stats"
+  | Health -> "health"
+  | Crash _ -> "crash"
   | Shutdown -> "shutdown"
 
 let default_point =
@@ -145,13 +149,32 @@ let decode line =
                 | None -> fail (Printf.sprintf "field %S: expected an integer" name))
               items)
       in
+      let bool_field ~default name =
+        match J.member name doc with
+        | None -> default
+        | Some v -> (
+          match J.get_bool v with
+          | Some b -> b
+          | None -> fail (Printf.sprintf "field %S must be a boolean" name))
+      in
       let app_field ?default name =
         match Campaign.app_of_string (str_field ?default name) with
         | Some a -> a
         | None -> fail (Printf.sprintf "field %S must be \"gcn\" or \"lu\"" name)
       in
+      let deadline () =
+        match J.member "deadline_ms" doc with
+        | None -> None
+        | Some v -> (
+          match J.get_int v with
+          | Some ms when ms >= 0 -> Some ms
+          | Some _ -> fail "field \"deadline_ms\" must be >= 0"
+          | None -> fail "field \"deadline_ms\" must be an integer")
+      in
       match
-        match J.member "op" doc with
+        let deadline_ms = deadline () in
+        let request =
+          match J.member "op" doc with
         | None -> fail "missing field \"op\""
         | Some v -> (
           match J.get_string v with
@@ -219,10 +242,14 @@ let decode line =
             if window <= 0 then fail "field \"window\" must be > 0";
             Fault { app; seeds; faults; inputs; window }
           | Some "stats" -> Stats
+          | Some "health" -> Health
+          | Some "crash" -> Crash { kill = bool_field ~default:false "kill" }
           | Some "shutdown" -> Shutdown
           | Some op -> fail (Printf.sprintf "unknown op %S" op))
+        in
+        { id; request; deadline_ms }
       with
-      | request -> Ok { id; request }
+      | frame -> Ok frame
       | exception Bad reason -> Error (Invalid { id; reason })))
 
 (* ------------------------------------------------------------------ *)
@@ -231,8 +258,13 @@ let decode line =
 let str_list l = "[" ^ String.concat "," (List.map J.quote l) ^ "]"
 let int_list l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
 
-let encode_request { id; request } =
-  let common op = Printf.sprintf "\"id\":%s,\"op\":\"%s\"" (J.quote id) op in
+let encode_request { id; request; deadline_ms } =
+  let common op =
+    Printf.sprintf "\"id\":%s,\"op\":\"%s\"%s" (J.quote id) op
+      (match deadline_ms with
+      | None -> ""
+      | Some ms -> Printf.sprintf ",\"deadline_ms\":%d" ms)
+  in
   match request with
   | Ping -> Printf.sprintf "{%s}" (common "ping")
   | Sleep ms -> Printf.sprintf "{%s,\"ms\":%d}" (common "sleep") ms
@@ -261,6 +293,9 @@ let encode_request { id; request } =
       "{%s,\"app\":\"%s\",\"seeds\":%d,\"faults\":%d,\"inputs\":%d,\"window\":%d}"
       (common "fault") (Campaign.app_to_string app) seeds faults inputs window
   | Stats -> Printf.sprintf "{%s}" (common "stats")
+  | Health -> Printf.sprintf "{%s}" (common "health")
+  | Crash { kill } ->
+    Printf.sprintf "{%s%s}" (common "crash") (if kill then ",\"kill\":true" else "")
   | Shutdown -> Printf.sprintf "{%s}" (common "shutdown")
 
 (* ------------------------------------------------------------------ *)
@@ -364,6 +399,13 @@ let response_fault ~id (c : Campaign.t) =
     (String.concat "," policies)
 
 let response_shutdown ~id = Printf.sprintf "{%s}" (head ~id ~status:"ok" "shutdown")
+
+let response_timeout ~id ~op = Printf.sprintf "{%s}" (head ~id ~status:"timeout" op)
+
+let response_internal_error ~id ~op ~fingerprint =
+  Printf.sprintf "{%s,\"fingerprint\":%s}"
+    (head ~id ~status:"internal_error" op)
+    (J.quote fingerprint)
 
 let response_error ~id msg =
   Printf.sprintf "{\"id\":%s,\"status\":\"error\",\"error\":%s}" (J.quote id) (J.quote msg)

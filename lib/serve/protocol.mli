@@ -36,11 +36,25 @@ type request =
       (** run a seeded fault campaign (all recovery policies and fault
           families) and return per-policy survival/retention *)
   | Stats  (** SLO snapshot: queue depth, latency quantiles, dedup counters *)
+  | Health
+      (** liveness/readiness probe: worker aliveness and restart
+          budget, queue occupancy, cache tier + recovery status *)
+  | Crash of { kill : bool }
+      (** deliberately raise inside the handler — the chaos harness's
+          fault-injection hook.  [kill = false] exercises the
+          exception barrier (a structured [internal_error] reply);
+          [kill = true] kills the worker domain itself, exercising
+          supervision/restart.  Never cached, never useful to real
+          clients. *)
   | Shutdown  (** acknowledge, then stop accepting requests *)
 
-type frame = { id : string; request : request }
+type frame = { id : string; request : request; deadline_ms : int option }
 (** [id] is the client's correlation token (possibly [""]); it is
-    echoed verbatim in the response. *)
+    echoed verbatim in the response.  [deadline_ms], when present, is
+    the client's end-to-end budget: queue wait counts against it, an
+    expired request is answered [status "timeout"] without (or
+    mid-)evaluation.  [deadline_ms = Some 0] is already expired —
+    deterministic timeout, handy for tests. *)
 
 type decode_error =
   | Malformed of Iced_util.Json.error
@@ -104,6 +118,19 @@ val response_fault : id:string -> Iced_campaign.Campaign.t -> string
 (** Per-recovery-policy aggregates over the campaign's cells. *)
 
 val response_shutdown : id:string -> string
+
+val response_timeout : id:string -> op:string -> string
+(** [status "timeout"]: the request's [deadline_ms] expired (in queue
+    or mid-evaluation) before a result was produced.  [map] timeouts
+    use {!response_map} with [Timed_out] instead, which carries the
+    point/kernel echo. *)
+
+val response_internal_error : id:string -> op:string -> fingerprint:string -> string
+(** [status "internal_error"]: the handler raised.  [fingerprint] is a
+    stable 16-hex-digit FNV-1a of the exception rendering — enough to
+    correlate repeats and grep server logs, never the raw
+    message/backtrace (which stays on the daemon's stderr). *)
+
 val response_error : id:string -> string -> string
 (** [status "error"]: a well-formed request the handler rejected
     (unknown kernel, empty space, unpartitionable app...). *)

@@ -1,4 +1,5 @@
 module J = Iced_util.Json
+module Fnv = Iced_util.Fnv
 module Cache = Iced_explore.Cache
 module Space = Iced_explore.Space
 module Outcome = Iced_explore.Outcome
@@ -10,23 +11,55 @@ module Campaign = Iced_campaign.Campaign
 module Metrics = Iced_obs.Metrics
 module Trace = Iced_obs.Trace
 
-type config = { workers : int; queue_depth : int; cache : Cache.t }
+type config = {
+  workers : int;
+  queue_depth : int;
+  cache : Cache.t;
+  restart_budget : int;
+  default_deadline_ms : int option;
+}
 
-let default_config () = { workers = 2; queue_depth = 64; cache = Cache.in_memory () }
+let default_config () =
+  {
+    workers = 2;
+    queue_depth = 64;
+    cache = Cache.in_memory ();
+    restart_budget = 8;
+    default_deadline_ms = None;
+  }
+
+exception Chaos_failure
+exception Worker_kill
+
+let fingerprint e = Fnv.to_hex (Fnv.hash_string (Printexc.to_string e))
+
+(* EINTR-robust absolute-time sleep: the drain signal handlers install
+   without SA_RESTART, so [sleepf] can return early with EINTR — retry
+   until the target, never surface the interrupt *)
+let rec sleep_until target =
+  let now = Unix.gettimeofday () in
+  if now < target then begin
+    (try Unix.sleepf (target -. now)
+     with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    sleep_until target
+  end
 
 (* ------------------------------------------------------------------ *)
 (* request handlers                                                    *)
 
 let params = Iced_power.Params.default
 
-let handle_map ~cache ~id ~point ~kernel =
+let handle_map ~cache ~cancel ~id ~point ~kernel =
   match Registry.by_name kernel with
   | None -> Protocol.response_error ~id (Printf.sprintf "unknown kernel %S" kernel)
   | Some k ->
     let status =
       Cache.find_or_store cache ~key:(Cache.key point k) (fun () ->
-          Outcome.evaluate_kernel ~params point k)
+          Outcome.evaluate_kernel ~cancel ~params point k)
     in
+    (match status with
+    | Outcome.Timed_out -> Metrics.incr "serve.deadline_expired"
+    | _ -> ());
     Protocol.response_map ~id ~point ~kernel status
 
 let handle_explore ~cache ~id ~spec ~kernels =
@@ -97,36 +130,16 @@ let handle_fault ~id ~app ~seeds ~faults ~inputs ~window =
   | Error msg -> Protocol.response_error ~id ("campaign failed: " ^ msg)
   | Ok c -> Protocol.response_fault ~id c
 
-let dispatch ~cache ~stats (frame : Protocol.frame) =
-  let id = frame.Protocol.id in
-  match frame.Protocol.request with
-  | Protocol.Ping -> Protocol.response_ping ~id
-  | Protocol.Sleep ms ->
-    Unix.sleepf (float_of_int ms /. 1000.0);
-    Protocol.response_sleep ~id ~ms
-  | Protocol.Map { point; kernel } -> handle_map ~cache ~id ~point ~kernel
-  | Protocol.Explore { spec; kernels } -> handle_explore ~cache ~id ~spec ~kernels
-  | Protocol.Stream { app; policy; inputs } -> handle_stream ~id ~app ~policy ~inputs
-  | Protocol.Fault { app; seeds; faults; inputs; window } ->
-    handle_fault ~id ~app ~seeds ~faults ~inputs ~window
-  | Protocol.Stats -> stats ~id
-  | Protocol.Shutdown -> Protocol.response_shutdown ~id
-
-let handle ~cache ~stats (frame : Protocol.frame) =
-  let op = Protocol.op_to_string frame.Protocol.request in
-  match
-    Trace.with_span
-      ~args:[ ("id", Trace.Str frame.Protocol.id) ]
-      ~cat:"serve" ~name:op
-      (fun () -> dispatch ~cache ~stats frame)
-  with
-  | line -> line
-  | exception e ->
-    Protocol.response_error ~id:frame.Protocol.id
-      ("internal error: " ^ Printexc.to_string e)
-
 (* ------------------------------------------------------------------ *)
-(* the stats reply                                                     *)
+(* the stats / health replies                                          *)
+
+let failures_json () =
+  let c name = Option.value ~default:0 (Metrics.counter_value name) in
+  Printf.sprintf
+    "{\"internal_errors\":%d,\"worker_restarts\":%d,\"deadline_expired\":%d,\
+     \"cache_recoveries\":%d}"
+    (c "serve.internal_errors") (c "serve.worker_restarts")
+    (c "serve.deadline_expired") (c "cache.recoveries")
 
 let stats_line ~id ~workers ~queue_depth ~queue_length ~pending ~served ~shed cache =
   let hits = Cache.hits cache and misses = Cache.misses cache in
@@ -151,14 +164,131 @@ let stats_line ~id ~workers ~queue_depth ~queue_length ~pending ~served ~shed ca
     "{\"id\":%s,\"status\":\"ok\",\"op\":\"stats\",\"workers\":%d,\"queue_depth\":%d,\
      \"queue_length\":%d,\"pending\":%d,\"served\":%d,\"shed\":%d,\
      \"cache\":{\"size\":%d,\"hits\":%d,\"misses\":%d,\"coalesced\":%d,\"hit_rate\":%s},\
-     \"latency\":%s}"
+     \"latency\":%s,\"failures\":%s}"
     (J.quote id) workers queue_depth queue_length pending served shed (Cache.size cache)
-    hits misses (Cache.coalesced cache) (J.number hit_rate) latency
+    hits misses (Cache.coalesced cache) (J.number hit_rate) latency (failures_json ())
+
+let cache_health_json cache =
+  let tier, path =
+    match Cache.path cache with
+    | Some p -> ("persistent", J.quote p)
+    | None -> ("memory", "null")
+  in
+  let recovery =
+    match Cache.recovery cache with
+    | None -> "null"
+    | Some r ->
+      Printf.sprintf
+        "{\"kept_records\":%d,\"dropped_bytes\":%d,\"renamed_bak\":%b}"
+        r.Cache.kept_records r.Cache.dropped_bytes r.Cache.renamed_bak
+  in
+  Printf.sprintf "{\"tier\":\"%s\",\"path\":%s,\"entries\":%d,\"recovery\":%s}" tier path
+    (Cache.size cache) recovery
+
+let health_line ~id ~workers ~alive ~restarts ~restart_budget ~queue_depth ~queue_length
+    cache =
+  (* a pool with zero live workers cannot make progress; the serial
+     once-mode path (workers = 0) is its own worker *)
+  let healthy = workers = 0 || alive > 0 in
+  Printf.sprintf
+    "{\"id\":%s,\"status\":\"ok\",\"op\":\"health\",\"healthy\":%b,\
+     \"workers\":{\"total\":%d,\"alive\":%d,\"restarts\":%d,\"restart_budget\":%d},\
+     \"queue\":{\"length\":%d,\"depth\":%d},\"cache\":%s}"
+    (J.quote id) healthy workers alive restarts restart_budget queue_length queue_depth
+    (cache_health_json cache)
+
+(* ------------------------------------------------------------------ *)
+(* the exception barrier                                               *)
+
+let dispatch ~cache ~stats ~health ~start ~deadline_at (frame : Protocol.frame) =
+  let id = frame.Protocol.id in
+  let expired () =
+    match deadline_at with
+    | Some d -> Unix.gettimeofday () >= d
+    | None -> false
+  in
+  match frame.Protocol.request with
+  | Protocol.Ping -> Protocol.response_ping ~id
+  | Protocol.Sleep ms -> (
+    let finish = start +. (float_of_int ms /. 1000.0) in
+    match deadline_at with
+    | Some d when d <= finish ->
+      (* the deadline lands first: wait it out, then time out — the
+         reply bytes match a queue-expired sleep exactly *)
+      sleep_until d;
+      Metrics.incr "serve.deadline_expired";
+      Protocol.response_timeout ~id ~op:"sleep"
+    | _ ->
+      sleep_until finish;
+      Protocol.response_sleep ~id ~ms)
+  | Protocol.Map { point; kernel } -> handle_map ~cache ~cancel:expired ~id ~point ~kernel
+  | Protocol.Explore { spec; kernels } -> handle_explore ~cache ~id ~spec ~kernels
+  | Protocol.Stream { app; policy; inputs } -> handle_stream ~id ~app ~policy ~inputs
+  | Protocol.Fault { app; seeds; faults; inputs; window } ->
+    handle_fault ~id ~app ~seeds ~faults ~inputs ~window
+  | Protocol.Stats -> stats ~id
+  | Protocol.Health -> health ~id
+  | Protocol.Crash { kill } -> if kill then raise Worker_kill else raise Chaos_failure
+  | Protocol.Shutdown -> Protocol.response_shutdown ~id
+
+let internal_error_line ~id ~op e =
+  Metrics.incr "serve.internal_errors";
+  Printf.eprintf "[serve] internal error handling op %s (id %s): %s\n%!" op
+    (if id = "" then "<anon>" else id)
+    (Printexc.to_string e);
+  Protocol.response_internal_error ~id ~op ~fingerprint:(fingerprint e)
+
+let handle ?(catch_kill = true) ?deadline_at ?health ~cache ~stats
+    (frame : Protocol.frame) =
+  let op = Protocol.op_to_string frame.Protocol.request in
+  let id = frame.Protocol.id in
+  let start = Unix.gettimeofday () in
+  let deadline_at =
+    match deadline_at with
+    | Some _ as d -> d
+    | None ->
+      Option.map (fun ms -> start +. (float_of_int ms /. 1000.0)) frame.Protocol.deadline_ms
+  in
+  let health =
+    match health with
+    | Some h -> h
+    | None ->
+      fun ~id ->
+        health_line ~id ~workers:0 ~alive:0 ~restarts:0 ~restart_budget:0 ~queue_depth:0
+          ~queue_length:0 cache
+  in
+  let expired_now () =
+    match deadline_at with
+    | Some d -> start >= d
+    | None -> false
+  in
+  (* shed-on-expiry: queue wait already consumed the whole budget, so
+     answer timeout without touching the handler at all *)
+  if expired_now () then begin
+    Metrics.incr "serve.deadline_expired";
+    match frame.Protocol.request with
+    | Protocol.Map { point; kernel } ->
+      Protocol.response_map ~id ~point ~kernel Outcome.Timed_out
+    | _ -> Protocol.response_timeout ~id ~op
+  end
+  else
+    match
+      Trace.with_span
+        ~args:[ ("id", Trace.Str id) ]
+        ~cat:"serve" ~name:op
+        (fun () -> dispatch ~cache ~stats ~health ~start ~deadline_at frame)
+    with
+    | line -> line
+    | exception Worker_kill when not catch_kill ->
+      (* pool mode: let the kill escape the barrier so it takes out the
+         worker domain and exercises supervision *)
+      raise Worker_kill
+    | exception e -> internal_error_line ~id ~op e
 
 (* ------------------------------------------------------------------ *)
 (* the pool                                                            *)
 
-type item = { frame : Protocol.frame; submitted : float }
+type item = { frame : Protocol.frame; submitted : float; deadline_at : float option }
 
 type t = {
   config : config;
@@ -170,6 +300,8 @@ type t = {
   mutable pending : int;  (* accepted, response not yet emitted *)
   mutable served_n : int;
   mutable shed_n : int;
+  mutable alive_n : int;  (* worker domains still in their loop *)
+  mutable restarts_n : int;  (* kills absorbed by the supervisor *)
   mutable domains : unit Domain.t list;
 }
 
@@ -191,30 +323,103 @@ let pool_stats t ~id =
   stats_line ~id ~workers:t.config.workers ~queue_depth:t.config.queue_depth
     ~queue_length:(Bqueue.length t.queue) ~pending ~served ~shed t.config.cache
 
+let pool_health t ~id =
+  Mutex.lock t.state_mu;
+  let alive = t.alive_n and restarts = t.restarts_n in
+  Mutex.unlock t.state_mu;
+  health_line ~id ~workers:t.config.workers ~alive ~restarts
+    ~restart_budget:t.config.restart_budget ~queue_depth:t.config.queue_depth
+    ~queue_length:(Bqueue.length t.queue) t.config.cache
+
 let mark_done t =
   Mutex.lock t.state_mu;
   t.pending <- t.pending - 1;
   if t.pending = 0 then Condition.broadcast t.idle;
   Mutex.unlock t.state_mu
 
+(* every worker over budget: nothing will pop the queue again, so shut
+   the door (future submits shed) and fail whatever is already queued
+   rather than letting clients wait forever *)
+let fail_pending t =
+  Bqueue.close t.queue;
+  let rec drain () =
+    match Bqueue.pop t.queue with
+    | None -> ()
+    | Some { frame; submitted; deadline_at = _ } ->
+      let id = frame.Protocol.id in
+      let op = Protocol.op_to_string frame.Protocol.request in
+      let line = internal_error_line ~id ~op Worker_kill in
+      emit t line ~latency_s:(Unix.gettimeofday () -. submitted);
+      mark_done t;
+      drain ()
+  in
+  drain ()
+
+let process_item t { frame; submitted; deadline_at } =
+  Metrics.gauge "serve.queue_depth" (float_of_int (Bqueue.length t.queue));
+  let line =
+    handle ~catch_kill:false ?deadline_at ~cache:t.config.cache ~stats:(pool_stats t)
+      ~health:(pool_health t) frame
+  in
+  let latency_s = Unix.gettimeofday () -. submitted in
+  Metrics.observe "serve.latency_s" latency_s;
+  Metrics.observe
+    ("serve.latency." ^ Protocol.op_to_string frame.Protocol.request)
+    latency_s;
+  emit t line ~latency_s;
+  mark_done t
+
+(* a request killed this worker: answer on its behalf, then decide
+   whether the restart budget covers spinning the worker back up *)
+let supervise_kill t item e =
+  let id = item.frame.Protocol.id in
+  let op = Protocol.op_to_string item.frame.Protocol.request in
+  let line = internal_error_line ~id ~op e in
+  emit t line ~latency_s:(Unix.gettimeofday () -. item.submitted);
+  Mutex.lock t.state_mu;
+  t.restarts_n <- t.restarts_n + 1;
+  let restarts = t.restarts_n in
+  let budget_left = restarts <= t.config.restart_budget in
+  let last_alive =
+    if budget_left then false
+    else begin
+      t.alive_n <- t.alive_n - 1;
+      t.alive_n = 0
+    end
+  in
+  Mutex.unlock t.state_mu;
+  Metrics.incr "serve.worker_restarts";
+  if budget_left then
+    Printf.eprintf "[serve] worker killed by op %s (id %s); restarted (%d/%d)\n%!" op
+      (if id = "" then "<anon>" else id)
+      restarts t.config.restart_budget
+  else
+    Printf.eprintf "[serve] worker killed by op %s (id %s); restart budget exhausted\n%!"
+      op
+      (if id = "" then "<anon>" else id);
+  (* settle the supervisor state — including closing the door when the
+     last worker retires — before waking drainers *)
+  if last_alive then Bqueue.close t.queue;
+  mark_done t;
+  if last_alive then fail_pending t;
+  budget_left
+
 let rec worker_loop t =
   match Bqueue.pop t.queue with
   | None -> ()
-  | Some { frame; submitted } ->
-    Metrics.gauge "serve.queue_depth" (float_of_int (Bqueue.length t.queue));
-    let line = handle ~cache:t.config.cache ~stats:(pool_stats t) frame in
-    let latency_s = Unix.gettimeofday () -. submitted in
-    Metrics.observe "serve.latency_s" latency_s;
-    Metrics.observe
-      ("serve.latency." ^ Protocol.op_to_string frame.Protocol.request)
-      latency_s;
-    emit t line ~latency_s;
-    mark_done t;
-    worker_loop t
+  | Some item ->
+    let keep_going =
+      match process_item t item with
+      | () -> true
+      | exception e -> supervise_kill t item e
+    in
+    if keep_going then worker_loop t
 
 let create ?(respond = fun _line ~latency_s:_ -> ()) config =
   if config.workers < 1 then invalid_arg "Server.create: workers must be >= 1";
   if config.queue_depth < 1 then invalid_arg "Server.create: queue_depth must be >= 1";
+  if config.restart_budget < 0 then
+    invalid_arg "Server.create: restart_budget must be >= 0";
   let t =
     {
       config;
@@ -226,6 +431,8 @@ let create ?(respond = fun _line ~latency_s:_ -> ()) config =
       pending = 0;
       served_n = 0;
       shed_n = 0;
+      alive_n = config.workers;
+      restarts_n = 0;
       domains = [];
     }
   in
@@ -238,7 +445,16 @@ let submit t (frame : Protocol.frame) =
   Mutex.lock t.state_mu;
   t.pending <- t.pending + 1;
   Mutex.unlock t.state_mu;
-  if Bqueue.try_push t.queue { frame; submitted = Unix.gettimeofday () } then begin
+  let submitted = Unix.gettimeofday () in
+  let deadline_at =
+    match frame.Protocol.deadline_ms with
+    | Some ms -> Some (submitted +. (float_of_int ms /. 1000.0))
+    | None ->
+      Option.map
+        (fun ms -> submitted +. (float_of_int ms /. 1000.0))
+        t.config.default_deadline_ms
+  in
+  if Bqueue.try_push t.queue { frame; submitted; deadline_at } then begin
     Metrics.gauge "serve.queue_depth" (float_of_int (Bqueue.length t.queue));
     true
   end
@@ -291,64 +507,107 @@ let shed t =
   Mutex.unlock t.state_mu;
   n
 
+let alive t =
+  Mutex.lock t.state_mu;
+  let n = t.alive_n in
+  Mutex.unlock t.state_mu;
+  n
+
+let restarts t =
+  Mutex.lock t.state_mu;
+  let n = t.restarts_n in
+  Mutex.unlock t.state_mu;
+  n
+
 let queue_length t = Bqueue.length t.queue
 
 (* ------------------------------------------------------------------ *)
 (* transports                                                          *)
 
-type stop_reason = Eof | Requested
+type stop_reason = Eof | Requested | Stopped
 
 let is_blank line = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') line
 
-let serve_once config ic oc =
-  let write line =
-    output_string oc line;
-    output_char oc '\n';
-    flush oc
-  in
+let never_stop () = false
+
+let serve_fds_once ~stop config reader writer =
   let served = ref 0 in
   let stats ~id =
-    stats_line ~id ~workers:0 ~queue_depth:0 ~queue_length:0 ~pending:0
-      ~served:!served ~shed:0 config.cache
+    stats_line ~id ~workers:0 ~queue_depth:0 ~queue_length:0 ~pending:0 ~served:!served
+      ~shed:0 config.cache
   in
+  let write line = ignore (Lineio.write_line writer line) in
   let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> Eof
-    | line when is_blank line -> loop ()
-    | line -> (
+    match Lineio.read_line ~stop reader with
+    | `Eof -> Eof
+    | `Stopped -> Stopped
+    | `Line line when is_blank line -> loop ()
+    | `Line line -> (
       match Protocol.decode line with
       | Error e ->
         write (Protocol.response_invalid e);
         incr served;
         loop ()
       | Ok frame ->
-        write (handle ~cache:config.cache ~stats frame);
+        let deadline_at =
+          match (frame.Protocol.deadline_ms, config.default_deadline_ms) with
+          | None, Some ms -> Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.0))
+          | _ -> None  (* an explicit deadline_ms is derived inside [handle] *)
+        in
+        write (handle ?deadline_at ~cache:config.cache ~stats frame);
         incr served;
         if frame.Protocol.request = Protocol.Shutdown then Requested else loop ())
   in
   loop ()
 
-let serve_channels ?(once = false) config ic oc =
-  if once then serve_once config ic oc
-  else begin
-    let t =
-      create config ~respond:(fun line ~latency_s:_ ->
-          output_string oc line;
-          output_char oc '\n';
-          flush oc)
-    in
-    let rec loop () =
-      match input_line ic with
-      | exception End_of_file -> Eof
-      | line when is_blank line -> loop ()
-      | line -> ( match submit_line t line with `Shutdown -> Requested | _ -> loop ())
-    in
-    let reason = loop () in
-    shutdown t;
-    reason
-  end
+let serve_fds_pool ~stop config reader writer =
+  let t =
+    create config ~respond:(fun line ~latency_s:_ ->
+        ignore (Lineio.write_line writer line))
+  in
+  let rec loop () =
+    match Lineio.read_line ~stop reader with
+    | `Eof -> Eof
+    | `Stopped -> Stopped
+    | `Line line when is_blank line -> loop ()
+    | `Line line -> ( match submit_line t line with `Shutdown -> Requested | _ -> loop ())
+  in
+  let reason = loop () in
+  (* even when stopped by a signal: drain accepted work, then stop —
+     nothing already admitted is dropped or failed *)
+  shutdown t;
+  reason
 
-let serve_socket ?once config path =
+let serve_fds ?(once = false) ?(stop = never_stop) config infd outfd =
+  let reader = Lineio.reader infd in
+  let writer = Lineio.writer outfd in
+  if once then serve_fds_once ~stop config reader writer
+  else serve_fds_pool ~stop config reader writer
+
+let serve_channels ?(once = false) ?stop config ic oc =
+  (* the fd transport bypasses channel buffering; flush anything a
+     caller already queued on [oc] so ordering is preserved *)
+  flush oc;
+  serve_fds ~once ?stop config (Unix.descr_of_in_channel ic) (Unix.descr_of_out_channel oc)
+
+(* abnormal-exit guard: one registration per path, lives for the whole
+   process — a second serve of the same path reuses it *)
+let unlink_guards : (string, unit) Hashtbl.t = Hashtbl.create 4
+let unlink_guards_mu = Mutex.create ()
+
+let guard_unlink path =
+  Mutex.lock unlink_guards_mu;
+  if not (Hashtbl.mem unlink_guards path) then begin
+    Hashtbl.replace unlink_guards path ();
+    at_exit (fun () -> try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  end;
+  Mutex.unlock unlink_guards_mu
+
+let serve_socket ?once ?(stop = never_stop) config path =
+  (* a client vanishing mid-reply must not kill the daemon with an
+     unhandled SIGPIPE; writes then fail with EPIPE, which Lineio eats *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  guard_unlink path;
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -359,16 +618,20 @@ let serve_socket ?once config path =
       Unix.bind sock (Unix.ADDR_UNIX path);
       Unix.listen sock 8;
       let rec accept_loop () =
-        let fd, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr fd in
-        let oc = Unix.out_channel_of_descr fd in
-        let reason =
-          Fun.protect
-            ~finally:(fun () ->
-              (try flush oc with Sys_error _ -> ());
-              try Unix.close fd with Unix.Unix_error _ -> ())
-            (fun () -> serve_channels ?once config ic oc)
-        in
-        match reason with Requested -> () | Eof -> accept_loop ()
+        if stop () then Stopped
+        else
+          match Unix.accept sock with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | fd, _ ->
+            let reason =
+              Fun.protect
+                ~finally:(fun () ->
+                  try Unix.close fd with Unix.Unix_error _ -> ())
+                (fun () -> serve_fds ?once ~stop config fd fd)
+            in
+            (match reason with
+            | Requested -> Requested
+            | Stopped -> Stopped
+            | Eof -> accept_loop ())
       in
       accept_loop ())

@@ -111,7 +111,23 @@ let test_pareto_nan_excluded () =
 
 let with_temp_cache f =
   let path = Filename.temp_file "iced_explore" ".jsonl" in
-  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+  let finally () =
+    Sys.remove path;
+    let bak = path ^ ".bak" in
+    if Sys.file_exists bak then Sys.remove bak
+  in
+  Fun.protect ~finally (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
 
 let test_cache_roundtrip () =
   with_temp_cache (fun path ->
@@ -144,23 +160,177 @@ let test_cache_skips_corrupt_lines () =
       let c = Cache.open_file path in
       Cache.store c ~key:"good" (Outcome.Failed "nope");
       Cache.close c;
+      let intact = read_file path in
       let oc = open_out_gen [ Open_append ] 0o644 path in
       output_string oc "{\"v\":1,\"k\":\"trunc";
       close_out oc;
       let c = Cache.open_file path in
       Alcotest.(check bool) "good record survives" true (Cache.find c "good" <> None);
-      Alcotest.(check int) "corrupt line dropped" 1 (Cache.size c);
-      Cache.close c)
+      Alcotest.(check int) "corrupt tail dropped" 1 (Cache.size c);
+      (match Cache.recovery c with
+      | Some r ->
+        Alcotest.(check int) "kept one record" 1 r.Cache.kept_records;
+        Alcotest.(check bool) "truncated, not set aside" false r.Cache.renamed_bak
+      | None -> Alcotest.fail "recovery not reported");
+      Cache.close c;
+      Alcotest.(check string) "file truncated back to the intact prefix" intact
+        (read_file path))
 
 let test_cache_version_mismatch_resets () =
   with_temp_cache (fun path ->
-      let oc = open_out path in
-      output_string oc "{\"iced_explore_cache\":999}\n{\"v\":999,\"k\":\"old\",\"s\":\"timeout\"}\n";
-      close_out oc;
+      let foreign = "{\"iced_explore_cache\":999}\n{\"v\":999,\"k\":\"old\",\"s\":\"timeout\"}\n" in
+      write_file path foreign;
       let c = Cache.open_file path in
       Alcotest.(check int) "foreign store ignored" 0 (Cache.size c);
       Alcotest.(check bool) "old key gone" true (Cache.find c "old" = None);
+      (match Cache.recovery c with
+      | Some r -> Alcotest.(check bool) "set aside as .bak" true r.Cache.renamed_bak
+      | None -> Alcotest.fail "recovery not reported");
+      Cache.close c;
+      Alcotest.(check string) "old store preserved byte-for-byte" foreign
+        (read_file (path ^ ".bak")))
+
+(* The crash-safety contract: a cache image cut at ANY byte offset
+   reopens to exactly the records whose frames lie fully before the
+   cut, and the file is repaired to that byte-identical prefix. *)
+let test_cache_truncation_at_every_byte () =
+  with_temp_cache (fun path ->
+      let c = Cache.open_file path in
+      Cache.store c ~key:"k1" (Outcome.Failed "one");
+      Cache.store c ~key:"k2" Outcome.(
+        Mapped
+          {
+            kernel = "fir"; ii = 3; utilization = 0.5; dvfs = 0.7; power_mw = 12.5;
+            throughput_mips = 96.0; energy_nj = 0.13; edp = 0.0014;
+          });
+      Cache.store c ~key:"k3" (Outcome.Failed "three");
+      Cache.close c;
+      let image = read_file path in
+      let total = String.length image in
+      let entries = Cache.wal_entries image in
+      Alcotest.(check int) "three frames on disk" 3 (List.length entries);
+      let header_len = fst (List.hd entries) - 26 in
+      let frame_ends = List.map (fun (off, len) -> off + len + 1) entries in
+      for cut = 0 to total do
+        let label fmt = Printf.ksprintf (fun s -> Printf.sprintf "cut@%d: %s" cut s) fmt in
+        write_file path (String.sub image 0 cut);
+        let c = Cache.open_file path in
+        if cut = 0 then begin
+          Alcotest.(check int) (label "empty file starts fresh") 0 (Cache.size c);
+          Alcotest.(check bool) (label "no recovery") true (Cache.recovery c = None)
+        end
+        else if cut < header_len then begin
+          (* an unrecognizable header prefix: set aside, start fresh *)
+          Alcotest.(check int) (label "torn header keeps nothing") 0 (Cache.size c);
+          (match Cache.recovery c with
+          | Some r -> Alcotest.(check bool) (label ".bak") true r.Cache.renamed_bak
+          | None -> Alcotest.fail (label "recovery not reported"));
+          Sys.remove (path ^ ".bak")
+        end
+        else begin
+          let kept = List.length (List.filter (fun e -> e <= cut) frame_ends) in
+          let boundary =
+            List.fold_left (fun acc e -> if e <= cut then e else acc) header_len frame_ends
+          in
+          Alcotest.(check int) (label "records before the cut survive") kept (Cache.size c);
+          (if cut > boundary then
+             match Cache.recovery c with
+             | Some r ->
+               Alcotest.(check int) (label "kept_records") kept r.Cache.kept_records;
+               Alcotest.(check int) (label "dropped_bytes") (cut - boundary)
+                 r.Cache.dropped_bytes
+             | None -> Alcotest.fail (label "recovery not reported")
+           else
+             Alcotest.(check bool) (label "clean prefix needs no recovery") true
+               (Cache.recovery c = None));
+          Cache.close c;
+          Alcotest.(check string)
+            (label "repaired to the byte-identical prefix")
+            (String.sub image 0 boundary)
+            (read_file path);
+          (* reopening the repaired file is quiet *)
+          let c = Cache.open_file path in
+          Alcotest.(check bool) (label "second open is clean") true
+            (Cache.recovery c = None);
+          Alcotest.(check int) (label "records stable on reopen") kept (Cache.size c)
+        end;
+        Cache.close c
+      done)
+
+let test_cache_flip_any_byte_keeps_prefix () =
+  with_temp_cache (fun path ->
+      let c = Cache.open_file path in
+      Cache.store c ~key:"k1" (Outcome.Failed "one");
+      Cache.store c ~key:"k2" (Outcome.Failed "two");
+      Cache.store c ~key:"k3" (Outcome.Failed "three");
+      Cache.close c;
+      let image = read_file path in
+      let entries = Cache.wal_entries image in
+      let header_len = fst (List.hd entries) - 26 in
+      let frame_start (off, _) = off - 26 in
+      for pos = 0 to String.length image - 1 do
+        let label s = Printf.sprintf "flip@%d: %s" pos s in
+        let damaged = Bytes.of_string image in
+        Bytes.set damaged pos (Char.chr (Char.code image.[pos] lxor 0x01));
+        write_file path (Bytes.to_string damaged);
+        let c = Cache.open_file path in
+        if pos < header_len then begin
+          Alcotest.(check int) (label "damaged header keeps nothing") 0 (Cache.size c);
+          Sys.remove (path ^ ".bak")
+        end
+        else begin
+          (* every frame strictly before the damaged one survives *)
+          let kept =
+            List.length (List.filter (fun e -> frame_start e + 26 + snd e + 1 <= pos) entries)
+          in
+          Alcotest.(check int) (label "frames before the flip survive") kept (Cache.size c)
+        end;
+        Cache.close c
+      done)
+
+let test_cache_garbage_prepended_sets_aside () =
+  with_temp_cache (fun path ->
+      let c = Cache.open_file path in
+      Cache.store c ~key:"k" (Outcome.Failed "x");
+      Cache.close c;
+      let original = read_file path in
+      write_file path ("GARBAGE" ^ original);
+      let c = Cache.open_file path in
+      Alcotest.(check int) "nothing trusted" 0 (Cache.size c);
+      Cache.store c ~key:"post" (Outcome.Failed "y");
+      Cache.close c;
+      Alcotest.(check string) "damaged image preserved as .bak" ("GARBAGE" ^ original)
+        (read_file (path ^ ".bak"));
+      let c = Cache.open_file path in
+      Alcotest.(check int) "fresh store works after set-aside" 1 (Cache.size c);
+      Alcotest.(check bool) "new record present" true (Cache.find c "post" <> None);
       Cache.close c)
+
+let test_cache_fsync_roundtrip () =
+  with_temp_cache (fun path ->
+      let c = Cache.open_file ~fsync:true path in
+      Cache.store c ~key:"durable" (Outcome.Failed "synced");
+      Cache.close c;
+      let c = Cache.open_file ~fsync:true path in
+      Alcotest.(check bool) "fsynced record survives" true (Cache.find c "durable" <> None);
+      Cache.close c)
+
+let test_cache_wal_frame_consistency () =
+  with_temp_cache (fun path ->
+      let c = Cache.open_file path in
+      Cache.store c ~key:"k1" (Outcome.Failed "one");
+      Cache.close c;
+      let image = read_file path in
+      (* what store appended is exactly what frame_record renders *)
+      let expected = Cache.frame_record ~key:"k1" (Outcome.Failed "one") in
+      let tail = String.sub image (String.length image - String.length expected)
+          (String.length expected) in
+      Alcotest.(check string) "frame bytes" expected tail;
+      match Cache.wal_entries image with
+      | [ (off, len) ] ->
+        Alcotest.(check bool) "payload parses back" true
+          (String.length (String.sub image off len) = len)
+      | entries -> Alcotest.failf "expected 1 frame, scanned %d" (List.length entries))
 
 let test_cache_content_hash_stable () =
   Alcotest.(check string) "FNV-1a of empty" "cbf29ce484222325" (Cache.content_hash "");
@@ -270,6 +440,11 @@ let suite =
     ("cache: corrupt lines skipped", `Quick, test_cache_skips_corrupt_lines);
     ("cache: version mismatch resets", `Quick, test_cache_version_mismatch_resets);
     ("cache: content hash stable", `Quick, test_cache_content_hash_stable);
+    ("cache: truncation at every byte recovers prefix", `Slow, test_cache_truncation_at_every_byte);
+    ("cache: any flipped byte keeps intact prefix", `Slow, test_cache_flip_any_byte_keeps_prefix);
+    ("cache: prepended garbage set aside as .bak", `Quick, test_cache_garbage_prepended_sets_aside);
+    ("cache: fsync roundtrip", `Quick, test_cache_fsync_roundtrip);
+    ("cache: wal frames match frame_record", `Quick, test_cache_wal_frame_consistency);
     ("sweep: second run is all cache hits", `Slow, test_sweep_cache_hit_semantics);
     ("sweep: 2 workers = serial, byte-identical", `Slow, test_sweep_parallel_matches_serial);
     ("sweep: smoke over a tiny space", `Quick, test_sweep_smoke_results);

@@ -14,7 +14,12 @@ module Campaign = Iced_campaign.Campaign
 module Runner = Iced_stream.Runner
 module Json = Iced_util.Json
 
-let frame id request = { Protocol.id; request }
+let frame id request = { Protocol.id; request; deadline_ms = None }
+let dframe id request ms = { Protocol.id; request; deadline_ms = Some ms }
+
+(* the seed config plus the resilience knobs at their defaults *)
+let config ~workers ~queue_depth ~cache =
+  { Server.workers; queue_depth; cache; restart_budget = 8; default_deadline_ms = None }
 
 let small_spec =
   {
@@ -48,6 +53,11 @@ let test_roundtrip_all_ops () =
         (Protocol.Stream { app = Campaign.Gcn; policy = Runner.Iced_dvfs; inputs = 12 });
       frame "f"
         (Protocol.Fault { app = Campaign.Lu; seeds = 2; faults = 1; inputs = 50; window = 10 });
+      frame "h" Protocol.Health;
+      frame "c" (Protocol.Crash { kill = false });
+      frame "ck" (Protocol.Crash { kill = true });
+      dframe "d" Protocol.Ping 250;
+      dframe "d0" (Protocol.Map { point = Protocol.default_point; kernel = "fir" }) 0;
     ]
 
 let test_roundtrip_hostile_ids () =
@@ -89,7 +99,9 @@ let test_decode_invalid () =
     ~id:"m";
   expect_invalid "{\"id\":\"st\",\"op\":\"stream\",\"app\":\"gcn\",\"policy\":\"warp\"}"
     ~id:"st";
-  expect_invalid "{\"id\":\"f\",\"op\":\"fault\",\"seeds\":0}" ~id:"f"
+  expect_invalid "{\"id\":\"f\",\"op\":\"fault\",\"seeds\":0}" ~id:"f";
+  expect_invalid "{\"id\":\"d\",\"op\":\"ping\",\"deadline_ms\":-1}" ~id:"d";
+  expect_invalid "{\"id\":\"d\",\"op\":\"ping\",\"deadline_ms\":\"soon\"}" ~id:"d"
 
 let test_invalid_responses_are_json () =
   List.iter
@@ -174,7 +186,7 @@ let test_shed_overloaded () =
   in
   let t =
     Server.create ~respond
-      { Server.workers = 1; queue_depth = 1; cache = Cache.in_memory () }
+      (config ~workers:1 ~queue_depth:1 ~cache:(Cache.in_memory ()))
   in
   Alcotest.(check bool) "first accepted" true
     (Server.submit t (frame "busy" (Protocol.Sleep 150)));
@@ -216,6 +228,10 @@ let identity_requests =
     frame "07" (Protocol.Sleep 1);
     frame "08" (Protocol.Explore { spec = small_spec; kernels = [ "fir"; "mvt" ] });
     frame "09" Protocol.Ping;
+    (* failure replies are part of the byte-identity contract too *)
+    frame "10" (Protocol.Crash { kill = false });
+    frame "11" (Protocol.Crash { kill = true });
+    dframe "12" (Protocol.Sleep 50) 0;
   ]
 
 let oneshot_responses () =
@@ -231,7 +247,7 @@ let pool_responses workers =
     Mutex.unlock mu
   in
   let t =
-    Server.create ~respond { Server.workers; queue_depth = 64; cache = Cache.in_memory () }
+    Server.create ~respond (config ~workers ~queue_depth:64 ~cache:(Cache.in_memory ()))
   in
   List.iter (fun f -> ignore (Server.submit t f)) identity_requests;
   Server.shutdown t;
@@ -274,7 +290,7 @@ let test_serve_channels_pipe () =
         let oc = Unix.out_channel_of_descr resp_w in
         let reason =
           Server.serve_channels
-            { Server.workers = 2; queue_depth = 8; cache = Cache.in_memory () }
+            (config ~workers:2 ~queue_depth:8 ~cache:(Cache.in_memory ()))
             ic oc
         in
         flush oc;
@@ -309,6 +325,216 @@ let test_serve_channels_pipe () =
        ])
     sorted
 
+(* ---------------- deadlines ---------------- *)
+
+let test_deadline_pre_expired () =
+  let cache = Cache.in_memory () in
+  Alcotest.(check string) "ping times out"
+    (Protocol.response_timeout ~id:"d0" ~op:"ping")
+    (Server.handle ~cache ~stats:no_stats (dframe "d0" Protocol.Ping 0));
+  let rm =
+    Server.handle ~cache ~stats:no_stats
+      (dframe "dm" (Protocol.Map { point = Protocol.default_point; kernel = "fir" }) 0)
+  in
+  match Json.parse rm with
+  | Error e -> Alcotest.failf "unparseable map timeout: %s" (Json.error_to_string e)
+  | Ok doc ->
+    Alcotest.(check (option string))
+      "map timeout status" (Some "timeout")
+      (Option.bind (Json.member "status" doc) Json.get_string);
+    Alcotest.(check (option string))
+      "map timeout echoes kernel" (Some "fir")
+      (Option.bind (Json.member "kernel" doc) Json.get_string)
+
+let test_deadline_mid_sleep () =
+  (* the sleep is cut at the deadline, not run to completion *)
+  let cache = Cache.in_memory () in
+  let t0 = Unix.gettimeofday () in
+  let r = Server.handle ~cache ~stats:no_stats (dframe "ds" (Protocol.Sleep 5_000) 60) in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check string) "sleep timeout"
+    (Protocol.response_timeout ~id:"ds" ~op:"sleep")
+    r;
+  Alcotest.(check bool) "returned well before the nominal sleep" true (elapsed < 2.0)
+
+let test_default_deadline_applies () =
+  (* a frame with no deadline of its own inherits the config default *)
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let writer = Unix.out_channel_of_descr req_w in
+  output_string writer "{\"id\":\"s\",\"op\":\"sleep\",\"ms\":5000}\n";
+  close_out writer;
+  let cfg =
+    { (config ~workers:1 ~queue_depth:4 ~cache:(Cache.in_memory ())) with
+      Server.default_deadline_ms = Some 40;
+    }
+  in
+  let reason = Server.serve_fds ~once:true cfg req_r resp_w in
+  Unix.close resp_w;
+  let ic = Unix.in_channel_of_descr resp_r in
+  let line = input_line ic in
+  close_in ic;
+  Unix.close req_r;
+  Alcotest.(check bool) "eof" true (reason = Server.Eof);
+  Alcotest.(check string) "sheds at the default deadline"
+    (Protocol.response_timeout ~id:"s" ~op:"sleep")
+    line
+
+(* ---------------- supervision ---------------- *)
+
+let test_exception_barrier () =
+  (* a raising handler yields a structured reply with a stable
+     fingerprint, and the same bytes on every invocation *)
+  let cache = Cache.in_memory () in
+  let r1 = Server.handle ~cache ~stats:no_stats (frame "c" (Protocol.Crash { kill = false })) in
+  let r2 = Server.handle ~cache ~stats:no_stats (frame "c" (Protocol.Crash { kill = false })) in
+  Alcotest.(check string) "stable bytes" r1 r2;
+  Alcotest.(check string) "structured reply"
+    (Protocol.response_internal_error ~id:"c" ~op:"crash"
+       ~fingerprint:(Server.fingerprint Server.Chaos_failure))
+    r1;
+  (* in one-shot mode even a kill is absorbed by the barrier *)
+  Alcotest.(check string) "kill absorbed when catch_kill"
+    (Protocol.response_internal_error ~id:"k" ~op:"crash"
+       ~fingerprint:(Server.fingerprint Server.Worker_kill))
+    (Server.handle ~cache ~stats:no_stats (frame "k" (Protocol.Crash { kill = true })))
+
+let test_supervision_restart_budget () =
+  let acc = ref [] in
+  let mu = Mutex.create () in
+  let respond line ~latency_s:_ =
+    Mutex.lock mu;
+    acc := line :: !acc;
+    Mutex.unlock mu
+  in
+  let t =
+    Server.create ~respond
+      {
+        Server.workers = 1;
+        queue_depth = 8;
+        cache = Cache.in_memory ();
+        restart_budget = 1;
+        default_deadline_ms = None;
+      }
+  in
+  (* first kill: absorbed, the worker restarts and keeps serving *)
+  ignore (Server.submit t (frame "k1" (Protocol.Crash { kill = true })));
+  Server.drain t;
+  Alcotest.(check int) "one restart" 1 (Server.restarts t);
+  Alcotest.(check int) "still alive" 1 (Server.alive t);
+  ignore (Server.submit t (frame "p" Protocol.Ping));
+  Server.drain t;
+  (* second kill: budget exhausted, the worker retires *)
+  ignore (Server.submit t (frame "k2" (Protocol.Crash { kill = true })));
+  Server.drain t;
+  Alcotest.(check int) "budget spent" 2 (Server.restarts t);
+  Alcotest.(check int) "worker retired" 0 (Server.alive t);
+  Alcotest.(check bool) "further submits refused" false
+    (Server.submit t (frame "late" Protocol.Ping));
+  Server.shutdown t;
+  let expect_kill id =
+    Protocol.response_internal_error ~id ~op:"crash"
+      ~fingerprint:(Server.fingerprint Server.Worker_kill)
+  in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " answered") true (List.mem (expect_kill id) !acc))
+    [ "k1"; "k2" ];
+  Alcotest.(check bool) "work between kills still served" true
+    (List.mem "{\"id\":\"p\",\"status\":\"ok\",\"op\":\"ping\"}" !acc)
+
+(* ---------------- health ---------------- *)
+
+let member_obj name doc =
+  match Json.member name doc with
+  | Some (Json.Obj _ as o) -> o
+  | _ -> Alcotest.failf "missing object %S" name
+
+let test_health_reply_shape () =
+  let acc = ref [] in
+  let mu = Mutex.create () in
+  let respond line ~latency_s:_ =
+    Mutex.lock mu;
+    acc := line :: !acc;
+    Mutex.unlock mu
+  in
+  let t =
+    Server.create ~respond (config ~workers:2 ~queue_depth:8 ~cache:(Cache.in_memory ()))
+  in
+  ignore (Server.submit t (frame "h" Protocol.Health));
+  Server.shutdown t;
+  let line =
+    List.find
+      (fun line ->
+        match Json.parse line with
+        | Ok doc -> Option.bind (Json.member "op" doc) Json.get_string = Some "health"
+        | Error _ -> false)
+      !acc
+  in
+  match Json.parse line with
+  | Error e -> Alcotest.failf "unparseable health: %s" (Json.error_to_string e)
+  | Ok doc ->
+    Alcotest.(check (option bool))
+      "healthy" (Some true)
+      (Option.bind (Json.member "healthy" doc) Json.get_bool);
+    let workers = member_obj "workers" doc in
+    Alcotest.(check (option int))
+      "workers.total" (Some 2)
+      (Option.bind (Json.member "total" workers) Json.get_int);
+    Alcotest.(check (option int))
+      "workers.restart_budget" (Some 8)
+      (Option.bind (Json.member "restart_budget" workers) Json.get_int);
+    let queue = member_obj "queue" doc in
+    Alcotest.(check (option int))
+      "queue.depth" (Some 8)
+      (Option.bind (Json.member "depth" queue) Json.get_int);
+    let cache = member_obj "cache" doc in
+    Alcotest.(check (option string))
+      "cache.tier" (Some "memory")
+      (Option.bind (Json.member "tier" cache) Json.get_string)
+
+(* ---------------- transport stop and torn frames ---------------- *)
+
+let test_serve_fds_stop_preset () =
+  (* a stop predicate that already holds interrupts before any read *)
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let reason =
+    Server.serve_fds
+      ~stop:(fun () -> true)
+      (config ~workers:1 ~queue_depth:4 ~cache:(Cache.in_memory ()))
+      req_r resp_w
+  in
+  List.iter Unix.close [ req_r; req_w; resp_r; resp_w ];
+  Alcotest.(check bool) "stopped" true (reason = Server.Stopped)
+
+let test_torn_final_line_discarded () =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let writer = Unix.out_channel_of_descr req_w in
+  output_string writer "{\"id\":\"a\",\"op\":\"ping\"}\n{\"id\":\"b\",\"op\":\"pi";
+  close_out writer;
+  let reason =
+    Server.serve_fds ~once:true
+      (config ~workers:1 ~queue_depth:4 ~cache:(Cache.in_memory ()))
+      req_r resp_w
+  in
+  Unix.close resp_w;
+  let ic = Unix.in_channel_of_descr resp_r in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Unix.close req_r;
+  Alcotest.(check bool) "eof" true (reason = Server.Eof);
+  Alcotest.(check (list string))
+    "only the complete frame is answered"
+    [ "{\"id\":\"a\",\"status\":\"ok\",\"op\":\"ping\"}" ]
+    (List.rev !lines)
+
 (* ---------------- stats ---------------- *)
 
 let test_stats_reply_shape () =
@@ -320,8 +546,7 @@ let test_stats_reply_shape () =
     Mutex.unlock mu
   in
   let t =
-    Server.create ~respond
-      { Server.workers = 2; queue_depth = 8; cache = Cache.in_memory () }
+    Server.create ~respond (config ~workers:2 ~queue_depth:8 ~cache:(Cache.in_memory ()))
   in
   ignore (Server.submit t (frame "p1" Protocol.Ping));
   Server.drain t;
@@ -350,6 +575,15 @@ let test_stats_reply_shape () =
     (match Json.member "cache" doc with
     | Some (Json.Obj _) -> ()
     | _ -> Alcotest.fail "stats reply lacks a cache object");
+    (* counters are process-global, so earlier tests may have bumped
+       them — assert shape, not values *)
+    (let failures = member_obj "failures" doc in
+     List.iter
+       (fun name ->
+         match Option.bind (Json.member name failures) Json.get_int with
+         | Some v -> Alcotest.(check bool) name true (v >= 0)
+         | None -> Alcotest.failf "failures object lacks %S" name)
+       [ "internal_errors"; "worker_restarts"; "deadline_expired"; "cache_recoveries" ]);
     match Json.member "latency" doc with
     | Some (Json.Obj _) | Some Json.Null -> ()
     | _ -> Alcotest.fail "stats reply lacks a latency field"
@@ -370,4 +604,12 @@ let suite =
     ("persistent tier replays identical bytes", `Quick, test_persistent_cache_identity);
     ("serve_channels over a pipe", `Quick, test_serve_channels_pipe);
     ("stats reply shape", `Quick, test_stats_reply_shape);
+    ("pre-expired deadlines shed without running", `Quick, test_deadline_pre_expired);
+    ("deadlines cut sleeps short", `Quick, test_deadline_mid_sleep);
+    ("config default deadline applies", `Quick, test_default_deadline_applies);
+    ("exception barrier yields stable fingerprints", `Quick, test_exception_barrier);
+    ("supervisor restarts within budget then retires", `Quick, test_supervision_restart_budget);
+    ("health reply shape", `Quick, test_health_reply_shape);
+    ("stop predicate interrupts serve_fds", `Quick, test_serve_fds_stop_preset);
+    ("torn final line is discarded", `Quick, test_torn_final_line_discarded);
   ]
