@@ -691,13 +691,74 @@ let mapper_bench () =
     "router steady path: %.0f B/route with a fresh arena vs %.0f B/route shared \
      (%.1fx less allocation)\n"
     fresh_bytes shared_bytes reduction;
+  (* Backend shoot-out: the three placement/routing pairs on large
+     seeded synthetic kernels over a 16x16 fabric, where greedy
+     placement leaves II on the table.  Non-default backends are mapped
+     twice to pin same-seed determinism. *)
+  let shoot_fabric = Cgra.make ~rows:16 ~cols:16 () in
+  let shoot_kernels =
+    List.filter_map Iced_kernels.Registry.by_name
+      (match Sys.getenv_opt "ICED_BENCH_SHOOTOUT" with
+      | None | Some "" -> [ "rand100x1"; "rand120x3" ]
+      | Some spec -> String.split_on_char ',' spec)
+  in
+  let st =
+    Table.create ~title:"Backend shoot-out (16x16, seeded synthetic kernels)"
+      ~columns:[ "kernel"; "backend"; "ok"; "ii"; "wall ms"; "deterministic" ]
+  in
+  let shoot_rows =
+    List.map
+      (fun (k : Kernel.t) ->
+        let per_backend =
+          List.map
+            (fun backend ->
+              let name = Iced_mapper.Backend.to_string backend in
+              let map_once () =
+                let stats = Mapper.create_stats () in
+                let req =
+                  Mapper.request ~strategy:Mapper.Dvfs_aware ~backend shoot_fabric
+                in
+                (Mapper.map ~stats req k.dfg, stats)
+              in
+              let result, stats = map_once () in
+              let render m = Format.asprintf "%a" Iced_mapper.Mapping.pp m in
+              let ok, ii = match result with
+                | Ok m -> (true, m.Iced_mapper.Mapping.ii)
+                | Error _ -> (false, 0)
+              in
+              let deterministic =
+                match result with
+                | Error _ -> true  (* failures are deterministic too *)
+                | Ok m -> (
+                  match fst (map_once ()) with
+                  | Ok m2 -> render m = render m2
+                  | Error _ -> false)
+              in
+              Table.add_row st
+                [ k.name; name; string_of_bool ok;
+                  (if ok then string_of_int ii else "-");
+                  Printf.sprintf "%.1f" (stats.Mapper.wall_s *. 1e3);
+                  string_of_bool deterministic ];
+              Printf.sprintf
+                "{\"backend\":%S,\"ok\":%b,\"ii\":%d,\"wall_s\":%.6f,\
+                 \"deterministic\":%b}"
+                name ok ii stats.Mapper.wall_s deterministic)
+            [ Iced_mapper.Backend.default; Iced_mapper.Backend.sa;
+              Iced_mapper.Backend.pathfinder ]
+        in
+        Printf.sprintf "{\"kernel\":%S,\"fabric\":\"16x16\",\"backends\":[%s]}" k.name
+          (String.concat "," per_backend))
+      shoot_kernels
+  in
+  Table.print st;
   let json =
     Printf.sprintf
-      "{\"schema\":\"iced-bench-mapper-v1\",\"router_alloc\":{\"iterations\":%d,\
+      "{\"schema\":\"iced-bench-mapper-v2\",\"router_alloc\":{\"iterations\":%d,\
        \"fresh_bytes_per_route\":%.1f,\"shared_bytes_per_route\":%.1f,\
-       \"reduction_factor\":%.2f},\"kernels\":[%s]}\n"
+       \"reduction_factor\":%.2f},\"kernels\":[%s],\"shootout\":[%s]}\n"
       iterations fresh_bytes shared_bytes reduction
       (String.concat "," kernel_rows)
+      (String.concat "," shoot_rows)
   in
   let oc = open_out "BENCH_mapper.json" in
   output_string oc json;
@@ -788,7 +849,7 @@ let serve_bench () =
         else
           let point = Iced_util.Rng.choose rng points in
           let kernel = Iced_util.Rng.choose rng kernel_names in
-          { Protocol.id; request = Protocol.Map { point; kernel }; deadline_ms = None })
+          { Protocol.id; request = Protocol.Map { point; kernel; backend = Iced_mapper.Backend.default }; deadline_ms = None })
   in
   let cache = Cache.in_memory () in
   let latencies = Array.make requests 0.0 in
@@ -1044,7 +1105,7 @@ let chaos () =
         if k mod 10 = 5 then
           let point = Iced_util.Rng.choose rng points in
           let kernel = Iced_util.Rng.choose rng kernel_names in
-          { Protocol.id; request = Protocol.Map { point; kernel }; deadline_ms = None }
+          { Protocol.id; request = Protocol.Map { point; kernel; backend = Iced_mapper.Backend.default }; deadline_ms = None }
         else { Protocol.id; request = Protocol.Ping; deadline_ms = None }
       in
       let want = expect frame in

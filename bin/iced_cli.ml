@@ -54,6 +54,26 @@ let point_arg =
 let unroll_arg =
   Arg.(value & opt int 1 & info [ "unroll" ] ~docv:"N" ~doc:"Unroll factor (1 or 2).")
 
+let backend_conv =
+  let parse s =
+    match Iced_mapper.Backend.of_string s with
+    | Ok b -> Ok b
+    | Error msg ->
+      Error
+        (`Msg
+          (Printf.sprintf "%s (try: %s)" msg
+             (String.concat " " Iced_mapper.Backend.names)))
+  in
+  Arg.conv (parse, fun fmt b ->
+      Format.pp_print_string fmt (Iced_mapper.Backend.to_string b))
+
+let backend_arg =
+  Arg.(value & opt backend_conv Iced_mapper.Backend.default
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Placement/routing backend: default (greedy placer + incremental \
+                 Dijkstra router), sa (simulated-annealing placer; accepts \
+                 sa:SEED), or pathfinder (negotiated-congestion router).")
+
 let size_arg =
   Arg.(value & opt int 6 & info [ "size" ] ~docv:"N" ~doc:"Fabric is NxN tiles.")
 
@@ -119,6 +139,11 @@ let print_mapper_stats ~json (kernel : Iced_kernels.Kernel.t) stats =
     Iced_util.Table.add_row t [ "route calls"; string_of_int stats.route_calls ];
     Iced_util.Table.add_row t [ "route failures"; string_of_int stats.route_failures ];
     Iced_util.Table.add_row t [ "routing expansions"; string_of_int stats.expansions ];
+    Iced_util.Table.add_row t [ "SA moves accepted"; string_of_int stats.sa_moves_accepted ];
+    Iced_util.Table.add_row t [ "SA moves rejected"; string_of_int stats.sa_moves_rejected ];
+    Iced_util.Table.add_row t [ "SA temperature steps"; string_of_int stats.sa_temp_steps ];
+    Iced_util.Table.add_row t [ "Pathfinder rounds"; string_of_int stats.pf_rounds ];
+    Iced_util.Table.add_row t [ "Pathfinder overflow"; string_of_int stats.pf_overflow ];
     Iced_util.Table.add_row t
       [ "per-II wall (s)";
         String.concat " "
@@ -130,7 +155,7 @@ let print_mapper_stats ~json (kernel : Iced_kernels.Kernel.t) stats =
   end
 
 let map_term =
-  let run kernel point unroll size dot floorplan config stats json () =
+  let run kernel point unroll size backend dot floorplan config stats json () =
     let cgra = Cgra.make ~rows:size ~cols:size () in
     (match dot with
     | Some path ->
@@ -138,7 +163,7 @@ let map_term =
       Printf.printf "wrote %s\n" path
     | None -> ());
     let telemetry = Iced_mapper.Mapper.create_stats () in
-    match Design.evaluate ~cgra ~unroll ~stats:telemetry point kernel with
+    match Design.evaluate ~cgra ~unroll ~backend ~stats:telemetry point kernel with
     | Error msg ->
       Printf.eprintf "mapping failed: %s\n" msg;
       exit 1
@@ -162,8 +187,8 @@ let map_term =
       if stats then print_mapper_stats ~json kernel telemetry
   in
   Term.(
-    const run $ kernel_arg $ point_arg $ unroll_arg $ size_arg $ dot_arg $ floorplan_arg
-    $ config_arg $ stats_arg $ map_json_arg)
+    const run $ kernel_arg $ point_arg $ unroll_arg $ size_arg $ backend_arg $ dot_arg
+    $ floorplan_arg $ config_arg $ stats_arg $ map_json_arg)
 
 let map_doc = "Map a kernel onto the CGRA and print the schedule"
 let map_cmd = Cmd.v (Cmd.info "map" ~doc:map_doc) Term.(map_term $ const ())
@@ -370,7 +395,7 @@ let explore_term =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No progress line on stderr.")
   in
   let run fabrics islands banks floors unrolls max_iis kernels sample seed workers
-      timeout cache_path no_cache csv json quiet () =
+      timeout backend cache_path no_cache csv json quiet () =
     let islands =
       match islands with
       | Some shapes -> shapes
@@ -409,6 +434,7 @@ let explore_term =
         Explore.Sweep.workers;
         timeout_s = Option.value timeout ~default:infinity;
         params = Iced_power.Params.default;
+        backend;
         (* a \r-progress line only makes sense on a terminal *)
         progress = (not quiet) && Unix.isatty Unix.stderr;
       }
@@ -438,7 +464,7 @@ let explore_term =
   Term.(
     const run $ fabrics_arg $ islands_arg $ banks_arg $ floors_arg $ unrolls_arg
     $ max_iis_arg $ kernels_arg $ sample_arg $ seed_arg $ workers_arg $ timeout_arg
-    $ cache_arg $ no_cache_arg $ csv_arg $ json_arg $ quiet_arg)
+    $ backend_arg $ cache_arg $ no_cache_arg $ csv_arg $ json_arg $ quiet_arg)
 
 let explore_doc = "Sweep a design space and report its Pareto frontier"
 let explore_cmd = Cmd.v (Cmd.info "explore" ~doc:explore_doc) Term.(explore_term $ const ())

@@ -47,11 +47,13 @@ let assign_levels point mapping =
 
 module Trace = Iced_obs.Trace
 
-let evaluate_body ~cgra ~params ~unroll ~label_floor ~max_ii ~cancel ?stats point kernel =
+let evaluate_body ~cgra ~params ~unroll ~label_floor ~max_ii ~cancel ~backend ?stats
+    point kernel =
   let fabric = fabric_of cgra point in
   let dfg = Iced_kernels.Kernel.dfg_at kernel ~factor:unroll in
   let req =
-    Mapper.request ~strategy:(strategy_of point) ~label_floor ~max_ii ~cancel fabric
+    Mapper.request ~strategy:(strategy_of point) ~backend ~label_floor ~max_ii ~cancel
+      fabric
   in
   match Mapper.map ?stats req dfg with
   | Error msg -> Error (Printf.sprintf "%s/%s: %s" kernel.name (point_to_string point) msg)
@@ -82,10 +84,11 @@ let evaluate_body ~cgra ~params ~unroll ~label_floor ~max_ii ~cancel ?stats poin
         })
 
 let evaluate ?(cgra = Cgra.iced_6x6) ?(params = Iced_power.Params.default) ?(unroll = 1)
-    ?(label_floor = Dvfs.Rest) ?(max_ii = 64) ?(cancel = fun () -> false) ?stats
-    ?(trace = true) point kernel =
+    ?(label_floor = Dvfs.Rest) ?(max_ii = 64) ?(cancel = fun () -> false)
+    ?(backend = Backend.default) ?stats ?(trace = true) point kernel =
   let body () =
-    evaluate_body ~cgra ~params ~unroll ~label_floor ~max_ii ~cancel ?stats point kernel
+    evaluate_body ~cgra ~params ~unroll ~label_floor ~max_ii ~cancel ~backend ?stats
+      point kernel
   in
   let traced () =
     if not (Trace.enabled ()) then body ()
@@ -107,10 +110,11 @@ let evaluate ?(cgra = Cgra.iced_6x6) ?(params = Iced_power.Params.default) ?(unr
   in
   if trace then traced () else Trace.suppress traced
 
-let evaluate_exn ?cgra ?params ?unroll ?label_floor ?max_ii ?cancel ?stats ?trace point
-    kernel =
+let evaluate_exn ?cgra ?params ?unroll ?label_floor ?max_ii ?cancel ?backend ?stats
+    ?trace point kernel =
   match
-    evaluate ?cgra ?params ?unroll ?label_floor ?max_ii ?cancel ?stats ?trace point kernel
+    evaluate ?cgra ?params ?unroll ?label_floor ?max_ii ?cancel ?backend ?stats ?trace
+      point kernel
   with
   | Ok e -> e
   | Error msg -> failwith ("Design.evaluate: " ^ msg)

@@ -41,6 +41,7 @@ val evaluate :
   ?label_floor:Dvfs.level ->
   ?max_ii:int ->
   ?cancel:(unit -> bool) ->
+  ?backend:Backend.t ->
   ?stats:Mapper.stats ->
   ?trace:bool ->
   point ->
@@ -54,8 +55,10 @@ val evaluate :
     levels; [max_ii] (default 64) bounds the mapper's II search, the
     design-space explorer's per-point work cap; [cancel] is polled
     between II attempts and aborts with a "deadline exceeded" error —
-    the explorer's per-point timeout.  [stats] receives the mapper's
-    telemetry for this evaluation (merged in).
+    the explorer's per-point timeout.  [backend] (default
+    {!Backend.default}) selects the mapper's placement/routing pair;
+    [stats] receives the mapper's telemetry for this evaluation
+    (merged in).
 
     When the {!Iced_obs.Trace} collector is on, the evaluation runs
     inside a ["design"]/["evaluate"] span carrying the kernel name,
@@ -71,6 +74,7 @@ val evaluate_exn :
   ?label_floor:Dvfs.level ->
   ?max_ii:int ->
   ?cancel:(unit -> bool) ->
+  ?backend:Backend.t ->
   ?stats:Mapper.stats ->
   ?trace:bool ->
   point ->

@@ -40,12 +40,17 @@ let locked t f =
 (* ------------------------------------------------------------------ *)
 (* keys                                                                *)
 
-let key (p : Space.point) (kernel : Iced_kernels.Kernel.t) =
+let key ?(backend = "default") (p : Space.point) (kernel : Iced_kernels.Kernel.t) =
   let nodes, edges, rec_mii =
     Iced_kernels.Kernel.stats (Iced_kernels.Kernel.dfg_at kernel ~factor:p.Space.unroll)
   in
-  Printf.sprintf "%s|%s|%d,%d,%d" (Space.to_string p) kernel.Iced_kernels.Kernel.name
-    nodes edges rec_mii
+  let base =
+    Printf.sprintf "%s|%s|%d,%d,%d" (Space.to_string p) kernel.Iced_kernels.Kernel.name
+      nodes edges rec_mii
+  in
+  (* the default backend's keys stay byte-identical to every store
+     written before backends existed; only non-default runs fork *)
+  if backend = "default" then base else base ^ "|" ^ backend
 
 let content_hash s = Iced_util.Fnv.(to_hex (hash_string s))
 

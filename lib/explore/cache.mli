@@ -70,8 +70,11 @@ val recovery : t -> recovery option
 (** [Some _] when the last {!open_file} found damage and repaired it;
     [None] for a clean open or an {!in_memory} store. *)
 
-val key : Space.point -> Iced_kernels.Kernel.t -> string
-(** Canonical cache key of one (point, kernel) evaluation. *)
+val key : ?backend:string -> Space.point -> Iced_kernels.Kernel.t -> string
+(** Canonical cache key of one (point, kernel) evaluation.  [backend]
+    (canonical {!Iced_mapper.Backend.to_string} name, default
+    ["default"]) is appended only when non-default, so pre-existing
+    stores keep their keys byte-for-byte. *)
 
 val content_hash : string -> string
 (** 64-bit FNV-1a of a key, as 16 hex digits — the record's short id. *)

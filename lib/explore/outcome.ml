@@ -56,10 +56,12 @@ let is_deadline_error msg =
   in
   scan 0
 
-let evaluate_kernel ?(cancel = fun () -> false) ?stats ~params (p : Space.point) kernel =
+let evaluate_kernel ?(cancel = fun () -> false) ?(backend = Iced_mapper.Backend.default)
+    ?stats ~params (p : Space.point) kernel =
   match
     Design.evaluate ~cgra:(Space.cgra p) ~params ~unroll:p.Space.unroll
-      ~label_floor:p.Space.floor ~max_ii:p.Space.max_ii ~cancel ?stats Design.Iced kernel
+      ~label_floor:p.Space.floor ~max_ii:p.Space.max_ii ~cancel ~backend ?stats
+      Design.Iced kernel
   with
   | Ok e -> Mapped (measure ~params e)
   | Error msg -> if is_deadline_error msg then Timed_out else Failed msg

@@ -47,12 +47,15 @@ val measure :
 
 val evaluate_kernel :
   ?cancel:(unit -> bool) ->
+  ?backend:Iced_mapper.Backend.t ->
   ?stats:Iced_mapper.Mapper.stats ->
   params:Iced_power.Params.t -> Space.point -> Iced_kernels.Kernel.t -> status
 (** Map one kernel on one point ([Iced.Design.Iced] flow on the
     point's fabric, floor, and II cap) and measure it.  [cancel] is the
     sweep's per-point timeout hook: when it fires mid-search the status
-    is [Timed_out].  [stats] receives the mapper's telemetry. *)
+    is [Timed_out].  [backend] (default {!Iced_mapper.Backend.default})
+    selects the mapper's placement/routing pair; [stats] receives the
+    mapper's telemetry. *)
 
 val summarize : point_result -> summary
 

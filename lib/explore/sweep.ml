@@ -2,11 +2,18 @@ type config = {
   workers : int;
   timeout_s : float;
   params : Iced_power.Params.t;
+  backend : Iced_mapper.Backend.t;
   progress : bool;
 }
 
 let default_config =
-  { workers = 1; timeout_s = infinity; params = Iced_power.Params.default; progress = false }
+  {
+    workers = 1;
+    timeout_s = infinity;
+    params = Iced_power.Params.default;
+    backend = Iced_mapper.Backend.default;
+    progress = false;
+  }
 
 type stats = {
   points : int;
@@ -24,10 +31,14 @@ let run_untraced ~config ?mapper_stats ~trace ~cache points kernels =
   let t0 = Unix.gettimeofday () in
   (* keys are computed once, up front: they embed the unrolled DFG's
      statistics, which are not free to recompute *)
+  let backend_name = Iced_mapper.Backend.to_string config.backend in
   let keyed =
     List.map
       (fun point ->
-        (point, List.map (fun kernel -> (kernel, Cache.key point kernel)) kernels))
+        ( point,
+          List.map
+            (fun kernel -> (kernel, Cache.key ~backend:backend_name point kernel))
+            kernels ))
       points
   in
   let pairs = List.concat_map (fun (point, ks) -> List.map (fun (k, key) -> (point, k, key)) ks) keyed in
@@ -76,8 +87,8 @@ let run_untraced ~config ?mapper_stats ~trace ~cache points kernels =
     let body () =
       let started = Unix.gettimeofday () in
       let cancel () = Unix.gettimeofday () -. started > config.timeout_s in
-      Outcome.evaluate_kernel ~cancel ~stats:job_stats.(i) ~params:config.params point
-        kernel
+      Outcome.evaluate_kernel ~cancel ~backend:config.backend ~stats:job_stats.(i)
+        ~params:config.params point kernel
     in
     if not trace then Obs.suppress body
     else if not (Obs.enabled ()) then body ()

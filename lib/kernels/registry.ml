@@ -6,6 +6,13 @@ let lu = Lu.all
 
 let all = standalone @ gcn @ lu
 
-let by_name name = List.find_opt (fun (k : Kernel.t) -> k.name = name) all
+let by_name name =
+  match List.find_opt (fun (k : Kernel.t) -> k.name = name) all with
+  | Some _ as found -> found
+  | None -> (
+    (* rand<nodes>x<seed>: seeded synthetic kernels, built on demand *)
+    match Synth.parse_name name with
+    | Some (nodes, seed) -> Some (Synth.kernel ~nodes ~seed)
+    | None -> None)
 
 let names () = List.map (fun (k : Kernel.t) -> k.name) all

@@ -1,0 +1,29 @@
+(** Seeded synthetic kernels with an exact node budget.
+
+    [rand<nodes>x<seed>] names a deterministic random loop body shaped
+    like the Table I kernels: the 6-node predicated induction chain
+    (RecMII 4), a body of binary ops, loads, and accumulators drawn
+    over live values, and one closing store — exactly [nodes] nodes in
+    total.  {!Registry.by_name} synthesizes these on demand, so bench
+    shoot-outs, property tests, and [iced explore] share one
+    large-graph corpus.  Equal (nodes, seed) pairs always produce the
+    same graph. *)
+
+val min_nodes : int
+(** Smallest representable budget (induction + one body op + store). *)
+
+val name : nodes:int -> seed:int -> string
+(** ["rand<nodes>x<seed>"]. *)
+
+val parse_name : string -> (int * int) option
+(** Inverse of {!name}; [None] for anything else (including budgets
+    below {!min_nodes}). *)
+
+val dfg : nodes:int -> seed:int -> Iced_dfg.Graph.t
+(** The generated loop body; validates by construction.
+    @raise Invalid_argument when [nodes < min_nodes]. *)
+
+val kernel : nodes:int -> seed:int -> Kernel.t
+(** The graph wrapped as a kernel (domain [Hpc], synthetic data tag,
+    table stats measured from the generated graph at unroll factors 1
+    and 2). *)

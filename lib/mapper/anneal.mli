@@ -1,0 +1,25 @@
+(** Simulated-annealing placer.
+
+    Seeds itself with a routing-blind greedy placement, then runs a
+    seeded, fully deterministic move loop: relocate a uniform node to a
+    uniform eligible (tile, time-window slot), accept by the Metropolis
+    rule on a wirelength-plus-timing-slack cost, with a warming phase
+    that multiplies the temperature until the acceptance ratio reaches
+    the target and a multiplicative cooling phase after it (the
+    [SAStruct]/[DefaultSAWarm]/[DefaultSACool] scheme of Mapper2.jl).
+    FU occupancy, memory-tile and commit-mode constraints hold after
+    every move by construction; routing is left entirely to the request
+    backend's router.
+
+    Equal {!Backend.sa_params} (same seed, budget, schedule) on the
+    same attempt produce byte-identical placements; no wall-clock or
+    global state is consulted.
+
+    Telemetry: accepted/rejected moves and temperature steps go to
+    [sa_moves_accepted]/[sa_moves_rejected]/[sa_temp_steps]. *)
+
+val place : Backend.sa_params -> Engine.state -> int list -> (unit, string) result
+(** Place every node of the attempt (in [order] for the greedy seed
+    phase), leaving the refined placement in [state.placements] with
+    FU slots reserved.  Fails only if the greedy seed placement finds
+    no feasible slot for some node. *)

@@ -14,6 +14,7 @@ let all_knobs = Cost.all_knobs
 type request = Search.request = {
   cgra : Cgra.t;
   strategy : strategy;
+  backend : Backend.t;
   tiles : int list option;
   memory_tiles : int list option;
   label_floor : Dvfs.level;
@@ -36,6 +37,11 @@ type stats = Telemetry.t = {
   mutable route_calls : int;
   mutable route_failures : int;
   mutable expansions : int;
+  mutable sa_moves_accepted : int;
+  mutable sa_moves_rejected : int;
+  mutable sa_temp_steps : int;
+  mutable pf_rounds : int;
+  mutable pf_overflow : int;
   mutable per_ii_s : (int * float) list;
   mutable wall_s : float;
 }

@@ -46,6 +46,11 @@ val all_knobs : knobs
 type request = Search.request = {
   cgra : Cgra.t;
   strategy : strategy;
+  backend : Backend.t;
+      (** which placer/router pair {!Search} orchestrates (default
+          {!Backend.default}, the golden-corpus-pinned greedy+Dijkstra
+          pair); see {!Backend} for the [sa] and [pathfinder]
+          presets *)
   tiles : int list option;  (** sub-fabric; default: the whole fabric *)
   memory_tiles : int list option;
       (** default: westmost column of the (sub-)fabric *)
@@ -74,14 +79,14 @@ type request = Search.request = {
           and per route hop, so over-large islands degrade the II *)
 }
 
-val request : ?strategy:strategy -> ?tiles:int list -> ?memory_tiles:int list ->
-  ?label_floor:Dvfs.level -> ?label_guard:int -> ?max_ii:int -> ?knobs:knobs ->
-  ?cancel:(unit -> bool) -> ?dead_tiles:int list -> ?dead_links:(int * Dir.t) list ->
-  ?commit_islands:bool ->
+val request : ?strategy:strategy -> ?backend:Backend.t -> ?tiles:int list ->
+  ?memory_tiles:int list -> ?label_floor:Dvfs.level -> ?label_guard:int ->
+  ?max_ii:int -> ?knobs:knobs -> ?cancel:(unit -> bool) -> ?dead_tiles:int list ->
+  ?dead_links:(int * Dir.t) list -> ?commit_islands:bool ->
   Cgra.t -> request
-(** Build a request with defaults: [Dvfs_aware], whole fabric,
-    westmost-column memory, floor [Rest], no guard band, [max_ii] 64,
-    no cancellation, no faulted resources. *)
+(** Build a request with defaults: [Dvfs_aware], {!Backend.default},
+    whole fabric, westmost-column memory, floor [Rest], no guard band,
+    [max_ii] 64, no cancellation, no faulted resources. *)
 
 type stats = Telemetry.t = {
   mutable attempts : int;  (** (II, margin, cost-model) placement attempts *)
@@ -93,6 +98,13 @@ type stats = Telemetry.t = {
   mutable route_calls : int;  (** Dijkstra invocations *)
   mutable route_failures : int;  (** routes that found no path in deadline *)
   mutable expansions : int;  (** Dijkstra heap pops *)
+  mutable sa_moves_accepted : int;  (** annealing placer: accepted moves *)
+  mutable sa_moves_rejected : int;
+      (** annealing placer: rejected (or infeasible) moves *)
+  mutable sa_temp_steps : int;  (** annealing placer: temperature steps *)
+  mutable pf_rounds : int;  (** Pathfinder: rip-up-and-reroute rounds *)
+  mutable pf_overflow : int;
+      (** Pathfinder: overused port slots summed over rounds *)
   mutable per_ii_s : (int * float) list;
       (** wall seconds per attempted II, most recent first — read it
           through {!per_ii_times} *)

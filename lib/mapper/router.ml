@@ -279,6 +279,102 @@ let route ?(extra_cost = fun ~tile:_ ~time:_ -> 0) ?(hop_width = fun _ -> 1) ?sc
   | _ -> ());
   result
 
+(* Congestion-cost variant of [expand] for negotiated routing: the
+   caller prices each output-port slot through [port_cost] (None =
+   forbidden, e.g. a dead link) instead of the router checking MRRG
+   occupancy.  Nothing is reserved. *)
+let rec expand_priced sc mrrg port_cost ~tiles ~state ~cost ~tile ~time = function
+  | [] -> ()
+  | (dir, next_tile) :: rest ->
+    (if Mrrg.allowed mrrg next_tile then
+       match port_cost ~tile ~dir ~time:(time + 1) with
+       | None -> ()
+       | Some extra ->
+         relax sc
+           (encode ~tiles next_tile (time + 1))
+           (cost + hop_cost + extra)
+           ((state * 8) + dir_code dir));
+    expand_priced sc mrrg port_cost ~tiles ~state ~cost ~tile ~time rest
+
+(* Cheapest path under a caller-supplied port pricing, without touching
+   MRRG occupancy.  The Pathfinder router calls this once per edge per
+   negotiation round, with present/history congestion folded into
+   [port_cost]; hops are only reserved when a whole round settles. *)
+let find_path ?scratch ?stats ~port_cost mrrg ~edge ~src_tile ~src_time ~dst_tile
+    ~deadline =
+  (match stats with
+  | Some (s : Telemetry.t) -> s.route_calls <- s.route_calls + 1
+  | None -> ());
+  let cgra = Mrrg.cgra mrrg in
+  let tiles = Cgra.tile_count cgra in
+  let result =
+    if deadline < src_time then
+      Error
+        (Printf.sprintf "edge n%d->n%d: deadline %d precedes producer time %d"
+           edge.Graph.src edge.Graph.dst deadline src_time)
+    else begin
+      let sc = match scratch with Some sc -> sc | None -> create_scratch () in
+      prepare sc ((deadline + 2) * tiles);
+      (match sc.neighbors_of with
+      | Some c when c == cgra -> ()
+      | Some _ | None ->
+        sc.neighbors <- Array.init tiles (fun tile -> Cgra.neighbors cgra tile);
+        sc.neighbors_of <- Some cgra);
+      let start = encode ~tiles src_tile src_time in
+      mark sc start 0 (-1);
+      heap_push sc 0 start;
+      let found = ref (-1) in
+      while !found < 0 && sc.hsize > 0 do
+        let cost = sc.hprio.(0) in
+        let state = sc.hstate.(0) in
+        heap_drop sc;
+        if sc.stamp.(state) = sc.epoch && sc.dist.(state) = cost then begin
+          (match stats with
+          | Some (s : Telemetry.t) -> s.expansions <- s.expansions + 1
+          | None -> ());
+          let tile = state mod tiles in
+          let time = state / tiles in
+          if tile = dst_tile then found := state
+          else if time < deadline then begin
+            relax sc (state + tiles) (cost + 1) ((state * 8) + wait_code);
+            expand_priced sc mrrg port_cost ~tiles ~state ~cost ~tile ~time
+              sc.neighbors.(tile)
+          end
+        end
+      done;
+      if !found < 0 then
+        Error
+          (Printf.sprintf "edge n%d->n%d: no route from tile %d (t=%d) to tile %d by t=%d"
+             edge.Graph.src edge.Graph.dst src_tile src_time dst_tile deadline)
+      else begin
+        let rec walk state acc =
+          let packed = sc.parent.(state) in
+          if packed < 0 then acc
+          else begin
+            let prev_state = packed / 8 in
+            let code = packed mod 8 in
+            let acc =
+              if code = wait_code then acc
+              else
+                {
+                  Mapping.tile = prev_state mod tiles;
+                  dir = dir_of_code code;
+                  time = state / tiles;
+                }
+                :: acc
+            in
+            walk prev_state acc
+          end
+        in
+        Ok (walk !found [], sc.dist.(!found))
+      end
+    end
+  in
+  (match (result, stats) with
+  | Error _, Some (s : Telemetry.t) -> s.route_failures <- s.route_failures + 1
+  | _ -> ());
+  result
+
 let release mrrg hops _edge =
   List.iter
     (fun (h : Mapping.hop) -> Mrrg.release mrrg ~tile:h.tile ~time:h.time (Mrrg.Port h.dir))

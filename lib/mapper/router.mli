@@ -46,5 +46,25 @@ val route :
     per call otherwise).  [stats] counts the call, its heap expansions,
     and a failure if no route exists. *)
 
+val find_path :
+  ?scratch:scratch ->
+  ?stats:Telemetry.t ->
+  port_cost:(tile:int -> dir:Iced_arch.Dir.t -> time:int -> int option) ->
+  Iced_mrrg.Mrrg.t ->
+  edge:Graph.edge ->
+  src_tile:int ->
+  src_time:int ->
+  dst_tile:int ->
+  deadline:int ->
+  (Mapping.hop list * int, string) result
+(** Cheapest path under caller-supplied port pricing, {e without}
+    reserving anything.  [port_cost ~tile ~dir ~time] prices the output
+    port slot a hop out of [tile] in direction [dir] arriving at [time]
+    would claim — [None] forbids it (dead link), [Some extra] is added
+    to {!hop_cost}.  This is the search the Pathfinder router runs once
+    per edge per negotiation round, with present/history congestion
+    folded into the pricing; settled routes are reserved by the caller.
+    [stats] counts the call and its expansions like {!route}. *)
+
 val release : Iced_mrrg.Mrrg.t -> Mapping.hop list -> Graph.edge -> unit
 (** Undo a successful [route]'s reservations. *)

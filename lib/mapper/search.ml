@@ -12,464 +12,47 @@ type knobs = Cost.knobs = {
   conventional_fallback : bool;
 }
 
-type request = {
+type request = Engine.request = {
   cgra : Cgra.t;
   strategy : strategy;
+  backend : Backend.t;
   tiles : int list option;
   memory_tiles : int list option;
   label_floor : Dvfs.level;
   label_guard : int;
-      (* fault guard band: raises Algorithm 1's floor this many levels
-         so upset-prone islands keep voltage margin *)
   max_ii : int;
   knobs : knobs;
   cancel : unit -> bool;
   dead_tiles : int list;
-      (* permanently faulted tiles, removed from the sub-fabric before
-         placement (fault-aware remapping) *)
   dead_links : (int * Dir.t) list;
-      (* faulted crossbar output ports, masked in the MRRG so routing
-         plans around them *)
   commit_islands : bool;
-      (* Figure 4 study: pre-commit every island to a level from the
-         label quota before placement.  Nodes are then steered onto
-         islands of exactly their label's level (falling back to faster
-         islands only when none is feasible), a slowed tile's FU
-         occupies multiplier-many modulo slots per op, and routing
-         through a slowed tile takes multiplier-many cycles per hop —
-         the capacity/latency loss that degrades the II for islands
-         larger than 2x2. *)
 }
 
-let request ?(strategy = Dvfs_aware) ?tiles ?memory_tiles ?(label_floor = Dvfs.Rest)
-    ?(label_guard = 0) ?(max_ii = 64) ?(knobs = Cost.all_knobs)
-    ?(cancel = fun () -> false) ?(dead_tiles = []) ?(dead_links = [])
-    ?(commit_islands = false) cgra =
-  { cgra; strategy; tiles; memory_tiles; label_floor; label_guard; max_ii; knobs; cancel;
-    dead_tiles; dead_links; commit_islands }
+let request = Engine.request
 
-let weights = Cost.default
-let cost_wait = weights.Cost.wait
-let cost_over_provision = weights.Cost.over_provision
-let cost_open_island = weights.Cost.open_island
-let cost_island_raise = weights.Cost.island_raise
-let cost_pack = weights.Cost.pack
-let cost_spread = weights.Cost.spread
-let cost_phase = weights.Cost.phase
-let cost_route_misphase = weights.Cost.route_misphase
-let cost_route_open_island = weights.Cost.route_open_island
-
-let rank = Cost.rank
-
-type state = {
-  dfg : Graph.t;
-  req : request;
-  tiles : int list;
-  memory_tiles : int list;
-  ii : int;
-  labels : (int * Dvfs.level) list;
-  estimate : Estimate.t;
-  cycle_mates : (int, int list) Hashtbl.t;
-      (* members of the longest recurrence cycle through each node *)
-  mrrg : Mrrg.t;
-  placements : (int, int * int) Hashtbl.t; (* node -> (tile, time) *)
-  mutable routes : Mapping.route list;
-  island_level : (int, Dvfs.level) Hashtbl.t; (* tentative, Dvfs_aware only *)
-  committed : (int, Dvfs.level) Hashtbl.t option; (* island -> level, commit mode *)
-  scratch : Router.scratch; (* shared routing arena, one per mapping run *)
-  stats : Telemetry.t;
-}
-
-(* Values produced by Const nodes are iteration-invariant, so the
-   consumer may read the copy produced [k] iterations earlier: their
-   edges behave as if they carried extra loop distance.  (The simulator
-   mirrors this by reading constants directly.) *)
-let edge_slack state (e : Graph.edge) =
-  let base = e.distance * state.ii in
-  match (Graph.node state.dfg e.src).op with
-  | Op.Const _ -> base + (2 * state.ii)
-  | _ -> base
-
-let label_of state node =
-  match state.req.strategy with
-  | Conventional -> Dvfs.Normal
-  | Dvfs_aware -> (
-    match List.assoc_opt node state.labels with Some l -> l | None -> Dvfs.Normal)
-
-let busy_count state tile = Mrrg.busy_slot_count state.mrrg ~tile
-
-(* Tentative level of an island while mapping; [None] = not opened. *)
-let tentative_level state island = Hashtbl.find_opt state.island_level island
-
-(* Commit-mode slot width of a tile: a slowed tile's op or hop covers
-   multiplier-many base-clock slots (capacity loss).  The *latency* of
-   slowed tiles is hidden by the elastic (latency-insensitive) bypass
-   buffers — it only deepens the pipeline — so no timing term uses the
-   multiplier. *)
-let tile_width state tile =
-  match state.committed with
-  | None -> 1
-  | Some table -> (
-    match Hashtbl.find_opt table (Cgra.island_of state.req.cgra tile) with
-    | Some level when Dvfs.is_active level -> Dvfs.multiplier level
-    | Some _ | None -> 1)
-
-let committed_level state tile =
-  match state.committed with
-  | None -> None
-  | Some table -> Hashtbl.find_opt table (Cgra.island_of state.req.cgra tile)
-
-(* The clock phase (mod m) an island's existing events agree on, if
-   any: [`Empty] when the island has no events yet, [`Phase p] when all
-   events fall on phase [p], [`Broken] when they already disagree (the
-   island cannot be slowed, so alignment no longer matters). *)
-let island_phase state island m =
-  Mrrg.phase_of state.mrrg ~tiles:(Cgra.island_tiles state.req.cgra island) ~modulo:m
-
-(* Phase-misalignment penalty for scheduling an event on [tile] at
-   [time], given the tile's island intends to run slowed.  Only
-   meaningful when the multiplier divides the II. *)
-let phase_penalty state ~weight tile time =
-  match state.req.strategy with
-  | Conventional -> 0
-  | Dvfs_aware when not state.req.knobs.phase_alignment -> 0
-  | Dvfs_aware -> (
-    let island = Cgra.island_of state.req.cgra tile in
-    match tentative_level state island with
-    | None | Some Dvfs.Normal | Some Dvfs.Power_gated -> 0
-    | Some ((Dvfs.Relax | Dvfs.Rest) as level) ->
-      let m = Dvfs.multiplier level in
-      if state.ii mod m <> 0 then 0
-      else (
-        match island_phase state island m with
-        | `Empty | `Broken -> 0
-        | `Phase p -> if time mod m = p then 0 else weight))
-
-(* Router hop penalty: stay out of unopened islands (they could be
-   power-gated) and respect slowed islands' phases. *)
-let route_extra_cost state ~tile ~time =
-  match state.req.strategy with
-  | Conventional -> 0
-  | Dvfs_aware -> (
-    let island = Cgra.island_of state.req.cgra tile in
-    match tentative_level state island with
-    | None -> cost_route_open_island
-    | Some _ -> phase_penalty state ~weight:cost_route_misphase tile time)
-
-(* Start-time window of [node] if placed on [tile].
-
-   [hard] comes from already-placed producers (a true lower bound);
-   [soft] additionally honours the node's precomputed schedule estimate
-   so that, e.g., a critical phi is not pinned so early that its
-   carried producer can never meet the deadline; [lst] is the latest
-   start admissible given already-placed consumers.  The soft bound is
-   only a guess, so it yields toward [hard] whenever honouring it would
-   close the window against [lst]. *)
-let time_window state node tile =
-  let cgra = state.req.cgra in
-  let hard = ref 0 in
-  let lst = ref max_int in
-  List.iter
-    (fun (e : Graph.edge) ->
-      match Hashtbl.find_opt state.placements e.src with
-      | Some (src_tile, src_time) ->
-        let dist = Cgra.manhattan cgra src_tile tile in
-        let bound = src_time + dist + 1 - edge_slack state e in
-        if bound > !hard then hard := bound
-      | None -> ())
-    (Graph.predecessors state.dfg node);
-  List.iter
-    (fun (e : Graph.edge) ->
-      match Hashtbl.find_opt state.placements e.dst with
-      | None -> ()
-      | Some (dst_tile, dst_time) ->
-        let dist = Cgra.manhattan cgra tile dst_tile in
-        let bound = dst_time + edge_slack state e - dist - 1 in
-        if bound < !lst then lst := bound)
-    (Graph.successors state.dfg node);
-  let hard = max 0 !hard in
-  let soft = max hard (Estimate.start state.estimate node) in
-  let est = if !lst <> max_int && soft > !lst then max hard (min soft !lst) else soft in
-  (est, !lst)
-
-(* Cheap lower-bound cost of a candidate placement, used to order full
-   routing attempts. *)
-let cheap_cost state node tile time =
-  let cgra = state.req.cgra in
-  let route_lb = ref 0 in
-  List.iter
-    (fun (e : Graph.edge) ->
-      match Hashtbl.find_opt state.placements e.src with
-      | None -> ()
-      | Some (src_tile, src_time) ->
-        let dist = Cgra.manhattan cgra src_tile tile in
-        route_lb := !route_lb + (Router.hop_cost * dist);
-        let slack = time + edge_slack state e - (src_time + dist + 1) in
-        route_lb := !route_lb + (cost_wait * max 0 slack))
-    (Graph.predecessors state.dfg node);
-  List.iter
-    (fun (e : Graph.edge) ->
-      match Hashtbl.find_opt state.placements e.dst with
-      | None -> ()
-      | Some (dst_tile, _) ->
-        route_lb := !route_lb + (Router.hop_cost * Cgra.manhattan cgra tile dst_tile))
-    (Graph.successors state.dfg node);
-  (* A recurrence cycle must usually close on one tile (hops cost 2
-     cycles each); opening it on a tile that cannot seat its remaining
-     members forces a split and a larger II. *)
-  let capacity_penalty =
-    match Hashtbl.find_opt state.cycle_mates node with
-    | None -> 0
-    | Some mates ->
-      let unplaced =
-        List.length (List.filter (fun m -> not (Hashtbl.mem state.placements m)) mates)
-      in
-      if busy_count state tile + unplaced > state.ii then 400 else 0
-  in
-  let strategy_cost =
-    match state.req.strategy with
-    | Conventional ->
-      (* The conventional mapper balances load across the fabric (the
-         paper: it "might assign two dependent DFG nodes onto two tiles
-         that are far away from each other as long as the II is not
-         violated"), except for recurrence-cycle nodes, which must stay
-         packed to close their cycles.  The scattering is what leaves
-         per-tile DVFS so little to power-gate. *)
-      let on_cycle = Hashtbl.mem state.cycle_mates node in
-      (if on_cycle then cost_pack else cost_spread) * busy_count state tile
-    | Dvfs_aware -> (
-      let island = Cgra.island_of cgra tile in
-      let label = label_of state node in
-      (* Packing and phase alignment only matter for nodes that might
-         run slowed; biasing critical (normal-labeled) nodes with them
-         costs II for no DVFS benefit. *)
-      let bias =
-        if label = Dvfs.Normal then 0
-        else
-          (if state.req.knobs.packing then -cost_pack * busy_count state tile else 0)
-          + phase_penalty state ~weight:cost_phase tile time
-      in
-      if not state.req.knobs.island_affinity then bias
-      else
-        match tentative_level state island with
-        | None -> cost_open_island + bias
-        | Some assigned ->
-          if rank label <= rank assigned then
-            (cost_over_provision * (rank assigned - rank label)) + bias
-          else cost_island_raise + bias)
-  in
-  !route_lb + strategy_cost + capacity_penalty
-
-(* Route every dependence between [node] (placed at tile/time) and its
-   already-placed neighbours, reserving MRRG ports.  On failure undo all
-   reservations made here and report. *)
-let route_incident state node tile time =
-  let routed = ref [] in
-  let undo () =
-    List.iter
-      (fun (r : Mapping.route) -> Router.release state.mrrg r.hops r.edge)
-      !routed
-  in
-  let route_one (e : Graph.edge) ~src_tile ~src_time ~dst_tile ~dst_time =
-    let deadline = dst_time + edge_slack state e - 1 in
-    if src_tile = dst_tile && deadline >= src_time then begin
-      routed := { Mapping.edge = e; hops = [] } :: !routed;
-      Ok ()
-    end
-    else
-      match
-        Router.route
-          ~extra_cost:(fun ~tile ~time -> route_extra_cost state ~tile ~time)
-          ~hop_width:(fun tile -> tile_width state tile)
-          ~scratch:state.scratch ~stats:state.stats state.mrrg ~edge:e ~src_tile
-          ~src_time ~dst_tile ~deadline
-      with
-      | Ok (hops, _) ->
-        routed := { Mapping.edge = e; hops } :: !routed;
-        Ok ()
-      | Error msg -> Error msg
-  in
-  let rec process = function
-    | [] -> Ok ()
-    | step :: rest -> ( match step () with Ok () -> process rest | Error msg -> Error msg)
-  in
-  let pred_steps =
-    List.filter_map
-      (fun (e : Graph.edge) ->
-        match Hashtbl.find_opt state.placements e.src with
-        | None -> None
-        | Some (src_tile, src_time) ->
-          Some (fun () -> route_one e ~src_tile ~src_time ~dst_tile:tile ~dst_time:time))
-      (Graph.predecessors state.dfg node)
-  in
-  let succ_steps =
-    List.filter_map
-      (fun (e : Graph.edge) ->
-        match Hashtbl.find_opt state.placements e.dst with
-        | None -> None
-        | Some (dst_tile, dst_time) ->
-          Some (fun () -> route_one e ~src_tile:tile ~src_time:time ~dst_tile ~dst_time))
-      (Graph.successors state.dfg node)
-  in
-  match process (pred_steps @ succ_steps) with
-  | Ok () -> Ok !routed
-  | Error msg ->
-    undo ();
-    Error msg
-
-let place_node_untraced state node =
-  let cgra = state.req.cgra in
-  let op = (Graph.node state.dfg node).op in
-  let memory_ok tile = (not (Op.needs_memory op)) || List.mem tile state.memory_tiles in
-  (* Commit mode steers a node onto islands of exactly its label's
-     level first, falling back to any island at least as fast when the
-     exact set is empty or yields no feasible placement (e.g. a
-     rest-labeled operand of a critical node whose deadline no distant
-     rest island can meet). *)
-  let fallback_tiles =
-    List.filter
-      (fun tile ->
-        memory_ok tile
-        &&
-        match committed_level state tile with
-        | Some level -> Dvfs.at_most (label_of state node) level
-        | None -> true)
-      state.tiles
-  in
-  let tile_sets =
-    match state.committed with
-    | None -> [ List.filter memory_ok state.tiles ]
-    | Some _ ->
-      let label = label_of state node in
-      let exact =
-        List.filter
-          (fun tile -> memory_ok tile && committed_level state tile = Some label)
-          state.tiles
-      in
-      if exact = [] then [ fallback_tiles ] else [ exact; fallback_tiles ]
-  in
-  let try_tiles eligible_tiles =
-    let candidates = ref [] in
-    List.iter
-      (fun tile ->
-        let est, lst = time_window state node tile in
-        let upper = min (est + state.ii - 1) lst in
-        let rec collect time =
-          if time > upper then ()
-          else begin
-            if Mrrg.is_free state.mrrg ~tile ~time Mrrg.Fu then
-              candidates := (cheap_cost state node tile time, tile, time) :: !candidates;
-            collect (time + 1)
-          end
-        in
-        collect est)
-      eligible_tiles;
-    let ordered = List.sort compare !candidates in
-    let max_attempts = 100 in
-    let describe_windows () =
-      let sample =
-        List.filteri (fun i _ -> i < 3) eligible_tiles
-        |> List.map (fun tile ->
-               let est, lst = time_window state node tile in
-               Printf.sprintf "t%d:[%d,%s]" tile est
-                 (if lst = max_int then "inf" else string_of_int lst))
-      in
-      let neighbours =
-        let placed id =
-          match Hashtbl.find_opt state.placements id with
-          | Some (tile, time) -> Printf.sprintf "n%d@t%d,c%d" id tile time
-          | None -> Printf.sprintf "n%d@?" id
-        in
-        let preds =
-          List.map (fun (e : Graph.edge) -> placed e.src) (Graph.predecessors state.dfg node)
-        in
-        let succs =
-          List.map (fun (e : Graph.edge) -> placed e.dst) (Graph.successors state.dfg node)
-        in
-        Printf.sprintf "preds[%s] succs[%s]" (String.concat " " preds)
-          (String.concat " " succs)
-      in
-      String.concat " " sample ^ " " ^ neighbours
+(* Run the request's placer/router pair over a prepared attempt state.
+   The default pair is special: greedy placement and incremental
+   routing are fused (each node's deps are routed as it is placed, and
+   unroutable placements are undone candidate by candidate) — that
+   exact interleaving is what the golden corpus pins.  Every other
+   pair decouples the phases: place everything, rebuild the island
+   bookkeeping, then route the complete placement. *)
+let place_and_route (state : Engine.state) order =
+  match (state.req.backend.Backend.placer, state.req.backend.Backend.router) with
+  | Backend.Greedy, Backend.Incremental -> Greedy.place_all ~route:true state order
+  | placer, router -> (
+    let placed =
+      match placer with
+      | Backend.Greedy -> Greedy.place_all ~route:false state order
+      | Backend.Annealing p -> Anneal.place p state order
     in
-    let rec attempt n = function
-      | [] ->
-        Error
-          (Printf.sprintf "node n%d: no feasible placement at II=%d (windows %s)" node
-             state.ii (describe_windows ()))
-      | _ when n >= max_attempts ->
-        Error (Printf.sprintf "node n%d: placement attempts exhausted at II=%d" node state.ii)
-      | (_, tile, time) :: rest -> (
-        let s = state.stats in
-        s.Telemetry.placements_tried <- s.Telemetry.placements_tried + 1;
-        (* in commit mode a slowed tile's op covers multiplier-many
-           modulo slots *)
-        let width = tile_width state tile in
-        let reserve_fu () =
-          let rec claim k =
-            if k = width then Ok ()
-            else
-              match
-                Mrrg.reserve state.mrrg ~tile ~time:(time + k) Mrrg.Fu (Mrrg.Op_node node)
-              with
-              | Ok () -> claim (k + 1)
-              | Error _ as err ->
-                for undo = 0 to k - 1 do
-                  Mrrg.release state.mrrg ~tile ~time:(time + undo) Mrrg.Fu
-                done;
-                err
-          in
-          claim 0
-        in
-        let release_fu () =
-          for k = 0 to width - 1 do
-            Mrrg.release state.mrrg ~tile ~time:(time + k) Mrrg.Fu
-          done
-        in
-        match reserve_fu () with
-        | Error _ -> attempt (n + 1) rest
-        | Ok () -> (
-          match route_incident state node tile time with
-          | Ok routes ->
-            Hashtbl.replace state.placements node (tile, time);
-            state.routes <- routes @ state.routes;
-            (match state.req.strategy with
-            | Conventional -> ()
-            | Dvfs_aware ->
-              let island = Cgra.island_of cgra tile in
-              let label = label_of state node in
-              (match Hashtbl.find_opt state.island_level island with
-              | None -> Hashtbl.replace state.island_level island label
-              | Some assigned ->
-                if rank label > rank assigned then
-                  Hashtbl.replace state.island_level island label));
-            Ok ()
-          | Error _ ->
-            release_fu ();
-            attempt (n + 1) rest))
-    in
-    attempt 0 ordered
-  in
-  let rec first_success last_err = function
-    | [] -> Error last_err
-    | tiles :: rest -> (
-      match try_tiles tiles with
-      | Ok () -> Ok ()
-      | Error msg -> ( match rest with [] -> Error msg | _ -> first_success msg rest))
-  in
-  first_success "no tile sets" tile_sets
-
-let place_node state node =
-  if not (Obs.enabled ()) then place_node_untraced state node
-  else
-    Obs.with_span
-      ~args:[ ("node", Obs.Int node) ]
-      ~cat:"mapper" ~name:"place"
-      (fun () ->
-        match place_node_untraced state node with
-        | Ok () as r -> r
-        | Error msg as r ->
-          Obs.span_arg "error" (Obs.Str msg);
-          r)
+    match placed with
+    | Error _ as e -> e
+    | Ok () ->
+      Engine.rebuild_island_levels state;
+      (match router with
+      | Backend.Incremental -> Engine.route_complete state
+      | Backend.Negotiated p -> Pathfinder.route_all p state))
 
 let attempt_ii ~scratch ~stats req dfg ~tiles ~memory_tiles ~ii ~margin =
   let labels =
@@ -530,7 +113,7 @@ let attempt_ii ~scratch ~stats req dfg ~tiles ~memory_tiles ~ii ~margin =
     in
     let state =
       {
-        dfg;
+        Engine.dfg;
         req;
         tiles;
         memory_tiles;
@@ -614,29 +197,26 @@ let attempt_ii ~scratch ~stats req dfg ~tiles ~memory_tiles ~ii ~margin =
       critical_first
       @ List.fold_left insert_after_producers plain_body (List.filter deferred topo)
     in
-    let rec place = function
-      | [] ->
-        let placements =
-          Hashtbl.fold (fun node p acc -> (node, p) :: acc) state.placements []
-          |> List.sort compare
-        in
-        Ok
-          {
-            Mapping.dfg;
-            cgra = req.cgra;
-            ii;
-            tiles;
-            memory_tiles;
-            placements;
-            routes = state.routes;
-            labels;
-            island_levels =
-              List.map (fun island -> (island, Dvfs.Normal)) (Cgra.islands req.cgra);
-          }
-      | node :: rest -> (
-        match place_node state node with Ok () -> place rest | Error msg -> Error msg)
-    in
-    place order
+    (match place_and_route state order with
+    | Error _ as e -> e
+    | Ok () ->
+      let placements =
+        Hashtbl.fold (fun node p acc -> (node, p) :: acc) state.Engine.placements []
+        |> List.sort compare
+      in
+      Ok
+        {
+          Mapping.dfg;
+          cgra = req.cgra;
+          ii;
+          tiles;
+          memory_tiles;
+          placements;
+          routes = state.Engine.routes;
+          labels;
+          island_levels =
+            List.map (fun island -> (island, Dvfs.Normal)) (Cgra.islands req.cgra);
+        })
 
 let run ?stats (req : request) dfg =
   let t = Telemetry.create () in
@@ -763,7 +343,11 @@ let run ?stats (req : request) dfg =
     if not (Obs.enabled ()) then compute ()
     else
       Obs.with_span
-        ~args:[ ("nodes", Obs.Int (Graph.node_count dfg)) ]
+        ~args:
+          [
+            ("nodes", Obs.Int (Graph.node_count dfg));
+            ("backend", Obs.Str (Backend.to_string req.backend));
+          ]
         ~cat:"mapper" ~name:"map"
         (fun () ->
           let r = compute () in

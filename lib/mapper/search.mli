@@ -1,7 +1,8 @@
-(** The mapping search itself: candidate enumeration, placement, and
-    the II / margin / cost-model ladder (Algorithm 2's loop).  Use it
-    through the {!Mapper} façade — its [request] and [stats] types are
-    equations onto this module and {!Telemetry}. *)
+(** The mapping search: the II / margin / cost-model ladder
+    (Algorithm 2's loop), orchestrating whichever placer/router pair
+    the request's {!Backend.t} selects over a shared {!Engine.state}
+    per attempt.  Use it through the {!Mapper} façade — its [request]
+    and [stats] types are equations onto {!Engine} and {!Telemetry}. *)
 
 open Iced_arch
 open Iced_dfg
@@ -15,9 +16,10 @@ type knobs = Cost.knobs = {
   conventional_fallback : bool;
 }
 
-type request = {
+type request = Engine.request = {
   cgra : Cgra.t;
   strategy : strategy;
+  backend : Backend.t;
   tiles : int list option;
   memory_tiles : int list option;
   label_floor : Dvfs.level;
@@ -31,10 +33,10 @@ type request = {
 }
 (** See {!Mapper.request} for field documentation. *)
 
-val request : ?strategy:strategy -> ?tiles:int list -> ?memory_tiles:int list ->
-  ?label_floor:Dvfs.level -> ?label_guard:int -> ?max_ii:int -> ?knobs:knobs ->
-  ?cancel:(unit -> bool) -> ?dead_tiles:int list -> ?dead_links:(int * Dir.t) list ->
-  ?commit_islands:bool ->
+val request : ?strategy:strategy -> ?backend:Backend.t -> ?tiles:int list ->
+  ?memory_tiles:int list -> ?label_floor:Dvfs.level -> ?label_guard:int ->
+  ?max_ii:int -> ?knobs:knobs -> ?cancel:(unit -> bool) -> ?dead_tiles:int list ->
+  ?dead_links:(int * Dir.t) list -> ?commit_islands:bool ->
   Cgra.t -> request
 
 val run : ?stats:Telemetry.t -> request -> Graph.t -> (Mapping.t, string) result

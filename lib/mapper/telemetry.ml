@@ -6,6 +6,11 @@ type t = {
   mutable route_calls : int;
   mutable route_failures : int;
   mutable expansions : int;
+  mutable sa_moves_accepted : int;
+  mutable sa_moves_rejected : int;
+  mutable sa_temp_steps : int;
+  mutable pf_rounds : int;
+  mutable pf_overflow : int;
   mutable per_ii_s : (int * float) list; (* descending II (latest first) *)
   mutable wall_s : float;
 }
@@ -19,6 +24,11 @@ let create () =
     route_calls = 0;
     route_failures = 0;
     expansions = 0;
+    sa_moves_accepted = 0;
+    sa_moves_rejected = 0;
+    sa_temp_steps = 0;
+    pf_rounds = 0;
+    pf_overflow = 0;
     per_ii_s = [];
     wall_s = 0.0;
   }
@@ -31,6 +41,11 @@ let reset t =
   t.route_calls <- 0;
   t.route_failures <- 0;
   t.expansions <- 0;
+  t.sa_moves_accepted <- 0;
+  t.sa_moves_rejected <- 0;
+  t.sa_temp_steps <- 0;
+  t.pf_rounds <- 0;
+  t.pf_overflow <- 0;
   t.per_ii_s <- [];
   t.wall_s <- 0.0
 
@@ -46,6 +61,11 @@ let merge ~into src =
   into.route_calls <- into.route_calls + src.route_calls;
   into.route_failures <- into.route_failures + src.route_failures;
   into.expansions <- into.expansions + src.expansions;
+  into.sa_moves_accepted <- into.sa_moves_accepted + src.sa_moves_accepted;
+  into.sa_moves_rejected <- into.sa_moves_rejected + src.sa_moves_rejected;
+  into.sa_temp_steps <- into.sa_temp_steps + src.sa_temp_steps;
+  into.pf_rounds <- into.pf_rounds + src.pf_rounds;
+  into.pf_overflow <- into.pf_overflow + src.pf_overflow;
   into.per_ii_s <- src.per_ii_s @ into.per_ii_s;
   into.wall_s <- into.wall_s +. src.wall_s
 
@@ -55,13 +75,15 @@ let to_json t =
       (List.map (fun (ii, s) -> Printf.sprintf "[%d,%.6f]" ii s) (per_ii t))
   in
   Printf.sprintf
-    "{\"attempts\":%d,\"ii_bumps\":%d,\"margin_position\":%d,\"placements_tried\":%d,\"route_calls\":%d,\"route_failures\":%d,\"expansions\":%d,\"per_ii_s\":[%s],\"wall_s\":%.6f}"
+    "{\"attempts\":%d,\"ii_bumps\":%d,\"margin_position\":%d,\"placements_tried\":%d,\"route_calls\":%d,\"route_failures\":%d,\"expansions\":%d,\"sa_moves_accepted\":%d,\"sa_moves_rejected\":%d,\"sa_temp_steps\":%d,\"pf_rounds\":%d,\"pf_overflow\":%d,\"per_ii_s\":[%s],\"wall_s\":%.6f}"
     t.attempts t.ii_bumps t.margin_position t.placements_tried t.route_calls
-    t.route_failures t.expansions per_ii_json t.wall_s
+    t.route_failures t.expansions t.sa_moves_accepted t.sa_moves_rejected
+    t.sa_temp_steps t.pf_rounds t.pf_overflow per_ii_json t.wall_s
 
 let pp fmt t =
   Format.fprintf fmt
     "attempts=%d ii_bumps=%d margin=%d placements=%d routes=%d/%d fail expansions=%d \
-     wall=%.3fs"
+     sa=%d+/%d- temps=%d pf_rounds=%d pf_overflow=%d wall=%.3fs"
     t.attempts t.ii_bumps t.margin_position t.placements_tried t.route_calls
-    t.route_failures t.expansions t.wall_s
+    t.route_failures t.expansions t.sa_moves_accepted t.sa_moves_rejected
+    t.sa_temp_steps t.pf_rounds t.pf_overflow t.wall_s

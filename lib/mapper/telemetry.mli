@@ -18,6 +18,14 @@ type t = {
   mutable route_calls : int;  (** Dijkstra invocations *)
   mutable route_failures : int;  (** routes that found no path in deadline *)
   mutable expansions : int;  (** Dijkstra heap pops *)
+  mutable sa_moves_accepted : int;  (** annealing placer: accepted moves *)
+  mutable sa_moves_rejected : int;
+      (** annealing placer: rejected (or infeasible) moves *)
+  mutable sa_temp_steps : int;  (** annealing placer: temperature steps *)
+  mutable pf_rounds : int;  (** Pathfinder: rip-up-and-reroute rounds *)
+  mutable pf_overflow : int;
+      (** Pathfinder: congestion-overflowed port slots summed over
+          rounds (0 when every edge routed conflict-free first try) *)
   mutable per_ii_s : (int * float) list;
       (** wall seconds per attempted II, most recent first — read it
           through {!per_ii} *)

@@ -9,7 +9,7 @@ type app = Campaign.app
 type request =
   | Ping
   | Sleep of int
-  | Map of { point : Space.point; kernel : string }
+  | Map of { point : Space.point; kernel : string; backend : Iced_mapper.Backend.t }
   | Explore of { spec : Space.spec; kernels : string list }
   | Stream of { app : app; policy : Runner.policy; inputs : int }
   | Fault of { app : app; seeds : int; faults : int; inputs : int; window : int }
@@ -187,8 +187,13 @@ let decode line =
           | Some "map" ->
             let kernel = str_field "kernel" in
             let point_s = str_field ~default:(Space.to_string default_point) "point" in
+            let backend =
+              match Iced_mapper.Backend.of_string (str_field ~default:"default" "backend") with
+              | Ok b -> b
+              | Error msg -> fail (Printf.sprintf "field \"backend\": %s" msg)
+            in
             (match Space.of_string point_s with
-            | Some point when Space.is_valid point -> Map { point; kernel }
+            | Some point when Space.is_valid point -> Map { point; kernel; backend }
             | _ -> fail (Printf.sprintf "bad design point %S" point_s))
           | Some "explore" ->
             let fabrics =
@@ -268,10 +273,14 @@ let encode_request { id; request; deadline_ms } =
   match request with
   | Ping -> Printf.sprintf "{%s}" (common "ping")
   | Sleep ms -> Printf.sprintf "{%s,\"ms\":%d}" (common "sleep") ms
-  | Map { point; kernel } ->
-    Printf.sprintf "{%s,\"point\":%s,\"kernel\":%s}" (common "map")
+  | Map { point; kernel; backend } ->
+    (* the default backend is left implicit so frames predating the
+       field encode byte-identically *)
+    Printf.sprintf "{%s,\"point\":%s,\"kernel\":%s%s}" (common "map")
       (J.quote (Space.to_string point))
       (J.quote kernel)
+      (if Iced_mapper.Backend.is_default backend then ""
+       else ",\"backend\":" ^ J.quote (Iced_mapper.Backend.to_string backend))
   | Explore { spec; kernels } ->
     Printf.sprintf
       "{%s,\"fabrics\":%s,\"islands\":%s,\"banks\":%s,\"floors\":%s,\"unrolls\":%s,\

@@ -23,9 +23,16 @@ type app = Iced_campaign.Campaign.app
 type request =
   | Ping  (** liveness check *)
   | Sleep of int  (** hold a worker for N ms — load/backpressure testing *)
-  | Map of { point : Iced_explore.Space.point; kernel : string }
+  | Map of {
+      point : Iced_explore.Space.point;
+      kernel : string;
+      backend : Iced_mapper.Backend.t;
+    }
       (** evaluate one kernel at one design point; deduplicated and
-          cached by the shared {!Iced_explore.Cache} *)
+          cached by the shared {!Iced_explore.Cache}.  [backend]
+          (wire field ["backend"], default ["default"], strictly
+          validated) selects the mapper's placement/routing pair;
+          non-default backends get their own cache entries *)
   | Explore of { spec : Iced_explore.Space.spec; kernels : string list }
       (** run a sweep over a declarative space ([kernels = []] means
           the standalone Table I set); shares the daemon's cache *)

@@ -49,13 +49,14 @@ let rec sleep_until target =
 
 let params = Iced_power.Params.default
 
-let handle_map ~cache ~cancel ~id ~point ~kernel =
+let handle_map ~cache ~cancel ~id ~point ~kernel ~backend =
   match Registry.by_name kernel with
   | None -> Protocol.response_error ~id (Printf.sprintf "unknown kernel %S" kernel)
   | Some k ->
+    let key = Cache.key ~backend:(Iced_mapper.Backend.to_string backend) point k in
     let status =
-      Cache.find_or_store cache ~key:(Cache.key point k) (fun () ->
-          Outcome.evaluate_kernel ~cancel ~params point k)
+      Cache.find_or_store cache ~key (fun () ->
+          Outcome.evaluate_kernel ~cancel ~backend ~params point k)
     in
     (match status with
     | Outcome.Timed_out -> Metrics.incr "serve.deadline_expired"
@@ -221,7 +222,8 @@ let dispatch ~cache ~stats ~health ~start ~deadline_at (frame : Protocol.frame) 
     | _ ->
       sleep_until finish;
       Protocol.response_sleep ~id ~ms)
-  | Protocol.Map { point; kernel } -> handle_map ~cache ~cancel:expired ~id ~point ~kernel
+  | Protocol.Map { point; kernel; backend } ->
+    handle_map ~cache ~cancel:expired ~id ~point ~kernel ~backend
   | Protocol.Explore { spec; kernels } -> handle_explore ~cache ~id ~spec ~kernels
   | Protocol.Stream { app; policy; inputs } -> handle_stream ~id ~app ~policy ~inputs
   | Protocol.Fault { app; seeds; faults; inputs; window } ->
@@ -267,7 +269,7 @@ let handle ?(catch_kill = true) ?deadline_at ?health ~cache ~stats
   if expired_now () then begin
     Metrics.incr "serve.deadline_expired";
     match frame.Protocol.request with
-    | Protocol.Map { point; kernel } ->
+    | Protocol.Map { point; kernel; backend = _ } ->
       Protocol.response_map ~id ~point ~kernel Outcome.Timed_out
     | _ -> Protocol.response_timeout ~id ~op
   end

@@ -8,6 +8,7 @@ let () =
       ("arch", Test_arch.suite);
       ("mrrg", Test_mrrg.suite);
       ("mapper", Test_mapper.suite);
+      ("backends", Test_backends.suite);
       ("differential", Test_differential.suite);
       ("power", Test_power.suite);
       ("kernels", Test_kernels.suite);

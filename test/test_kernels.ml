@@ -57,6 +57,35 @@ let test_registry () =
   Alcotest.(check int) "unique names" 21
     (List.length (List.sort_uniq compare (Registry.names ())))
 
+let test_synth_registry () =
+  (* rand<nodes>x<seed> names resolve through the registry without
+     being enumerated in [names ()] *)
+  match Registry.by_name "rand24x7" with
+  | None -> Alcotest.fail "rand24x7 should resolve"
+  | Some k ->
+    Alcotest.(check string) "name echoes the request" "rand24x7" k.Kernel.name;
+    (match Iced_dfg.Graph.validate k.Kernel.dfg with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "rand24x7: %s" m);
+    let n, _, r = Kernel.stats k.Kernel.dfg in
+    Alcotest.(check int) "node count honored" 24 n;
+    Alcotest.(check bool) "cyclic (RecMII > 0)" true (r > 0);
+    let k' = Option.get (Registry.by_name "rand24x7") in
+    Alcotest.(check bool) "deterministic regeneration" true
+      (Kernel.stats k.Kernel.dfg = Kernel.stats k'.Kernel.dfg);
+    let k2 = Option.get (Registry.by_name "rand24x8") in
+    Alcotest.(check bool) "seed varies the graph" true
+      (Kernel.stats k.Kernel.dfg <> Kernel.stats k2.Kernel.dfg
+      || Iced_dfg.Graph.node_ids k.Kernel.dfg <> Iced_dfg.Graph.node_ids k2.Kernel.dfg
+      || k.Kernel.dfg <> k2.Kernel.dfg)
+
+let test_synth_rejects_malformed () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " rejected") true (Registry.by_name name = None))
+    [ "rand"; "randx"; "rand7x1"; "rand0x0"; "rand12"; "rand12x"; "randx12"; "rand12x-3";
+      "rand 12x3"; "rand12x3x4" ]
+
 let test_unroll_factor_guard () =
   let fir = Option.get (Registry.by_name "fir") in
   Alcotest.check_raises "factor 3"
@@ -225,6 +254,8 @@ let suite =
     ("Table I uf2 edges within tolerance", `Quick, test_table1_uf2_edges_close);
     ("all kernel graphs validate", `Quick, test_all_graphs_validate);
     ("registry structure", `Quick, test_registry);
+    ("synthetic kernels resolve", `Quick, test_synth_registry);
+    ("synthetic kernel names validated", `Quick, test_synth_rejects_malformed);
     ("unroll factor guard", `Quick, test_unroll_factor_guard);
     ("fir golden semantics", `Quick, test_fir_golden);
     ("latnrm golden semantics", `Quick, test_latnrm_golden);

@@ -46,7 +46,7 @@ let test_roundtrip_all_ops () =
       frame "" Protocol.Stats;
       frame "x" Protocol.Shutdown;
       frame "s" (Protocol.Sleep 5);
-      frame "m" (Protocol.Map { point = Protocol.default_point; kernel = "fir" });
+      frame "m" (Protocol.Map { point = Protocol.default_point; kernel = "fir"; backend = Iced_mapper.Backend.default });
       frame "e" (Protocol.Explore { spec = small_spec; kernels = [ "fir"; "gemm" ] });
       frame "e2" (Protocol.Explore { spec = small_spec; kernels = [] });
       frame "st"
@@ -57,8 +57,45 @@ let test_roundtrip_all_ops () =
       frame "c" (Protocol.Crash { kill = false });
       frame "ck" (Protocol.Crash { kill = true });
       dframe "d" Protocol.Ping 250;
-      dframe "d0" (Protocol.Map { point = Protocol.default_point; kernel = "fir" }) 0;
+      dframe "d0" (Protocol.Map { point = Protocol.default_point; kernel = "fir"; backend = Iced_mapper.Backend.default }) 0;
+      frame "mb"
+        (Protocol.Map
+           { point = Protocol.default_point; kernel = "fir"; backend = Iced_mapper.Backend.sa });
+      frame "mp"
+        (Protocol.Map
+           {
+             point = Protocol.default_point;
+             kernel = "fir";
+             backend = Iced_mapper.Backend.pathfinder;
+           });
     ]
+
+let test_map_backend_field () =
+  (* the default backend stays implicit on the wire (old frames encode
+     byte-identically); explicit backends round-trip; junk is strictly
+     rejected *)
+  let default_frame =
+    frame "m"
+      (Protocol.Map
+         { point = Protocol.default_point; kernel = "fir"; backend = Iced_mapper.Backend.default })
+  in
+  let contains_sub needle hay =
+    let n = String.length needle in
+    let rec scan i = i + n <= String.length hay && (String.sub hay i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  let line = Protocol.encode_request default_frame in
+  Alcotest.(check bool) "default backend not on the wire" false
+    (contains_sub "backend" line);
+  (match Protocol.decode line with
+  | Ok f -> Alcotest.(check bool) "decodes to default" true (f = default_frame)
+  | Error _ -> Alcotest.fail "default map frame rejected");
+  let sa_line = "{\"id\":\"m\",\"op\":\"map\",\"kernel\":\"fir\",\"backend\":\"sa:9\"}" in
+  (match Protocol.decode sa_line with
+  | Ok { Protocol.request = Protocol.Map { backend; _ }; _ } ->
+    Alcotest.(check string) "seeded sa parses" "sa:9" (Iced_mapper.Backend.to_string backend)
+  | Ok _ -> Alcotest.fail "decoded to the wrong op"
+  | Error _ -> Alcotest.fail "sa:9 map frame rejected")
 
 let test_roundtrip_hostile_ids () =
   List.iter
@@ -97,6 +134,9 @@ let test_decode_invalid () =
   expect_invalid "{\"id\":\"s\",\"op\":\"sleep\"}" ~id:"s";
   expect_invalid "{\"id\":\"m\",\"op\":\"map\",\"kernel\":\"fir\",\"point\":\"bogus\"}"
     ~id:"m";
+  expect_invalid "{\"id\":\"m\",\"op\":\"map\",\"kernel\":\"fir\",\"backend\":\"warp\"}"
+    ~id:"m";
+  expect_invalid "{\"id\":\"m\",\"op\":\"map\",\"kernel\":\"fir\",\"backend\":7}" ~id:"m";
   expect_invalid "{\"id\":\"st\",\"op\":\"stream\",\"app\":\"gcn\",\"policy\":\"warp\"}"
     ~id:"st";
   expect_invalid "{\"id\":\"f\",\"op\":\"fault\",\"seeds\":0}" ~id:"f";
@@ -220,11 +260,11 @@ let identity_requests =
   let relax = { Protocol.default_point with Space.floor = Iced_arch.Dvfs.Relax } in
   [
     frame "01" Protocol.Ping;
-    frame "02" (Protocol.Map { point = Protocol.default_point; kernel = "fir" });
-    frame "03" (Protocol.Map { point = Protocol.default_point; kernel = "fir" });
-    frame "04" (Protocol.Map { point = Protocol.default_point; kernel = "mvt" });
-    frame "05" (Protocol.Map { point = relax; kernel = "fir" });
-    frame "06" (Protocol.Map { point = Protocol.default_point; kernel = "nope" });
+    frame "02" (Protocol.Map { point = Protocol.default_point; kernel = "fir"; backend = Iced_mapper.Backend.default });
+    frame "03" (Protocol.Map { point = Protocol.default_point; kernel = "fir"; backend = Iced_mapper.Backend.default });
+    frame "04" (Protocol.Map { point = Protocol.default_point; kernel = "mvt"; backend = Iced_mapper.Backend.default });
+    frame "05" (Protocol.Map { point = relax; kernel = "fir"; backend = Iced_mapper.Backend.default });
+    frame "06" (Protocol.Map { point = Protocol.default_point; kernel = "nope"; backend = Iced_mapper.Backend.default });
     frame "07" (Protocol.Sleep 1);
     frame "08" (Protocol.Explore { spec = small_spec; kernels = [ "fir"; "mvt" ] });
     frame "09" Protocol.Ping;
@@ -232,6 +272,18 @@ let identity_requests =
     frame "10" (Protocol.Crash { kill = false });
     frame "11" (Protocol.Crash { kill = true });
     dframe "12" (Protocol.Sleep 50) 0;
+    (* cross-backend frames: the seeded SA and Pathfinder paths must be
+       as deterministic across worker counts as the default pair *)
+    frame "13"
+      (Protocol.Map
+         { point = Protocol.default_point; kernel = "fir"; backend = Iced_mapper.Backend.sa });
+    frame "14"
+      (Protocol.Map
+         {
+           point = Protocol.default_point;
+           kernel = "fir";
+           backend = Iced_mapper.Backend.pathfinder;
+         });
   ]
 
 let oneshot_responses () =
@@ -267,7 +319,7 @@ let test_persistent_cache_identity () =
   (* a response computed fresh and one replayed from the persistent
      tier must render byte-identically: %.17g round-trips exactly *)
   let path = Filename.temp_file "iced-serve-cache" ".jsonl" in
-  let req = frame "m" (Protocol.Map { point = Protocol.default_point; kernel = "fft" }) in
+  let req = frame "m" (Protocol.Map { point = Protocol.default_point; kernel = "fft"; backend = Iced_mapper.Backend.default }) in
   let once () =
     let cache = Cache.open_file path in
     let r = Server.handle ~cache ~stats:no_stats req in
@@ -334,7 +386,7 @@ let test_deadline_pre_expired () =
     (Server.handle ~cache ~stats:no_stats (dframe "d0" Protocol.Ping 0));
   let rm =
     Server.handle ~cache ~stats:no_stats
-      (dframe "dm" (Protocol.Map { point = Protocol.default_point; kernel = "fir" }) 0)
+      (dframe "dm" (Protocol.Map { point = Protocol.default_point; kernel = "fir"; backend = Iced_mapper.Backend.default }) 0)
   in
   match Json.parse rm with
   | Error e -> Alcotest.failf "unparseable map timeout: %s" (Json.error_to_string e)
@@ -594,6 +646,7 @@ let suite =
     ("protocol roundtrip, hostile ids", `Quick, test_roundtrip_hostile_ids);
     ("decode rejects malformed frames", `Quick, test_decode_malformed);
     ("decode rejects invalid requests", `Quick, test_decode_invalid);
+    ("map backend field: implicit default, strict parse", `Quick, test_map_backend_field);
     ("invalid replies are JSON", `Quick, test_invalid_responses_are_json);
     QCheck_alcotest.to_alcotest prop_decode_total;
     ("bqueue bounds and close", `Quick, test_bqueue_bounds);
