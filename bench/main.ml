@@ -974,7 +974,16 @@ let chaos () =
   in
   let seed = getenv_int "ICED_BENCH_CHAOS_SEED" 7 in
   let events = getenv_int "ICED_BENCH_CHAOS_EVENTS" 500 in
-  let daemon_log = "chaos_daemon.log" in
+  (* The daemon's stderr log is an artifact, not a repo file: keep it
+     out of the working tree unless the caller asks for a path (the CI
+     soak job sets ICED_BENCH_CHAOS_LOG to grep it afterwards). *)
+  let daemon_log =
+    match Sys.getenv_opt "ICED_BENCH_CHAOS_LOG" with
+    | Some path when path <> "" -> path
+    | _ ->
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "iced_chaos_daemon.%d.log" (Unix.getpid ()))
+  in
   (try Sys.remove daemon_log with Sys_error _ -> ());
   let failf fmt = Printf.ksprintf (fun m -> failwith ("chaos: " ^ m)) fmt in
   (* -------------------------------------------------------------- *)
@@ -1308,8 +1317,141 @@ let chaos () =
   close_out oc;
   Printf.printf "wrote BENCH_chaos.json (%d events, availability %.4f)\n" events
     availability;
+  Printf.printf "daemon log: %s\n" daemon_log;
   if availability < 1.0 then failwith "chaos: availability below 1.0";
   if not deterministic then failwith "chaos: same-seed runs diverged"
+
+(* ------------------------------------------------------------------ *)
+(* Exact oracle gap report: SAT-certified minimal II per small kernel  *)
+(* vs each heuristic backend's II (BENCH_exact.json; the CI exact-gap  *)
+(* job parses it).  ICED_BENCH_EXACT_KERNELS filters the kernel list,  *)
+(* ICED_BENCH_EXACT_BUDGET overrides the per-II conflict budget.       *)
+
+let exact_bench () =
+  let module Mapper = Iced_mapper.Mapper in
+  let module Exact = Iced_mapper.Exact in
+  let getenv_int name default =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some n when n > 0 -> n
+    | _ -> default
+  in
+  let budget = getenv_int "ICED_BENCH_EXACT_BUDGET" 100_000 in
+  let fabric = Cgra.iced_6x6 in
+  let selected =
+    match Sys.getenv_opt "ICED_BENCH_EXACT_KERNELS" with
+    | None | Some "" -> kernels
+    | Some spec ->
+      let wanted = String.split_on_char ',' spec in
+      List.filter (fun (k : Kernel.t) -> List.mem k.name wanted) kernels
+  in
+  let t =
+    Table.create
+      ~title:"Exact oracle: certified minimal II vs heuristic backends (uf1, 6x6)"
+      ~columns:
+        [ "kernel"; "nodes"; "verdict"; "opt ii"; "default"; "sa"; "pathfinder";
+          "conflicts"; "blocks"; "wall ms" ]
+  in
+  let backends =
+    [ Iced_mapper.Backend.default; Iced_mapper.Backend.sa;
+      Iced_mapper.Backend.pathfinder ]
+  in
+  let bad_witness = ref [] in
+  let rows =
+    List.map
+      (fun (k : Kernel.t) ->
+        let t0 = Unix.gettimeofday () in
+        let report = Exact.certify ~budget_conflicts:budget fabric k.dfg in
+        let wall = Unix.gettimeofday () -. t0 in
+        let verdict, opt_ii, first_undecided, feasible_at =
+          match report.Exact.verdict with
+          | Exact.Optimal ii -> ("optimal", Some ii, None, None)
+          | Exact.Infeasible -> ("infeasible", None, None, None)
+          | Exact.Unknown { first_undecided; feasible_at } ->
+            ("unknown", None, Some first_undecided, feasible_at)
+        in
+        let witness_valid =
+          match report.Exact.witness with
+          | None -> false
+          | Some m -> Iced_mapper.Validate.check m = Ok ()
+        in
+        (match opt_ii with
+        | Some _ when not witness_valid -> bad_witness := k.name :: !bad_witness
+        | _ -> ());
+        let per_backend =
+          List.map
+            (fun backend ->
+              let name = Iced_mapper.Backend.to_string backend in
+              let req = Mapper.request ~strategy:Mapper.Dvfs_aware ~backend fabric in
+              match Mapper.map req k.dfg with
+              | Error _ -> (name, None)
+              | Ok m -> (name, Some m.Iced_mapper.Mapping.ii))
+            backends
+        in
+        let cell (_, ii) =
+          match (ii, opt_ii) with
+          | Some hii, Some oii when hii > oii ->
+            Printf.sprintf "%d (+%d)" hii (hii - oii)
+          | Some hii, _ -> string_of_int hii
+          | None, _ -> "-"
+        in
+        Table.add_row t
+          [ k.name;
+            string_of_int (Iced_dfg.Graph.node_count k.dfg);
+            verdict;
+            (match opt_ii with Some ii -> string_of_int ii | None -> "-");
+            cell (List.nth per_backend 0);
+            cell (List.nth per_backend 1);
+            cell (List.nth per_backend 2);
+            string_of_int report.Exact.conflicts;
+            string_of_int report.Exact.route_blocks;
+            Printf.sprintf "%.1f" (wall *. 1e3) ];
+        let opt_field = function Some v -> string_of_int v | None -> "null" in
+        let backend_json =
+          String.concat ","
+            (List.map
+               (fun (name, ii) ->
+                 match ii with
+                 | Some hii ->
+                   let gap_field =
+                     match opt_ii with
+                     | Some oii -> Printf.sprintf ",\"gap\":%d" (hii - oii)
+                     | None -> ""
+                   in
+                   Printf.sprintf "{\"backend\":%S,\"ok\":true,\"ii\":%d%s}" name hii
+                     gap_field
+                 | None -> Printf.sprintf "{\"backend\":%S,\"ok\":false}" name)
+               per_backend)
+        in
+        Printf.sprintf
+          "{\"kernel\":%S,\"nodes\":%d,\"edges\":%d,\"verdict\":%S,\
+           \"optimal_ii\":%s,\"first_undecided\":%s,\"feasible_at\":%s,\
+           \"start_ii\":%d,\"conflicts\":%d,\"decisions\":%d,\"propagations\":%d,\
+           \"route_blocks\":%d,\"vars\":%d,\"clauses\":%d,\"witness_valid\":%b,\
+           \"wall_s\":%.6f,\"backends\":[%s]}"
+          k.name
+          (Iced_dfg.Graph.node_count k.dfg)
+          (Iced_dfg.Graph.edge_count k.dfg)
+          verdict (opt_field opt_ii) (opt_field first_undecided)
+          (opt_field feasible_at) report.Exact.start_ii report.Exact.conflicts
+          report.Exact.decisions report.Exact.propagations report.Exact.route_blocks
+          report.Exact.vars report.Exact.clauses witness_valid wall backend_json)
+      selected
+  in
+  Table.print t;
+  let json =
+    Printf.sprintf
+      "{\"schema\":\"iced-bench-exact-v1\",\"fabric\":\"6x6\",\
+       \"budget_conflicts\":%d,\"kernels\":[%s]}\n"
+      budget (String.concat "," rows)
+  in
+  let oc = open_out "BENCH_exact.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_exact.json (%d kernels)\n" (List.length rows);
+  if !bad_witness <> [] then
+    failwith
+      (Printf.sprintf "exact: invalid witness for %s"
+         (String.concat ", " (List.rev !bad_witness)))
 
 (* ------------------------------------------------------------------ *)
 
@@ -1318,7 +1460,7 @@ let experiments =
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("fig13", fig13);
     ("fig14", fig14); ("ablation", ablation); ("explore", explore); ("perf", perf);
     ("mapper", mapper_bench); ("fault", fault_injection); ("serve", serve_bench);
-    ("chaos", chaos) ]
+    ("chaos", chaos); ("exact", exact_bench) ]
 
 let () =
   let requested =

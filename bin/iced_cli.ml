@@ -3,6 +3,7 @@
 
      iced kernels                         list the Table I workloads
      iced map fir --point iced --unroll 2 map one kernel
+     iced certify fir --json              SAT-certified minimal II
      iced simulate gemm --iterations 50   functional simulation
      iced stream gcn --policy iced        streaming run
      iced report                          headline design comparison
@@ -144,6 +145,9 @@ let print_mapper_stats ~json (kernel : Iced_kernels.Kernel.t) stats =
     Iced_util.Table.add_row t [ "SA temperature steps"; string_of_int stats.sa_temp_steps ];
     Iced_util.Table.add_row t [ "Pathfinder rounds"; string_of_int stats.pf_rounds ];
     Iced_util.Table.add_row t [ "Pathfinder overflow"; string_of_int stats.pf_overflow ];
+    Iced_util.Table.add_row t [ "SAT conflicts"; string_of_int stats.sat_conflicts ];
+    Iced_util.Table.add_row t [ "SAT decisions"; string_of_int stats.sat_decisions ];
+    Iced_util.Table.add_row t [ "SAT propagations"; string_of_int stats.sat_propagations ];
     Iced_util.Table.add_row t
       [ "per-II wall (s)";
         String.concat " "
@@ -192,6 +196,110 @@ let map_term =
 
 let map_doc = "Map a kernel onto the CGRA and print the schedule"
 let map_cmd = Cmd.v (Cmd.info "map" ~doc:map_doc) Term.(map_term $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* certify: SAT-backed exact minimal-II oracle                         *)
+
+let max_ii_arg =
+  Arg.(value & opt int 16 & info [ "max-ii" ] ~docv:"N"
+         ~doc:"Stop iterating at this II; reaching it undecided yields an \
+               unknown verdict.")
+
+let budget_conflicts_arg =
+  Arg.(value & opt int 100_000 & info [ "budget-conflicts" ] ~docv:"N"
+         ~doc:"CDCL conflict budget per candidate II, shared across CEGAR \
+               re-solves at that II.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+         ~doc:"Solver decision seed.  The whole report is a deterministic \
+               function of kernel, fabric, budget and seed.")
+
+let certify_json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the report as one JSON line (wall time excluded, so the \
+               output is byte-identical across runs).")
+
+let certify_term =
+  let run kernel unroll size max_ii budget seed json () =
+    let cgra = Cgra.make ~rows:size ~cols:size () in
+    let dfg = Iced_kernels.Kernel.dfg_at kernel ~factor:unroll in
+    let module Exact = Iced_mapper.Exact in
+    let report = Exact.certify ~max_ii ~budget_conflicts:budget ~seed cgra dfg in
+    let outcome_str = function
+      | Exact.Ii_feasible -> "feasible"
+      | Exact.Ii_refuted -> "refuted"
+      | Exact.Ii_budget -> "budget"
+    in
+    if json then begin
+      let verdict_json =
+        match report.Exact.verdict with
+        | Exact.Optimal ii -> Printf.sprintf "{\"kind\":\"optimal\",\"ii\":%d}" ii
+        | Exact.Infeasible -> "{\"kind\":\"infeasible\"}"
+        | Exact.Unknown { first_undecided; feasible_at } ->
+          Printf.sprintf
+            "{\"kind\":\"unknown\",\"first_undecided\":%d,\"feasible_at\":%s}"
+            first_undecided
+            (match feasible_at with Some f -> string_of_int f | None -> "null")
+      in
+      let per_ii =
+        String.concat ","
+          (List.map
+             (fun (ii, o) ->
+               Printf.sprintf "{\"ii\":%d,\"outcome\":%S}" ii (outcome_str o))
+             report.Exact.per_ii)
+      in
+      Printf.printf
+        "{\"kernel\":%s,\"fabric\":\"%dx%d\",\"unroll\":%d,\"max_ii\":%d,\
+         \"budget_conflicts\":%d,\"seed\":%d,\"verdict\":%s,\"start_ii\":%d,\
+         \"per_ii\":[%s],\"conflicts\":%d,\"decisions\":%d,\"propagations\":%d,\
+         \"restarts\":%d,\"route_blocks\":%d,\"vars\":%d,\"clauses\":%d,\
+         \"witness_valid\":%b}\n"
+        (Iced_util.Json.quote kernel.Iced_kernels.Kernel.name)
+        size size unroll max_ii budget seed verdict_json report.Exact.start_ii
+        per_ii report.Exact.conflicts report.Exact.decisions
+        report.Exact.propagations report.Exact.restarts report.Exact.route_blocks
+        report.Exact.vars report.Exact.clauses
+        (match report.Exact.witness with
+        | Some m -> Iced_mapper.Validate.check m = Ok ()
+        | None -> false)
+    end
+    else begin
+      (match report.Exact.witness with
+      | Some m -> Format.printf "%a" Iced_mapper.Mapping.pp m
+      | None -> ());
+      (match report.Exact.verdict with
+      | Exact.Optimal ii ->
+        Printf.printf "verdict: optimal II = %d (every lower II refuted)\n" ii
+      | Exact.Infeasible ->
+        Printf.printf "verdict: infeasible up to II %d\n" report.Exact.max_ii
+      | Exact.Unknown { first_undecided; feasible_at } ->
+        Printf.printf "verdict: unknown — budget ran out at II %d%s\n"
+          first_undecided
+          (match feasible_at with
+          | Some f -> Printf.sprintf "; a mapping exists at II %d" f
+          | None -> ""));
+      Printf.printf "per II:%s\n"
+        (String.concat ""
+           (List.map
+              (fun (ii, o) -> Printf.sprintf " %d:%s" ii (outcome_str o))
+              report.Exact.per_ii));
+      Printf.printf
+        "solver: %d conflicts, %d decisions, %d propagations, %d restarts, \
+         %d route blocks, %d vars, %d clauses\n"
+        report.Exact.conflicts report.Exact.decisions report.Exact.propagations
+        report.Exact.restarts report.Exact.route_blocks report.Exact.vars
+        report.Exact.clauses
+    end
+  in
+  Term.(
+    const run $ kernel_arg $ unroll_arg $ size_arg $ max_ii_arg
+    $ budget_conflicts_arg $ seed_arg $ certify_json_arg)
+
+let certify_doc = "Certify a kernel's minimal II with the SAT-backed exact oracle"
+
+let certify_cmd =
+  Cmd.v (Cmd.info "certify" ~doc:certify_doc) Term.(certify_term $ const ())
 
 let iterations_arg =
   Arg.(value & opt int 25 & info [ "iterations" ] ~docv:"N" ~doc:"Loop iterations to run.")
@@ -778,6 +886,7 @@ let trace_cmd =
           an optional flame summary, and optional metrics")
     [
       traced_cmd "map" map_doc map_term;
+      traced_cmd "certify" certify_doc certify_term;
       traced_cmd "simulate" simulate_doc simulate_term;
       traced_cmd "stream" stream_doc stream_term;
       traced_cmd "report" report_doc report_term;
@@ -792,5 +901,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ kernels_cmd; map_cmd; simulate_cmd; stream_cmd; report_cmd; explore_cmd;
-            fault_cmd; serve_cmd; trace_cmd ]))
+          [ kernels_cmd; map_cmd; certify_cmd; simulate_cmd; stream_cmd; report_cmd;
+            explore_cmd; fault_cmd; serve_cmd; trace_cmd ]))

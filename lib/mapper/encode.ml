@@ -1,0 +1,230 @@
+open Iced_arch
+open Iced_dfg
+module Solver = Iced_sat.Solver
+module Card = Iced_sat.Card
+
+(* Per-node variable block.  [dom] lists the allowed tiles; [x.(i)]
+   chooses [dom.(i)].  The schedule window is [lo .. horizon - 1]:
+   [s.(t - lo)] says "executes at absolute cycle t", [ge.(t - lo)]
+   says "executes at cycle t or later" (order encoding), and
+   [slot.(k)] says "executes in modulo slot k". *)
+type node_vars = {
+  dom : int array;
+  x : int array;
+  lo : int;
+  s : int array;
+  ge : int array;
+  slot : int array;
+}
+
+type t = {
+  solver : Solver.t;
+  ii : int;
+  horizon : int;
+  order : int list;
+  vars : (int, node_vars) Hashtbl.t;
+}
+
+let solver t = t.solver
+let horizon t = t.horizon
+
+let slack_of g ~ii (e : Graph.edge) =
+  match (Graph.node g e.src).op with
+  | Op.Const _ -> (e.distance + 2) * ii
+  | _ -> e.distance * ii
+
+(* Cap on the schedule horizon (and so on encoding size).  Kernels the
+   oracle targets sit far below it; past the cap we decline to encode
+   and the caller reports the II undecided rather than building a CNF
+   with hundreds of thousands of clauses. *)
+let max_horizon = 512
+
+let build cgra g ~ii =
+  match Graph.intra_topological g with
+  | None -> Error "intra-iteration dependences form a cycle"
+  | Some order ->
+    let edges =
+      List.sort
+        (fun (a : Graph.edge) (b : Graph.edge) ->
+          compare (a.src, a.dst, a.distance) (b.src, b.dst, b.distance))
+        (Graph.edges g)
+    in
+    let diameter = cgra.Cgra.rows - 1 + (cgra.Cgra.cols - 1) in
+    (* Least-solution bound: in the latency constraint graph
+       (t_v - t_u >= 1 + manhattan - slack per edge) every feasible
+       tile assignment admits the least schedule, whose values are
+       bounded by the sum of positive edge weights — cycles all have
+       non-positive weight or the instance is infeasible anyway. *)
+    let hbound =
+      List.fold_left
+        (fun acc e -> acc + max 0 (1 + diameter - slack_of g ~ii e))
+        1 edges
+    in
+    let horizon = max hbound (ii + diameter + 1) in
+    if horizon > max_horizon then
+      Error
+        (Printf.sprintf "schedule horizon %d exceeds the %d cap" horizon
+           max_horizon)
+    else begin
+      let s = Solver.create () in
+      let tiles = Array.init (Cgra.tile_count cgra) (fun i -> i) in
+      let memory_tiles = Array.of_list (Cgra.memory_tiles cgra) in
+      (* intra-iteration ASAP lower bounds *)
+      let lo_tbl = Hashtbl.create 16 in
+      List.iter
+        (fun n ->
+          let lo =
+            List.fold_left
+              (fun acc (e : Graph.edge) ->
+                if e.distance = 0 then
+                  match Hashtbl.find_opt lo_tbl e.src with
+                  | Some l -> max acc (l + 1)
+                  | None -> acc
+                else acc)
+              0 (Graph.predecessors g n)
+          in
+          Hashtbl.replace lo_tbl n lo)
+        order;
+      let vars = Hashtbl.create 16 in
+      List.iter
+        (fun n ->
+          let dom =
+            if Op.needs_memory (Graph.node g n).op then memory_tiles
+            else tiles
+          in
+          let lo = Hashtbl.find lo_tbl n in
+          let w = max 0 (horizon - lo) in
+          let x = Array.map (fun _ -> Solver.new_var s) dom in
+          let sv = Array.init w (fun _ -> Solver.new_var s) in
+          let ge = Array.init w (fun _ -> Solver.new_var s) in
+          let slot = Array.init ii (fun _ -> Solver.new_var s) in
+          Hashtbl.replace vars n { dom; x; lo; s = sv; ge; slot };
+          (* one tile, one cycle *)
+          Card.exactly_one s (Array.to_list (Array.map Solver.pos x));
+          Card.exactly_one s (Array.to_list (Array.map Solver.pos sv));
+          (* order encoding: ge is a monotone staircase anchored at lo *)
+          if w > 0 then Solver.add_clause s [ Solver.pos ge.(0) ];
+          for i = 0 to w - 2 do
+            Solver.add_clause s [ Solver.neg ge.(i + 1); Solver.pos ge.(i) ]
+          done;
+          for i = 0 to w - 1 do
+            if i > 0 then
+              Solver.add_clause s [ Solver.neg sv.(i); Solver.pos ge.(i) ];
+            if i < w - 1 then
+              Solver.add_clause s [ Solver.neg sv.(i); Solver.neg ge.(i + 1) ];
+            (* channel cycle -> modulo slot *)
+            Solver.add_clause s
+              [ Solver.neg sv.(i); Solver.pos slot.((lo + i) mod ii) ]
+          done)
+        order;
+      (* FU exclusivity: no two nodes on one tile in one modulo slot *)
+      let rec pairs = function
+        | [] -> ()
+        | m :: rest ->
+          let mv = Hashtbl.find vars m in
+          List.iter
+            (fun n ->
+              let nv = Hashtbl.find vars n in
+              Array.iteri
+                (fun mi tile ->
+                  Array.iteri
+                    (fun ni tile' ->
+                      if tile = tile' then
+                        for k = 0 to ii - 1 do
+                          Solver.add_clause s
+                            [
+                              Solver.neg mv.x.(mi);
+                              Solver.neg nv.x.(ni);
+                              Solver.neg mv.slot.(k);
+                              Solver.neg nv.slot.(k);
+                            ]
+                        done)
+                    nv.dom)
+                mv.dom)
+            rest;
+          pairs rest
+      in
+      pairs order;
+      (* Per-edge latency: t_v >= t_u + 1 + manhattan(u, v) - slack.
+         The distance enters through order-encoded bounds DGE(e, d)
+         ("endpoints at manhattan >= d"), implied by each tile pair and
+         appearing only negatively below, so models never overstate
+         distances. *)
+      List.iter
+        (fun (e : Graph.edge) ->
+          let uv = Hashtbl.find vars e.src and vv = Hashtbl.find vars e.dst in
+          let slack = slack_of g ~ii e in
+          let dge =
+            if e.src = e.dst then [||]
+            else Array.init diameter (fun _ -> Solver.new_var s)
+            (* dge.(i) = "manhattan >= i + 1" *)
+          in
+          if e.src <> e.dst then begin
+            for i = 1 to diameter - 1 do
+              Solver.add_clause s [ Solver.neg dge.(i); Solver.pos dge.(i - 1) ]
+            done;
+            Array.iteri
+              (fun ui a ->
+                Array.iteri
+                  (fun vi b ->
+                    let d = Cgra.manhattan cgra a b in
+                    if d >= 1 then
+                      Solver.add_clause s
+                        [
+                          Solver.neg uv.x.(ui);
+                          Solver.neg vv.x.(vi);
+                          Solver.pos dge.(d - 1);
+                        ])
+                  vv.dom)
+              uv.dom
+          end;
+          let emit ~d ~dge_lit =
+            Array.iteri
+              (fun i _ ->
+                let tu = uv.lo + i in
+                let bound = tu + 1 + d - slack in
+                if bound > vv.lo then begin
+                  let tail =
+                    if bound < horizon then
+                      [ Solver.pos vv.ge.(bound - vv.lo) ]
+                    else []
+                  in
+                  Solver.add_clause s
+                    (dge_lit @ (Solver.neg uv.s.(i) :: tail))
+                end)
+              uv.s
+          in
+          emit ~d:0 ~dge_lit:[];
+          Array.iteri
+            (fun i v -> emit ~d:(i + 1) ~dge_lit:[ Solver.neg v ])
+            dge)
+        edges;
+      Ok { solver = s; ii; horizon; order; vars }
+    end
+
+let decode t =
+  List.map
+    (fun n ->
+      let nv = Hashtbl.find t.vars n in
+      let tile = ref (-1) and time = ref (-1) in
+      Array.iteri
+        (fun i v -> if Solver.value t.solver v then tile := nv.dom.(i))
+        nv.x;
+      Array.iteri
+        (fun i v -> if !time < 0 && Solver.value t.solver v then time := nv.lo + i)
+        nv.s;
+      (n, (!tile, !time)))
+    t.order
+  |> List.sort compare
+
+let block t placements =
+  let lits =
+    List.concat_map
+      (fun (n, (tile, time)) ->
+        let nv = Hashtbl.find t.vars n in
+        let xi = ref (-1) in
+        Array.iteri (fun i tl -> if tl = tile then xi := i) nv.dom;
+        [ Solver.neg nv.x.(!xi); Solver.neg nv.s.(time - nv.lo) ])
+      placements
+  in
+  Solver.add_clause t.solver lits

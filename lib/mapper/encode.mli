@@ -1,0 +1,55 @@
+(** CNF encoding of modulo-scheduled place-and-route at a fixed II.
+
+    The encoding is the {e necessary-condition relaxation} the exact
+    oracle ({!Exact.certify}) refutes IIs with: every valid mapping at
+    II (in the sense of {!Validate.check}) induces a satisfying
+    assignment, so [Unsat] proves the II infeasible.  A model fixes a
+    tile and an absolute cycle per node such that
+
+    - every node sits on one allowed tile (memory ops on memory tiles);
+    - no two nodes share a tile in the same modulo slot (FU
+      exclusivity in {!Mrrg} terms);
+    - every dependence [u -> v] with distance [d] satisfies
+      [time v + slack >= time u + 1 + manhattan(tile u, tile v)] with
+      [slack = d * ii] ([(d + 2) * ii] from [Const] producers),
+      matching {!Router}'s deadline and {!Validate.check}'s per-edge
+      latency rule with the Manhattan distance as the hop lower bound.
+
+    Port capacity along routes is {e not} encoded; {!Exact} closes that
+    gap by routing each decoded model with the real {!Router} and
+    blocking models whose placements are not routable (CEGAR).
+
+    Variable numbering (documented for docs/EXACT_ORACLE.md and the
+    DIMACS-minded): variables are allocated node by node in
+    intra-topological order — first the tile choices [X(n, tile)] over
+    the node's allowed tiles, then schedule indicators [S(n, t)] for
+    each cycle in the node's window, order-encoding bounds [GE(n, t)]
+    ("time of n >= t") and modulo-slot indicators [SLOT(n, s)] — then
+    per-edge distance bounds [DGE(e, d)] ("manhattan of e's endpoints
+    >= d"), with cardinality auxiliaries interleaved where the
+    exactly-one constraints are emitted. *)
+
+open Iced_arch
+open Iced_dfg
+
+type t
+
+val build : Cgra.t -> Graph.t -> ii:int -> (t, string) result
+(** Clausify the relaxation.  [Error] only for structural reasons
+    (intra-iteration cycle, or a schedule horizon beyond the size cap);
+    an over-constrained instance (e.g. a memory op with no memory tile)
+    builds fine and is simply unsatisfiable. *)
+
+val solver : t -> Iced_sat.Solver.t
+val horizon : t -> int
+(** Exclusive upper bound on schedule times: any feasible mapping can
+    be retimed (uniform shift plus per-node tightening to the least
+    solution of the latency constraints) to fit below it. *)
+
+val decode : t -> (int * (int * int)) list
+(** [(node, (tile, time))] per node, sorted by node id — read directly
+    after a [Sat] answer, before touching the solver again. *)
+
+val block : t -> (int * (int * int)) list -> unit
+(** Forbid exactly this placement-and-schedule (CEGAR refinement after
+    a routing failure). *)

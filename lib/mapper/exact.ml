@@ -1,8 +1,30 @@
 open Iced_arch
 open Iced_dfg
 module Mrrg = Iced_mrrg.Mrrg
+module Obs = Iced_obs.Trace
+module Solver = Iced_sat.Solver
 
-type verdict = Optimal of int | Infeasible | Unknown
+type verdict =
+  | Optimal of int
+  | Infeasible
+  | Unknown of { first_undecided : int; feasible_at : int option }
+
+type ii_outcome = Ii_feasible | Ii_refuted | Ii_budget
+
+type report = {
+  verdict : verdict;
+  witness : Mapping.t option;
+  per_ii : (int * ii_outcome) list;
+  start_ii : int;
+  max_ii : int;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  route_blocks : int;
+  vars : int;
+  clauses : int;
+}
 
 exception Found
 exception Budget
@@ -151,6 +173,12 @@ let feasible cgra g ~ii ~budget =
     | Found -> `Yes
     | Budget -> `Budget)
 
+let verdict_of ~first_undecided ~feasible_at =
+  match (first_undecided, feasible_at) with
+  | None, Some ii -> Optimal ii
+  | None, None -> Infeasible
+  | Some k, fa -> Unknown { first_undecided = k; feasible_at = fa }
+
 let minimal_ii ?(max_ii = 16) ?(budget = 200_000) cgra g =
   match Graph.validate g with
   | Error _ -> Infeasible
@@ -158,17 +186,273 @@ let minimal_ii ?(max_ii = 16) ?(budget = 200_000) cgra g =
     if Graph.node_count g = 0 then Infeasible
     else begin
       let start = Analysis.min_ii g ~tiles:(Cgra.tile_count cgra) in
-      let rec try_ii ii hit_budget =
-        if ii > max_ii then if hit_budget then Unknown else Infeasible
+      let rec try_ii ii first_undecided =
+        if ii > max_ii then verdict_of ~first_undecided ~feasible_at:None
         else
           match feasible cgra g ~ii ~budget with
           | `Yes ->
             (* A mapping exists at [ii], but if a lower II ran out of
                budget its infeasibility was never proven, so claiming
                optimality here would be unsound. *)
-            if hit_budget then Unknown else Optimal ii
-          | `No -> try_ii (ii + 1) hit_budget
-          | `Budget -> try_ii (ii + 1) true
+            verdict_of ~first_undecided ~feasible_at:(Some ii)
+          | `No -> try_ii (ii + 1) first_undecided
+          | `Budget ->
+            try_ii (ii + 1)
+              (match first_undecided with None -> Some ii | some -> some)
       in
-      try_ii start false
+      try_ii start None
     end
+
+(* ------------------------------------------------------------------ *)
+(* SAT-backed certification                                           *)
+(* ------------------------------------------------------------------ *)
+
+let slack_of g ~ii (e : Graph.edge) =
+  match (Graph.node g e.src).op with
+  | Op.Const _ -> (e.distance + 2) * ii
+  | _ -> e.distance * ii
+
+(* Realize a decoded placement-and-schedule as a full mapping by
+   reserving FUs and routing every cross-tile edge with the real
+   router (tightest deadlines first), exactly the resource model
+   {!Validate.check} checks against. *)
+let route_model ?stats cgra g ~ii placements =
+  let mrrg = Mrrg.create cgra ~ii in
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (n, pt) -> Hashtbl.replace tbl n pt) placements;
+  let reserve_ok =
+    List.for_all
+      (fun (n, (tile, time)) ->
+        match Mrrg.reserve mrrg ~tile ~time Mrrg.Fu (Mrrg.Op_node n) with
+        | Ok () -> true
+        | Error _ -> false)
+      placements
+  in
+  if not reserve_ok then Error "double-booked FU"
+  else begin
+    let edges =
+      Graph.edges g
+      |> List.filter_map (fun (e : Graph.edge) ->
+             let src_tile, src_time = Hashtbl.find tbl e.src in
+             let dst_tile, dst_time = Hashtbl.find tbl e.dst in
+             if src_tile = dst_tile then None
+             else
+               let deadline = dst_time + slack_of g ~ii e - 1 in
+               let laxity =
+                 deadline - (src_time + Cgra.manhattan cgra src_tile dst_tile)
+               in
+               Some (laxity, e, src_tile, src_time, dst_tile, deadline))
+      |> List.sort
+           (fun (la, (a : Graph.edge), _, _, _, _)
+                (lb, (b : Graph.edge), _, _, _, _) ->
+             compare
+               (la, a.src, a.dst, a.distance)
+               (lb, b.src, b.dst, b.distance))
+    in
+    let rec route_all acc = function
+      | [] -> Ok (List.rev acc)
+      | (_, e, src_tile, src_time, dst_tile, deadline) :: rest -> (
+        match
+          Router.route ?stats mrrg ~edge:e ~src_tile ~src_time ~dst_tile
+            ~deadline
+        with
+        | Ok (hops, _) ->
+          route_all ({ Mapping.edge = e; hops } :: acc) rest
+        | Error msg -> Error msg)
+    in
+    match route_all [] edges with
+    | Error _ as e -> e
+    | Ok routes ->
+      let mapping =
+        {
+          Mapping.dfg = g;
+          cgra;
+          ii;
+          tiles = List.init (Cgra.tile_count cgra) (fun i -> i);
+          memory_tiles = Cgra.memory_tiles cgra;
+          placements;
+          routes;
+          labels =
+            List.map (fun id -> (id, Dvfs.Normal)) (Graph.node_ids g);
+          island_levels =
+            List.map (fun i -> (i, Dvfs.Normal)) (Cgra.islands cgra);
+        }
+      in
+      (* The witness must stand on its own: re-check it end to end. *)
+      (match Validate.check mapping with
+      | Ok () -> Ok mapping
+      | Error msgs ->
+        Error ("witness validation: " ^ String.concat "; " msgs))
+  end
+
+type cegar = {
+  mutable route_blocks : int;
+  mutable vars : int;
+  mutable clauses : int;
+}
+
+(* Each routing failure refines the CNF by one blocked model.  On
+   kernels whose port congestion the relaxation cannot see, refuting a
+   placement costs almost no conflicts, so the conflict budget alone
+   would let the loop churn through tens of thousands of near-identical
+   models; rounds are therefore capped separately. *)
+let max_route_blocks_per_ii = 1_000
+
+(* Decide one II: build the relaxation, then alternate solving and
+   routing until a model routes, the CNF is refuted, or the conflict
+   budget is spent. *)
+let decide_ii ?stats cgra g ~ii ~budget ~seed (c : cegar) =
+  match Encode.build cgra g ~ii with
+  | Error _ ->
+    (* structurally too large to encode: undecided, like a budget *)
+    ( `Budget,
+      {
+        Solver.conflicts = 0;
+        decisions = 0;
+        propagations = 0;
+        restarts = 0;
+        learned = 0;
+      } )
+  | Ok enc ->
+    let s = Encode.solver enc in
+    let start_conflicts = (Solver.stats s).Solver.conflicts in
+    let rec loop blocks =
+      let spent = (Solver.stats s).Solver.conflicts - start_conflicts in
+      let remaining = budget - spent in
+      if remaining <= 0 || blocks >= max_route_blocks_per_ii then `Budget
+      else
+        match Solver.solve ~budget:remaining ~seed s with
+        | Solver.Unsat -> `Refuted
+        | Solver.Unknown -> `Budget
+        | Solver.Sat -> (
+          let placements = Encode.decode enc in
+          match route_model ?stats cgra g ~ii placements with
+          | Ok mapping -> `Feasible mapping
+          | Error _ ->
+            c.route_blocks <- c.route_blocks + 1;
+            Encode.block enc placements;
+            loop (blocks + 1))
+    in
+    let outcome = loop 0 in
+    c.vars <- max c.vars (Solver.var_count s);
+    c.clauses <- max c.clauses (Solver.clause_count s);
+    (match stats with
+    | Some (t : Telemetry.t) ->
+      let st = Solver.stats s in
+      t.Telemetry.sat_conflicts <-
+        t.Telemetry.sat_conflicts + st.Solver.conflicts;
+      t.Telemetry.sat_decisions <-
+        t.Telemetry.sat_decisions + st.Solver.decisions;
+      t.Telemetry.sat_propagations <-
+        t.Telemetry.sat_propagations + st.Solver.propagations
+    | None -> ());
+    (outcome, Solver.stats s)
+
+let certify ?(max_ii = 16) ?(budget_conflicts = 100_000) ?(seed = 0) ?stats
+    cgra g =
+  let t0 = Unix.gettimeofday () in
+  let c = { route_blocks = 0; vars = 0; clauses = 0 } in
+  let conflicts = ref 0
+  and decisions = ref 0
+  and propagations = ref 0
+  and restarts = ref 0 in
+  let start_ii =
+    if Graph.node_count g = 0 then 1
+    else Analysis.min_ii g ~tiles:(Cgra.tile_count cgra)
+  in
+  let finish ~verdict ~witness ~per_ii =
+    {
+      verdict;
+      witness;
+      per_ii = List.rev per_ii;
+      start_ii;
+      max_ii;
+      conflicts = !conflicts;
+      decisions = !decisions;
+      propagations = !propagations;
+      restarts = !restarts;
+      route_blocks = c.route_blocks;
+      vars = c.vars;
+      clauses = c.clauses;
+    }
+  in
+  let compute () =
+    match Graph.validate g with
+    | Error _ -> finish ~verdict:Infeasible ~witness:None ~per_ii:[]
+    | Ok () ->
+      if Graph.node_count g = 0 then
+        finish ~verdict:Infeasible ~witness:None ~per_ii:[]
+      else begin
+        let rec try_ii ii first_undecided per_ii =
+          if ii > max_ii then
+            finish
+              ~verdict:(verdict_of ~first_undecided ~feasible_at:None)
+              ~witness:None ~per_ii
+          else begin
+            let one () =
+              decide_ii ?stats cgra g ~ii ~budget:budget_conflicts ~seed c
+            in
+            let outcome, (st : Solver.stats) =
+              if not (Obs.enabled ()) then one ()
+              else
+                Obs.with_span
+                  ~args:[ ("ii", Obs.Int ii) ]
+                  ~cat:"exact" ~name:"ii"
+                  (fun () ->
+                    let ((o, st) as r) = one () in
+                    Obs.span_arg "conflicts" (Obs.Int st.Solver.conflicts);
+                    Obs.span_arg "outcome"
+                      (Obs.Str
+                         (match o with
+                         | `Feasible _ -> "feasible"
+                         | `Refuted -> "refuted"
+                         | `Budget -> "budget"));
+                    r)
+            in
+            conflicts := !conflicts + st.Solver.conflicts;
+            decisions := !decisions + st.Solver.decisions;
+            propagations := !propagations + st.Solver.propagations;
+            restarts := !restarts + st.Solver.restarts;
+            match outcome with
+            | `Feasible mapping ->
+              let verdict =
+                verdict_of ~first_undecided ~feasible_at:(Some ii)
+              in
+              let witness =
+                match verdict with Optimal _ -> Some mapping | _ -> None
+              in
+              finish ~verdict ~witness ~per_ii:((ii, Ii_feasible) :: per_ii)
+            | `Refuted ->
+              try_ii (ii + 1) first_undecided ((ii, Ii_refuted) :: per_ii)
+            | `Budget ->
+              try_ii (ii + 1)
+                (match first_undecided with None -> Some ii | some -> some)
+                ((ii, Ii_budget) :: per_ii)
+          end
+        in
+        try_ii start_ii None []
+      end
+  in
+  let report =
+    if not (Obs.enabled ()) then compute ()
+    else
+      Obs.with_span
+        ~args:[ ("nodes", Obs.Int (Graph.node_count g)) ]
+        ~cat:"exact" ~name:"certify"
+        (fun () ->
+          let r = compute () in
+          (match r.verdict with
+          | Optimal ii -> Obs.span_arg "optimal_ii" (Obs.Int ii)
+          | Infeasible -> Obs.span_arg "verdict" (Obs.Str "infeasible")
+          | Unknown { first_undecided; _ } ->
+            Obs.span_arg "first_undecided" (Obs.Int first_undecided));
+          Obs.span_arg "conflicts" (Obs.Int r.conflicts);
+          r)
+  in
+  (match stats with
+  | Some (t : Telemetry.t) ->
+    t.Telemetry.wall_s <- t.Telemetry.wall_s +. (Unix.gettimeofday () -. t0)
+  | None -> ());
+  Iced_obs.Metrics.incr "exact.certify_runs";
+  Iced_obs.Metrics.incr ~by:report.conflicts "exact.sat_conflicts";
+  report

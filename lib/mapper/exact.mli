@@ -1,26 +1,79 @@
-(** Exact (branch-and-bound) modulo mapping for small DFGs.
+(** Exact minimal-II oracles for small DFGs.
 
     The paper contrasts its two-step heuristic against ILP-based
     mapping (CGRA-ME), which finds optimal IIs but takes hours.  This
-    module plays that reference role: it exhaustively searches
-    placements (with full routing feasibility at every step) for the
-    smallest II admitting a valid mapping, within a node budget that
-    keeps the search tractable.  Tests use it to certify that the
-    heuristic mapper reaches the optimal II on small kernels. *)
+    module plays that reference role twice over:
+
+    - {!minimal_ii} is the legacy enumerative branch-and-bound —
+      depth-first placement in topological order with full routing at
+      every step, within a placement-attempt budget;
+    - {!certify} is the SAT-backed oracle: per candidate II it
+      clausifies the {!Encode} relaxation, runs the {!Iced_sat} CDCL
+      solver under a conflict budget, routes each model with the real
+      {!Router} (blocking unroutable placements, CEGAR-style), and
+      returns a {!Validate.check}-clean witness mapping at the first
+      feasible II.  An [Unsat] answer is a proof of infeasibility at
+      that II, so [Optimal] verdicts are certificates.
+
+    Both report through the same {!verdict}: [Optimal] only when every
+    lower II was refuted outright; if any lower II ran out of budget
+    the answer is [Unknown] carrying the first such II, never a
+    spurious [Optimal]. *)
 
 open Iced_arch
 open Iced_dfg
 
 type verdict =
-  | Optimal of int  (** the smallest feasible II *)
-  | Infeasible  (** no mapping up to [max_ii] *)
-  | Unknown  (** search budget exhausted before an answer *)
+  | Optimal of int  (** the smallest feasible II, every lower II refuted *)
+  | Infeasible  (** every II up to [max_ii] refuted *)
+  | Unknown of { first_undecided : int; feasible_at : int option }
+      (** the budget ran out at II [first_undecided] before deciding
+          it; [feasible_at] is the smallest II above it where a mapping
+          {e was} found (so the optimum lies in
+          [[first_undecided, feasible_at]]), or [None] if the search
+          also ran out of [max_ii] without finding one *)
+
+type ii_outcome =
+  | Ii_feasible  (** a mapping was found (and, for {!certify}, routed) *)
+  | Ii_refuted  (** proven infeasible at this II *)
+  | Ii_budget  (** undecided: the search budget ran out *)
+
+type report = {
+  verdict : verdict;
+  witness : Mapping.t option;
+      (** present iff [verdict = Optimal]; passes {!Validate.check} *)
+  per_ii : (int * ii_outcome) list;  (** ascending II, one per attempt *)
+  start_ii : int;  (** [Analysis.min_ii], where iteration began *)
+  max_ii : int;
+  conflicts : int;  (** CDCL conflicts, summed over all IIs *)
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  route_blocks : int;
+      (** models whose placements the router could not realize and
+          that were blocked before re-solving (CEGAR refinements) *)
+  vars : int;  (** variables of the largest encoding built *)
+  clauses : int;  (** problem clauses of the largest encoding built *)
+}
 
 val minimal_ii :
   ?max_ii:int -> ?budget:int -> Cgra.t -> Graph.t -> verdict
-(** Smallest II with a complete, routed modulo mapping on the fabric.
-    [max_ii] defaults to 16; [budget] (placement attempts per II)
-    defaults to 200_000.  Intended for DFGs of at most ~10 nodes.
-    [Optimal] is only reported when every lower II was exhaustively
-    refuted; if any lower II hit the search budget the answer is
-    [Unknown], never a spurious [Optimal]. *)
+(** Legacy branch-and-bound.  [max_ii] defaults to 16; [budget]
+    (placement attempts per II) defaults to 200_000.  Intended for
+    DFGs of at most ~10 nodes. *)
+
+val certify :
+  ?max_ii:int ->
+  ?budget_conflicts:int ->
+  ?seed:int ->
+  ?stats:Telemetry.t ->
+  Cgra.t ->
+  Graph.t ->
+  report
+(** SAT-backed certification.  [max_ii] defaults to 16;
+    [budget_conflicts] (CDCL conflicts per II, shared by CEGAR rounds)
+    defaults to 100_000; [seed] (default 0) fixes solver phases.  The
+    whole run is deterministic: same DFG, fabric, budget and seed give
+    the identical report.  When [stats] is given, solver counters are
+    merged into it ([sat_conflicts] and friends) along with router
+    telemetry from witness construction. *)

@@ -42,6 +42,9 @@ type stats = Telemetry.t = {
   mutable sa_temp_steps : int;
   mutable pf_rounds : int;
   mutable pf_overflow : int;
+  mutable sat_conflicts : int;
+  mutable sat_decisions : int;
+  mutable sat_propagations : int;
   mutable per_ii_s : (int * float) list;
   mutable wall_s : float;
 }

@@ -105,6 +105,10 @@ type stats = Telemetry.t = {
   mutable pf_rounds : int;  (** Pathfinder: rip-up-and-reroute rounds *)
   mutable pf_overflow : int;
       (** Pathfinder: overused port slots summed over rounds *)
+  mutable sat_conflicts : int;
+      (** exact oracle ({!Exact.certify}): CDCL conflicts *)
+  mutable sat_decisions : int;  (** exact oracle: CDCL decisions *)
+  mutable sat_propagations : int;  (** exact oracle: CDCL propagations *)
   mutable per_ii_s : (int * float) list;
       (** wall seconds per attempted II, most recent first — read it
           through {!per_ii_times} *)

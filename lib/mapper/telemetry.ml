@@ -11,6 +11,9 @@ type t = {
   mutable sa_temp_steps : int;
   mutable pf_rounds : int;
   mutable pf_overflow : int;
+  mutable sat_conflicts : int;
+  mutable sat_decisions : int;
+  mutable sat_propagations : int;
   mutable per_ii_s : (int * float) list; (* descending II (latest first) *)
   mutable wall_s : float;
 }
@@ -29,6 +32,9 @@ let create () =
     sa_temp_steps = 0;
     pf_rounds = 0;
     pf_overflow = 0;
+    sat_conflicts = 0;
+    sat_decisions = 0;
+    sat_propagations = 0;
     per_ii_s = [];
     wall_s = 0.0;
   }
@@ -46,6 +52,9 @@ let reset t =
   t.sa_temp_steps <- 0;
   t.pf_rounds <- 0;
   t.pf_overflow <- 0;
+  t.sat_conflicts <- 0;
+  t.sat_decisions <- 0;
+  t.sat_propagations <- 0;
   t.per_ii_s <- [];
   t.wall_s <- 0.0
 
@@ -66,6 +75,9 @@ let merge ~into src =
   into.sa_temp_steps <- into.sa_temp_steps + src.sa_temp_steps;
   into.pf_rounds <- into.pf_rounds + src.pf_rounds;
   into.pf_overflow <- into.pf_overflow + src.pf_overflow;
+  into.sat_conflicts <- into.sat_conflicts + src.sat_conflicts;
+  into.sat_decisions <- into.sat_decisions + src.sat_decisions;
+  into.sat_propagations <- into.sat_propagations + src.sat_propagations;
   into.per_ii_s <- src.per_ii_s @ into.per_ii_s;
   into.wall_s <- into.wall_s +. src.wall_s
 
@@ -75,15 +87,18 @@ let to_json t =
       (List.map (fun (ii, s) -> Printf.sprintf "[%d,%.6f]" ii s) (per_ii t))
   in
   Printf.sprintf
-    "{\"attempts\":%d,\"ii_bumps\":%d,\"margin_position\":%d,\"placements_tried\":%d,\"route_calls\":%d,\"route_failures\":%d,\"expansions\":%d,\"sa_moves_accepted\":%d,\"sa_moves_rejected\":%d,\"sa_temp_steps\":%d,\"pf_rounds\":%d,\"pf_overflow\":%d,\"per_ii_s\":[%s],\"wall_s\":%.6f}"
+    "{\"attempts\":%d,\"ii_bumps\":%d,\"margin_position\":%d,\"placements_tried\":%d,\"route_calls\":%d,\"route_failures\":%d,\"expansions\":%d,\"sa_moves_accepted\":%d,\"sa_moves_rejected\":%d,\"sa_temp_steps\":%d,\"pf_rounds\":%d,\"pf_overflow\":%d,\"sat_conflicts\":%d,\"sat_decisions\":%d,\"sat_propagations\":%d,\"per_ii_s\":[%s],\"wall_s\":%.6f}"
     t.attempts t.ii_bumps t.margin_position t.placements_tried t.route_calls
     t.route_failures t.expansions t.sa_moves_accepted t.sa_moves_rejected
-    t.sa_temp_steps t.pf_rounds t.pf_overflow per_ii_json t.wall_s
+    t.sa_temp_steps t.pf_rounds t.pf_overflow t.sat_conflicts t.sat_decisions
+    t.sat_propagations per_ii_json t.wall_s
 
 let pp fmt t =
   Format.fprintf fmt
     "attempts=%d ii_bumps=%d margin=%d placements=%d routes=%d/%d fail expansions=%d \
-     sa=%d+/%d- temps=%d pf_rounds=%d pf_overflow=%d wall=%.3fs"
+     sa=%d+/%d- temps=%d pf_rounds=%d pf_overflow=%d sat=%dc/%dd/%dp \
+     wall=%.3fs"
     t.attempts t.ii_bumps t.margin_position t.placements_tried t.route_calls
     t.route_failures t.expansions t.sa_moves_accepted t.sa_moves_rejected
-    t.sa_temp_steps t.pf_rounds t.pf_overflow t.wall_s
+    t.sa_temp_steps t.pf_rounds t.pf_overflow t.sat_conflicts t.sat_decisions
+    t.sat_propagations t.wall_s

@@ -26,6 +26,9 @@ type t = {
   mutable pf_overflow : int;
       (** Pathfinder: congestion-overflowed port slots summed over
           rounds (0 when every edge routed conflict-free first try) *)
+  mutable sat_conflicts : int;  (** exact oracle: CDCL conflicts *)
+  mutable sat_decisions : int;  (** exact oracle: CDCL decisions *)
+  mutable sat_propagations : int;  (** exact oracle: CDCL propagations *)
   mutable per_ii_s : (int * float) list;
       (** wall seconds per attempted II, most recent first — read it
           through {!per_ii} *)

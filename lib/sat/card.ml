@@ -1,0 +1,63 @@
+let at_least_one s lits = Solver.add_clause s lits
+
+let pairwise s lits =
+  let rec go = function
+    | [] -> ()
+    | x :: rest ->
+      List.iter
+        (fun y -> Solver.add_clause s [ Solver.negate x; Solver.negate y ])
+        rest;
+      go rest
+  in
+  go lits
+
+(* Ladder: a_i <=> "some of lits.(0..i) is true".  Three clause
+   families: x_i -> a_i, a_(i-1) -> a_i, and x_i -> ~a_(i-1). *)
+let ladder s lits =
+  let xs = Array.of_list lits in
+  let n = Array.length xs in
+  let a = Array.init (n - 1) (fun _ -> Solver.new_var s) in
+  for i = 0 to n - 2 do
+    Solver.add_clause s [ Solver.negate xs.(i); Solver.pos a.(i) ];
+    if i > 0 then begin
+      Solver.add_clause s [ Solver.neg a.(i - 1); Solver.pos a.(i) ];
+      Solver.add_clause s [ Solver.negate xs.(i); Solver.neg a.(i - 1) ]
+    end
+  done;
+  if n >= 2 then
+    Solver.add_clause s [ Solver.negate xs.(n - 1); Solver.neg a.(n - 2) ]
+
+let at_most_one s lits =
+  if List.length lits <= 4 then pairwise s lits else ladder s lits
+
+let exactly_one s lits =
+  at_least_one s lits;
+  at_most_one s lits
+
+(* Sinz sequential counter: r.(i).(j) = "at least j+1 of lits.(0..i)
+   are true" for j < k. *)
+let at_most_k s ~k lits =
+  if k < 0 then invalid_arg "Card.at_most_k";
+  let xs = Array.of_list lits in
+  let n = Array.length xs in
+  if k = 0 then Array.iter (fun x -> Solver.add_clause s [ Solver.negate x ]) xs
+  else if k < n then begin
+    let r = Array.init n (fun _ -> Array.init k (fun _ -> Solver.new_var s)) in
+    for i = 0 to n - 1 do
+      Solver.add_clause s [ Solver.negate xs.(i); Solver.pos r.(i).(0) ];
+      if i > 0 then begin
+        for j = 0 to k - 1 do
+          Solver.add_clause s [ Solver.neg r.(i - 1).(j); Solver.pos r.(i).(j) ]
+        done;
+        for j = 1 to k - 1 do
+          Solver.add_clause s
+            [
+              Solver.negate xs.(i);
+              Solver.neg r.(i - 1).(j - 1);
+              Solver.pos r.(i).(j);
+            ]
+        done;
+        Solver.add_clause s [ Solver.negate xs.(i); Solver.neg r.(i - 1).(k - 1) ]
+      end
+    done
+  end

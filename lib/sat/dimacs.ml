@@ -1,0 +1,45 @@
+let parse text =
+  let s = Solver.create () in
+  let nvars = ref 0 in
+  let ensure v =
+    while Solver.var_count s < v do ignore (Solver.new_var s) done;
+    if v > !nvars then nvars := v
+  in
+  let lit_of i =
+    let v = abs i in
+    ensure v;
+    if i > 0 then Solver.pos (v - 1) else Solver.neg (v - 1)
+  in
+  let error = ref None in
+  let pending = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      if !error = None then
+        let line = String.trim line in
+        if line = "" || line.[0] = 'c' then ()
+        else if line.[0] = 'p' then begin
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ "p"; "cnf"; v; _c ] -> (
+            match int_of_string_opt v with
+            | Some v when v >= 0 -> ensure v
+            | _ -> error := Some (Printf.sprintf "bad header %S" line))
+          | _ -> error := Some (Printf.sprintf "bad header %S" line)
+        end
+        else
+          String.split_on_char ' ' line
+          |> List.filter (( <> ) "")
+          |> List.iter (fun tok ->
+                 if !error = None then
+                   match int_of_string_opt tok with
+                   | None -> error := Some (Printf.sprintf "bad token %S" tok)
+                   | Some 0 ->
+                     Solver.add_clause s (List.rev !pending);
+                     pending := []
+                   | Some i -> pending := lit_of i :: !pending))
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+    if !pending <> [] then Error "unterminated clause"
+    else Ok (s, !nvars)

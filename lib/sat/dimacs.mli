@@ -1,0 +1,6 @@
+(** Minimal DIMACS CNF reader, for tests and ad-hoc solver input. *)
+
+val parse : string -> (Solver.t * int, string) result
+(** Parse DIMACS CNF text ([c] comments, optional [p cnf V C] header,
+    zero-terminated clauses).  Returns a loaded solver and the variable
+    count.  DIMACS variable [i] is solver variable [i - 1]. *)

@@ -1,0 +1,470 @@
+(* CDCL with two watched literals, 1-UIP learning, VSIDS activities on
+   an indexed max-heap (ties broken by variable index, so the search
+   order is a pure function of the clause stream and the seed), phase
+   saving, and Luby restarts.  No clause deletion: instances here are
+   small and budgets bound the learned-clause population. *)
+
+type lit = int
+type outcome = Sat | Unsat | Unknown
+
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable learned : int;
+}
+
+type clause = { lits : int array }
+(* lits.(0) and lits.(1) are the watched literals; the array is
+   reordered in place as watches move. *)
+
+type t = {
+  mutable nvars : int;
+  mutable unsat : bool;
+  mutable nclauses : int;
+  (* per-literal: clauses in which that literal is watched *)
+  mutable watches : clause list array;
+  (* per-variable state *)
+  mutable assign : int array;  (* -1 unassigned, 0 false, 1 true *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable activity : float array;
+  mutable phase : bool array;
+  mutable phase_inited : int;  (* vars below this had their phase seeded *)
+  mutable seen : Bytes.t;
+  (* trail *)
+  mutable trail : int array;
+  mutable trail_n : int;
+  mutable trail_lim : int array;
+  mutable trail_lim_n : int;
+  mutable qhead : int;
+  (* VSIDS heap of candidate decision variables *)
+  mutable heap : int array;
+  mutable heap_n : int;
+  mutable heap_pos : int array;
+  mutable var_inc : float;
+  stats : stats;
+}
+
+let pos v = 2 * v
+let neg v = (2 * v) + 1
+let negate l = l lxor 1
+let var_of l = l lsr 1
+
+let create () =
+  {
+    nvars = 0;
+    unsat = false;
+    nclauses = 0;
+    watches = Array.make 16 [];
+    assign = Array.make 8 (-1);
+    level = Array.make 8 0;
+    reason = Array.make 8 None;
+    activity = Array.make 8 0.0;
+    phase = Array.make 8 false;
+    phase_inited = 0;
+    seen = Bytes.make 8 '\000';
+    trail = Array.make 8 0;
+    trail_n = 0;
+    trail_lim = Array.make 9 0;
+    trail_lim_n = 0;
+    qhead = 0;
+    heap = Array.make 8 0;
+    heap_n = 0;
+    heap_pos = Array.make 8 (-1);
+    var_inc = 1.0;
+    stats =
+      { conflicts = 0; decisions = 0; propagations = 0; restarts = 0; learned = 0 };
+  }
+
+let var_count t = t.nvars
+let clause_count t = t.nclauses
+let stats t = t.stats
+
+let grow_int a n fill =
+  let b = Array.make n fill in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_float a n =
+  let b = Array.make n 0.0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_bool a n =
+  let b = Array.make n false in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_reason a n =
+  let b = Array.make n None in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let ensure_capacity t v =
+  let cap = Array.length t.assign in
+  if v >= cap then begin
+    let n = max (2 * cap) (v + 1) in
+    t.assign <- grow_int t.assign n (-1);
+    t.level <- grow_int t.level n 0;
+    t.reason <- grow_reason t.reason n;
+    t.activity <- grow_float t.activity n;
+    t.phase <- grow_bool t.phase n;
+    t.trail <- grow_int t.trail n 0;
+    t.trail_lim <- grow_int t.trail_lim (n + 1) 0;
+    t.heap <- grow_int t.heap n 0;
+    t.heap_pos <- grow_int t.heap_pos n (-1);
+    let s = Bytes.make n '\000' in
+    Bytes.blit t.seen 0 s 0 (Bytes.length t.seen);
+    t.seen <- s;
+    let w = Array.make (2 * n) [] in
+    Array.blit t.watches 0 w 0 (Array.length t.watches);
+    t.watches <- w
+  end
+
+let new_var t =
+  let v = t.nvars in
+  ensure_capacity t v;
+  t.nvars <- v + 1;
+  v
+
+(* 1 = true, 0 = false, -1 = unassigned, for a literal *)
+let lit_value t l =
+  let v = t.assign.(l lsr 1) in
+  if v < 0 then -1 else v lxor (l land 1)
+
+(* heap order: higher activity first, lower index first on ties *)
+let heap_before t a b =
+  t.activity.(a) > t.activity.(b)
+  || (t.activity.(a) = t.activity.(b) && a < b)
+
+let rec percolate_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    let v = t.heap.(i) and pv = t.heap.(p) in
+    if heap_before t v pv then begin
+      t.heap.(i) <- pv;
+      t.heap_pos.(pv) <- i;
+      t.heap.(p) <- v;
+      t.heap_pos.(v) <- p;
+      percolate_up t p
+    end
+  end
+
+let rec percolate_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.heap_n && heap_before t t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.heap_n && heap_before t t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    let a = t.heap.(i) and b = t.heap.(!best) in
+    t.heap.(i) <- b;
+    t.heap_pos.(b) <- i;
+    t.heap.(!best) <- a;
+    t.heap_pos.(a) <- !best;
+    percolate_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    t.heap.(t.heap_n) <- v;
+    t.heap_pos.(v) <- t.heap_n;
+    t.heap_n <- t.heap_n + 1;
+    percolate_up t t.heap_pos.(v)
+  end
+
+let heap_pop t =
+  let v = t.heap.(0) in
+  t.heap_n <- t.heap_n - 1;
+  t.heap_pos.(v) <- -1;
+  if t.heap_n > 0 then begin
+    let last = t.heap.(t.heap_n) in
+    t.heap.(0) <- last;
+    t.heap_pos.(last) <- 0;
+    percolate_down t 0
+  end;
+  v
+
+let var_bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  if t.heap_pos.(v) >= 0 then percolate_up t t.heap_pos.(v)
+
+let var_decay t = t.var_inc <- t.var_inc /. 0.95
+
+let enqueue t l reason =
+  let v = l lsr 1 in
+  t.assign.(v) <- 1 - (l land 1);
+  t.level.(v) <- t.trail_lim_n;
+  t.reason.(v) <- reason;
+  t.trail.(t.trail_n) <- l;
+  t.trail_n <- t.trail_n + 1
+
+let cancel_until t lvl =
+  if t.trail_lim_n > lvl then begin
+    let bound = t.trail_lim.(lvl) in
+    for i = t.trail_n - 1 downto bound do
+      let l = t.trail.(i) in
+      let v = l lsr 1 in
+      t.phase.(v) <- l land 1 = 0;
+      t.assign.(v) <- -1;
+      t.reason.(v) <- None;
+      heap_insert t v
+    done;
+    t.trail_n <- bound;
+    t.trail_lim_n <- lvl;
+    t.qhead <- bound
+  end
+
+let propagate t =
+  let confl = ref None in
+  while !confl = None && t.qhead < t.trail_n do
+    let p = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    let false_lit = p lxor 1 in
+    let ws = t.watches.(false_lit) in
+    t.watches.(false_lit) <- [];
+    let rec go = function
+      | [] -> ()
+      | c :: rest ->
+        if c.lits.(0) = false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        let first = c.lits.(0) in
+        if lit_value t first = 1 then begin
+          (* satisfied by the other watch: keep watching false_lit *)
+          t.watches.(false_lit) <- c :: t.watches.(false_lit);
+          go rest
+        end
+        else begin
+          let n = Array.length c.lits in
+          let k = ref 2 in
+          while !k < n && lit_value t c.lits.(!k) = 0 do incr k done;
+          if !k < n then begin
+            (* move the watch to a non-false literal *)
+            c.lits.(1) <- c.lits.(!k);
+            c.lits.(!k) <- false_lit;
+            t.watches.(c.lits.(1)) <- c :: t.watches.(c.lits.(1));
+            go rest
+          end
+          else begin
+            t.watches.(false_lit) <- c :: t.watches.(false_lit);
+            if lit_value t first = 0 then begin
+              (* conflict: put the unprocessed tail back *)
+              List.iter
+                (fun c -> t.watches.(false_lit) <- c :: t.watches.(false_lit))
+                rest;
+              t.qhead <- t.trail_n;
+              confl := Some c
+            end
+            else begin
+              t.stats.propagations <- t.stats.propagations + 1;
+              enqueue t first (Some c);
+              go rest
+            end
+          end
+        end
+    in
+    go ws
+  done;
+  !confl
+
+(* 1-UIP conflict analysis.  Relies on the invariant that a reason
+   clause has its propagated literal at index 0 (true for both
+   propagate and learned-clause assertion). *)
+let analyze t confl0 =
+  let learnt = ref [] in
+  let btlevel = ref 0 in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let c = ref confl0 in
+  let index = ref (t.trail_n - 1) in
+  let to_clear = ref [] in
+  let continue = ref true in
+  while !continue do
+    let lits = !c.lits in
+    let start = if !p < 0 then 0 else 1 in
+    for i = start to Array.length lits - 1 do
+      let q = lits.(i) in
+      let v = q lsr 1 in
+      if Bytes.get t.seen v = '\000' && t.level.(v) > 0 then begin
+        Bytes.set t.seen v '\001';
+        to_clear := v :: !to_clear;
+        var_bump t v;
+        if t.level.(v) >= t.trail_lim_n then incr counter
+        else begin
+          learnt := q :: !learnt;
+          if t.level.(v) > !btlevel then btlevel := t.level.(v)
+        end
+      end
+    done;
+    while Bytes.get t.seen (t.trail.(!index) lsr 1) = '\000' do
+      decr index
+    done;
+    let pl = t.trail.(!index) in
+    decr index;
+    p := pl;
+    Bytes.set t.seen (pl lsr 1) '\000';
+    decr counter;
+    if !counter = 0 then continue := false
+    else
+      c :=
+        (match t.reason.(pl lsr 1) with
+        | Some cl -> cl
+        | None -> assert false)
+  done;
+  List.iter (fun v -> Bytes.set t.seen v '\000') !to_clear;
+  (Array.of_list ((!p lxor 1) :: !learnt), !btlevel)
+
+let attach t c =
+  t.watches.(c.lits.(0)) <- c :: t.watches.(c.lits.(0));
+  t.watches.(c.lits.(1)) <- c :: t.watches.(c.lits.(1))
+
+(* Learn [arr] (asserting literal at index 0) after backtracking. *)
+let record t arr =
+  if Array.length arr = 1 then enqueue t arr.(0) None
+  else begin
+    (* watch the asserting literal and a highest-level other literal,
+       so the watch invariant holds after backtracking *)
+    let mi = ref 1 in
+    for i = 2 to Array.length arr - 1 do
+      if t.level.(arr.(i) lsr 1) > t.level.(arr.(!mi) lsr 1) then mi := i
+    done;
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!mi);
+    arr.(!mi) <- tmp;
+    let c = { lits = arr } in
+    attach t c;
+    t.stats.learned <- t.stats.learned + 1;
+    enqueue t arr.(0) (Some c)
+  end
+
+let add_clause t lits =
+  if not t.unsat then begin
+    cancel_until t 0;
+    (match propagate t with
+    | Some _ -> t.unsat <- true
+    | None -> ());
+    if not t.unsat then begin
+      List.iter
+        (fun l ->
+          if l < 0 || l lsr 1 >= t.nvars then
+            invalid_arg "Solver.add_clause: literal out of range")
+        lits;
+      let lits = List.sort_uniq compare lits in
+      let tautology =
+        List.exists (fun l -> List.mem (l lxor 1) lits) lits
+      in
+      let satisfied = List.exists (fun l -> lit_value t l = 1) lits in
+      if not (tautology || satisfied) then begin
+        match List.filter (fun l -> lit_value t l <> 0) lits with
+        | [] -> t.unsat <- true
+        | [ l ] ->
+          enqueue t l None;
+          (match propagate t with
+          | Some _ -> t.unsat <- true
+          | None -> ())
+        | l0 :: l1 :: _ as rem ->
+          let c = { lits = Array.of_list rem } in
+          ignore l0;
+          ignore l1;
+          attach t c;
+          t.nclauses <- t.nclauses + 1
+      end
+    end
+  end
+
+(* Luby sequence, 1-indexed: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let rec luby i =
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i do incr k done;
+  if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
+  else luby (i - (1 lsl (!k - 1)) + 1)
+
+let restart_base = 64
+
+(* splitmix64 of (seed, v): deterministic initial phase *)
+let seeded_phase seed v =
+  let z =
+    ref
+      (Int64.add (Int64.of_int seed)
+         (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (v + 1))))
+  in
+  z := Int64.mul (Int64.logxor !z (Int64.shift_right_logical !z 30)) 0xBF58476D1CE4E5B9L;
+  z := Int64.mul (Int64.logxor !z (Int64.shift_right_logical !z 27)) 0x94D049BB133111EBL;
+  let h = Int64.logxor !z (Int64.shift_right_logical !z 31) in
+  Int64.logand h 1L = 0L
+
+let pick_branch t =
+  let v = ref (-1) in
+  while !v < 0 && t.heap_n > 0 do
+    let cand = heap_pop t in
+    if t.assign.(cand) < 0 then v := cand
+  done;
+  if !v < 0 then None else Some !v
+
+let solve ?(budget = max_int) ?(seed = 0) t =
+  if t.unsat then Unsat
+  else begin
+    for v = t.phase_inited to t.nvars - 1 do
+      t.phase.(v) <- seeded_phase seed v
+    done;
+    t.phase_inited <- t.nvars;
+    for v = 0 to t.nvars - 1 do
+      if t.assign.(v) < 0 then heap_insert t v
+    done;
+    let conflicts0 = t.stats.conflicts in
+    let restart_count = ref 1 in
+    let next_restart = ref (luby 1 * restart_base) in
+    let since_restart = ref 0 in
+    let result = ref None in
+    while !result = None do
+      match propagate t with
+      | Some confl ->
+        t.stats.conflicts <- t.stats.conflicts + 1;
+        incr since_restart;
+        if t.trail_lim_n = 0 then begin
+          t.unsat <- true;
+          result := Some Unsat
+        end
+        else if t.stats.conflicts - conflicts0 >= budget then begin
+          cancel_until t 0;
+          result := Some Unknown
+        end
+        else begin
+          let arr, bt = analyze t confl in
+          cancel_until t bt;
+          record t arr;
+          var_decay t
+        end
+      | None ->
+        if !since_restart >= !next_restart && t.trail_lim_n > 0 then begin
+          t.stats.restarts <- t.stats.restarts + 1;
+          incr restart_count;
+          since_restart := 0;
+          next_restart := luby !restart_count * restart_base;
+          cancel_until t 0
+        end
+        else begin
+          match pick_branch t with
+          | None -> result := Some Sat
+          | Some v ->
+            t.stats.decisions <- t.stats.decisions + 1;
+            t.trail_lim.(t.trail_lim_n) <- t.trail_n;
+            t.trail_lim_n <- t.trail_lim_n + 1;
+            enqueue t (if t.phase.(v) then pos v else neg v) None
+        end
+    done;
+    match !result with Some r -> r | None -> assert false
+  end
+
+let value t v =
+  if v < 0 || v >= t.nvars then invalid_arg "Solver.value";
+  t.assign.(v) = 1

@@ -73,9 +73,52 @@ let test_stats_populated () =
         (Iced_mapper.Mapper.per_ii_times stats <> []);
       Alcotest.(check bool) "wall time recorded" true (stats.wall_s >= 0.0))
 
+let certified_path = "golden/certified_ii.txt"
+
+let test_certified_ii_fixture () =
+  (* test/golden/certified_ii.txt pins the SAT oracle's certified
+     minimal II per standalone kernel next to the default backend's
+     heuristic II.  Re-certifying must reproduce every Optimal verdict,
+     and the heuristic must still land on its recorded II — a drift on
+     either side is a real change to mapping quality or to the
+     encoding's semantics, not noise. *)
+  let module Exact = Iced_mapper.Exact in
+  let rows =
+    List.filter_map
+      (fun line ->
+        if line = "" || line.[0] = '#' then None
+        else
+          match String.split_on_char '\t' line with
+          | [ name; opt; dflt ] ->
+            Some (name, int_of_string opt, int_of_string dflt)
+          | _ -> Alcotest.failf "malformed certified_ii line: %s" line)
+      (read_lines certified_path)
+  in
+  Alcotest.(check bool) "fixture is not empty" true (rows <> []);
+  List.iter
+    (fun (name, opt, dflt) ->
+      match Iced_kernels.Registry.by_name name with
+      | None -> Alcotest.failf "fixture kernel %s missing from registry" name
+      | Some k ->
+        (match Exact.certify Iced_arch.Cgra.iced_6x6 k.Iced_kernels.Kernel.dfg with
+        | { Exact.verdict = Exact.Optimal ii; _ } ->
+          Alcotest.(check int) (name ^ ": certified optimal II") opt ii
+        | _ -> Alcotest.failf "%s: oracle no longer certifies an optimum" name);
+        let req =
+          Iced_mapper.Mapper.request ~strategy:Iced_mapper.Mapper.Dvfs_aware
+            Iced_arch.Cgra.iced_6x6
+        in
+        (match Iced_mapper.Mapper.map req k.Iced_kernels.Kernel.dfg with
+        | Error msg -> Alcotest.failf "%s failed to map: %s" name msg
+        | Ok m ->
+          Alcotest.(check int) (name ^ ": default backend II") dflt
+            m.Iced_mapper.Mapping.ii))
+    rows
+
 let suite =
   [
     ("golden corpus has no FAIL cases", `Quick, test_corpus_has_no_failures);
     ("mappings unchanged vs pre-refactor golden", `Slow, test_corpus_unchanged);
     ("telemetry populated by Mapper.map", `Quick, test_stats_populated);
+    ("certified minimal IIs match the fixture", `Slow, test_certified_ii_fixture);
   ]

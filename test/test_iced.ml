@@ -7,6 +7,7 @@ let () =
       ("dfg", Test_dfg.suite);
       ("arch", Test_arch.suite);
       ("mrrg", Test_mrrg.suite);
+      ("sat", Test_sat.suite);
       ("mapper", Test_mapper.suite);
       ("backends", Test_backends.suite);
       ("differential", Test_differential.suite);

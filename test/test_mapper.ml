@@ -317,7 +317,7 @@ let test_exact_finds_recmii () =
   match Exact.minimal_ii cgra g with
   | Exact.Optimal ii -> Alcotest.(check int) "optimal = RecMII" (Analysis.rec_mii g) ii
   | Exact.Infeasible -> Alcotest.fail "expected feasible"
-  | Exact.Unknown -> Alcotest.fail "budget too small"
+  | Exact.Unknown _ -> Alcotest.fail "budget too small"
 
 let test_heuristic_matches_exact () =
   (* on small loops the heuristic must reach the exact optimum *)
@@ -331,7 +331,7 @@ let test_heuristic_matches_exact () =
         Alcotest.(check int)
           (Printf.sprintf "heuristic optimal for cycle %d + %d" cycle_len extra)
           optimal m.Mapping.ii
-      | Exact.Infeasible | Exact.Unknown -> ())
+      | Exact.Infeasible | Exact.Unknown _ -> ())
     [ (2, 1); (3, 1); (4, 2); (5, 1) ]
 
 let test_exact_resource_bound () =
@@ -351,7 +351,7 @@ let test_exact_resource_bound () =
   match Exact.minimal_ii cgra g with
   | Exact.Optimal ii -> Alcotest.(check bool) "memory column binds" true (ii >= 3)
   | Exact.Infeasible -> Alcotest.fail "feasible at some II"
-  | Exact.Unknown -> Alcotest.fail "budget too small"
+  | Exact.Unknown _ -> Alcotest.fail "budget too small"
 
 let test_exact_empty () =
   let cgra = Cgra.make ~rows:2 ~cols:2 () in
@@ -476,7 +476,7 @@ let test_heuristic_optimal_on_random_loops () =
         (fun size ->
           let cgra = Cgra.make ~rows:size ~cols:size () in
           match Exact.minimal_ii cgra g with
-          | Exact.Infeasible | Exact.Unknown -> ()
+          | Exact.Infeasible | Exact.Unknown _ -> ()
           | Exact.Optimal optimal -> (
             incr checked;
             match Mapper.map (Mapper.request cgra) g with
@@ -492,6 +492,154 @@ let test_heuristic_optimal_on_random_loops () =
         [ 2; 3 ])
     (List.init 20 (fun i -> i));
   Alcotest.(check bool) "the reference proved an optimum somewhere" true (!checked > 0)
+
+(* ---------------- SAT-backed certification ---------------- *)
+
+(* the seeded accumulator-loop generator the agreement tests share *)
+let random_loop seed =
+  let rng = Iced_util.Rng.create seed in
+  let n = Iced_util.Rng.int_in rng 2 7 in
+  let g = Graph.empty in
+  let g, phi = Graph.add_node g Op.Phi in
+  let g, nodes =
+    List.fold_left
+      (fun (g, acc) _ ->
+        let op = Iced_util.Rng.choose rng [ Op.Add; Op.Mul; Op.Xor ] in
+        let g, id = Graph.add_node g op in
+        let src = Iced_util.Rng.choose rng (phi :: acc) in
+        let g = Graph.add_edge g src id in
+        (g, id :: acc))
+      (g, []) (List.init n (fun i -> i))
+  in
+  Graph.add_edge ~distance:1 g (List.hd nodes) phi
+
+let test_certify_finds_recmii () =
+  let g = small_loop 3 1 in
+  let cgra = Cgra.make ~rows:4 ~cols:4 () in
+  let r = Exact.certify cgra g in
+  match r.Exact.verdict with
+  | Exact.Optimal ii ->
+    Alcotest.(check int) "optimal = RecMII" (Analysis.rec_mii g) ii;
+    (match r.Exact.witness with
+    | None -> Alcotest.fail "optimal verdict without witness"
+    | Some m -> (
+      Alcotest.(check int) "witness at the certified II" ii m.Mapping.ii;
+      match Validate.check m with
+      | Ok () -> ()
+      | Error msgs -> Alcotest.failf "witness invalid: %s" (String.concat "; " msgs)))
+  | Exact.Infeasible -> Alcotest.fail "expected feasible"
+  | Exact.Unknown _ -> Alcotest.fail "budget too small"
+
+let test_certify_agrees_with_legacy () =
+  (* wherever the branch-and-bound decides, the SAT oracle must agree *)
+  let agreed = ref 0 in
+  List.iter
+    (fun seed ->
+      let g = random_loop seed in
+      List.iter
+        (fun size ->
+          let cgra = Cgra.make ~rows:size ~cols:size () in
+          let ctx outcome =
+            Printf.sprintf "seed %d on %dx%d: %s" seed size size outcome
+          in
+          match Exact.minimal_ii cgra g with
+          | Exact.Unknown _ -> ()
+          | Exact.Infeasible -> (
+            incr agreed;
+            match (Exact.certify cgra g).Exact.verdict with
+            | Exact.Infeasible -> ()
+            | Exact.Optimal ii ->
+              Alcotest.fail (ctx (Printf.sprintf "sat found II %d, legacy infeasible" ii))
+            | Exact.Unknown _ -> Alcotest.fail (ctx "sat undecided, legacy infeasible"))
+          | Exact.Optimal optimal -> (
+            incr agreed;
+            let r = Exact.certify cgra g in
+            match r.Exact.verdict with
+            | Exact.Optimal ii ->
+              Alcotest.(check int) (ctx "optimal II") optimal ii
+            | Exact.Infeasible -> Alcotest.fail (ctx "sat infeasible, legacy optimal")
+            | Exact.Unknown _ -> Alcotest.fail (ctx "sat undecided, legacy optimal")))
+        [ 2; 3 ])
+    (List.init 20 (fun i -> i));
+  Alcotest.(check bool) "legacy decided somewhere" true (!agreed > 0)
+
+let test_certify_witness_roundtrip =
+  QCheck.Test.make ~name:"certify witnesses pass Validate.check" ~count:15
+    QCheck.(small_nat)
+    (fun seed ->
+      let g = random_loop (100 + seed) in
+      let cgra = Cgra.make ~rows:3 ~cols:3 () in
+      let r = Exact.certify cgra g in
+      match (r.Exact.verdict, r.Exact.witness) with
+      | Exact.Optimal ii, Some m ->
+        m.Mapping.ii = ii && Validate.check m = Ok ()
+      | Exact.Optimal _, None -> false
+      | (Exact.Infeasible | Exact.Unknown _), Some _ -> false
+      | (Exact.Infeasible | Exact.Unknown _), None -> true)
+
+let test_certify_deterministic () =
+  let g = small_loop 4 2 in
+  let cgra = Cgra.make ~rows:4 ~cols:4 () in
+  let run () =
+    let r = Exact.certify ~seed:3 cgra g in
+    ( r.Exact.verdict,
+      r.Exact.per_ii,
+      r.Exact.conflicts,
+      r.Exact.decisions,
+      r.Exact.propagations,
+      r.Exact.route_blocks,
+      Option.map (fun (m : Mapping.t) -> m.Mapping.placements) r.Exact.witness )
+  in
+  Alcotest.(check bool) "identical reports" true (run () = run ())
+
+let test_certify_budget_reports_first_undecided () =
+  let g = small_loop 3 1 in
+  let cgra = Cgra.make ~rows:4 ~cols:4 () in
+  let start = Analysis.min_ii g ~tiles:(Cgra.tile_count cgra) in
+  let r = Exact.certify ~budget_conflicts:0 cgra g in
+  (match r.Exact.verdict with
+  | Exact.Unknown { first_undecided; feasible_at = None } ->
+    Alcotest.(check int) "first undecided = start II" start first_undecided
+  | _ -> Alcotest.fail "expected Unknown with no feasible II");
+  Alcotest.(check bool) "every II undecided" true
+    (List.for_all (fun (_, o) -> o = Exact.Ii_budget) r.Exact.per_ii)
+
+let test_legacy_unknown_reports_first_undecided () =
+  (* II = 2 is refuted only by an exhaustive search that blows a tiny
+     attempt budget; II = 3 is found within it.  The verdict must name
+     II 2 as undecided and II 3 as the known-feasible upper bound. *)
+  let g = Graph.empty in
+  let g, st = Graph.add_node g Op.Store in
+  let g =
+    List.fold_left
+      (fun g i ->
+        let g, ld = Graph.add_node ~label:(Printf.sprintf "x%d" i) g Op.Load in
+        Graph.add_edge g ld st)
+      g
+      (List.init 6 (fun i -> i))
+  in
+  let cgra = Cgra.make ~rows:2 ~cols:2 () in
+  let start = Analysis.min_ii g ~tiles:(Cgra.tile_count cgra) in
+  let opt =
+    match Exact.minimal_ii cgra g with
+    | Exact.Optimal ii -> ii
+    | _ -> Alcotest.fail "expected an unconstrained optimum"
+  in
+  Alcotest.(check bool) "lower IIs exist to starve" true (opt > start);
+  (* Find a budget that starves some refutation below [opt] but still
+     lets the search succeed above it: the verdict must then bracket
+     the optimum between the first undecided II and the feasible one. *)
+  let rec find_budget b =
+    if b > 10_000_000 then Alcotest.fail "no budget separates the IIs"
+    else
+      match Exact.minimal_ii ~budget:b cgra g with
+      | Exact.Unknown { first_undecided; feasible_at = Some f } ->
+        Alcotest.(check bool) "undecided below the optimum" true
+          (first_undecided >= start && first_undecided < opt);
+        Alcotest.(check bool) "feasible at or above the optimum" true (f >= opt)
+      | _ -> find_budget (b * 2)
+  in
+  find_budget 8
 
 let suite =
   [
@@ -527,6 +675,14 @@ let suite =
     ("exact: heuristic optimal on random loops", `Slow, test_heuristic_optimal_on_random_loops);
     ("exact: resource-bound II", `Quick, test_exact_resource_bound);
     ("exact: empty graph", `Quick, test_exact_empty);
+    ("exact: legacy unknown names first undecided II", `Quick,
+     test_legacy_unknown_reports_first_undecided);
+    ("certify: finds RecMII with valid witness", `Quick, test_certify_finds_recmii);
+    ("certify: agrees with legacy oracle", `Slow, test_certify_agrees_with_legacy);
+    ("certify: deterministic report", `Quick, test_certify_deterministic);
+    ("certify: zero budget is all-unknown", `Quick,
+     test_certify_budget_reports_first_undecided);
+    QCheck_alcotest.to_alcotest test_certify_witness_roundtrip;
     ("bitstream: covers the schedule", `Quick, test_bitstream_covers_schedule);
     ("bitstream: encode/decode roundtrip", `Quick, test_bitstream_roundtrip);
     ("bitstream: size accounting", `Quick, test_bitstream_size);
