@@ -845,11 +845,11 @@ let serve_bench () =
     List.init requests (fun i ->
         let id = Printf.sprintf "r%04d" i in
         if Iced_util.Rng.int rng 10 = 0 then
-          { Protocol.id; request = Protocol.Ping; deadline_ms = None }
+          { Protocol.id; request = Protocol.Ping; deadline_ms = None; tenant = None; qos = None }
         else
           let point = Iced_util.Rng.choose rng points in
           let kernel = Iced_util.Rng.choose rng kernel_names in
-          { Protocol.id; request = Protocol.Map { point; kernel; backend = Iced_mapper.Backend.default }; deadline_ms = None })
+          { Protocol.id; request = Protocol.Map { point; kernel; backend = Iced_mapper.Backend.default }; deadline_ms = None; tenant = None; qos = None })
   in
   let cache = Cache.in_memory () in
   let latencies = Array.make requests 0.0 in
@@ -1114,8 +1114,8 @@ let chaos () =
         if k mod 10 = 5 then
           let point = Iced_util.Rng.choose rng points in
           let kernel = Iced_util.Rng.choose rng kernel_names in
-          { Protocol.id; request = Protocol.Map { point; kernel; backend = Iced_mapper.Backend.default }; deadline_ms = None }
-        else { Protocol.id; request = Protocol.Ping; deadline_ms = None }
+          { Protocol.id; request = Protocol.Map { point; kernel; backend = Iced_mapper.Backend.default }; deadline_ms = None; tenant = None; qos = None }
+        else { Protocol.id; request = Protocol.Ping; deadline_ms = None; tenant = None; qos = None }
       in
       let want = expect frame in
       let t0 = Unix.gettimeofday () in
@@ -1136,7 +1136,7 @@ let chaos () =
         s := { !s with ch_errors = !s.ch_errors + 1 };
         let got =
           roundtrip
-            { Protocol.id; request = Protocol.Crash { kill = false }; deadline_ms = None }
+            { Protocol.id; request = Protocol.Crash { kill = false }; deadline_ms = None; tenant = None; qos = None }
         in
         let want =
           Protocol.response_internal_error ~id ~op:"crash"
@@ -1148,7 +1148,7 @@ let chaos () =
         s := { !s with ch_kills = !s.ch_kills + 1 };
         let got =
           roundtrip
-            { Protocol.id; request = Protocol.Crash { kill = true }; deadline_ms = None }
+            { Protocol.id; request = Protocol.Crash { kill = true }; deadline_ms = None; tenant = None; qos = None }
         in
         let want =
           Protocol.response_internal_error ~id ~op:"crash"
@@ -1159,7 +1159,7 @@ let chaos () =
         (* a request whose budget is already spent: deterministic shed *)
         s := { !s with ch_slows = !s.ch_slows + 1 };
         let got =
-          roundtrip { Protocol.id; request = Protocol.Sleep 200; deadline_ms = Some 0 }
+          roundtrip { Protocol.id; request = Protocol.Sleep 200; deadline_ms = Some 0; tenant = None; qos = None }
         in
         let want = Protocol.response_timeout ~id ~op:"sleep" in
         if got <> want then failf "slow event %s: want %s, got %s" id want got
@@ -1175,7 +1175,7 @@ let chaos () =
         let sleeps =
           List.init 3 (fun i ->
               { Protocol.id = Printf.sprintf "%s-s%d" id i;
-                request = Protocol.Sleep 50; deadline_ms = None })
+                request = Protocol.Sleep 50; deadline_ms = None; tenant = None; qos = None })
         in
         List.iter send sleeps;
         let r, _, _ = !conn in
@@ -1228,7 +1228,7 @@ let chaos () =
           end;
           restart_daemon ();
           let health =
-            roundtrip { Protocol.id; request = Protocol.Health; deadline_ms = None }
+            roundtrip { Protocol.id; request = Protocol.Health; deadline_ms = None; tenant = None; qos = None }
           in
           let recovered =
             match J.parse health with
@@ -1247,7 +1247,7 @@ let chaos () =
       probe k
     done;
     (* graceful wind-down of the last daemon generation *)
-    send { Protocol.id = "bye"; request = Protocol.Shutdown; deadline_ms = None };
+    send { Protocol.id = "bye"; request = Protocol.Shutdown; deadline_ms = None; tenant = None; qos = None };
     let r, _, fd = !conn in
     let bye = recv r in
     if bye <> Protocol.response_shutdown ~id:"bye" then failf "bad shutdown reply: %s" bye;
@@ -1454,13 +1454,106 @@ let exact_bench () =
          (String.concat ", " (List.rev !bad_witness)))
 
 (* ------------------------------------------------------------------ *)
+(* tenancy: cap-sweep the multi-tenant scheduler at several fleet      *)
+(* sizes (BENCH_tenancy.json; the CI tenancy-smoke job parses it).     *)
+(* ICED_BENCH_TENANCY_TENANTS / _INPUTS / _SEED override the           *)
+(* defaults.  The experiment is its own gate: every sweep cell must    *)
+(* hold measured power under the cap with nobody starved, each sweep   *)
+(* must be byte-identical across worker counts and a same-seed rerun,  *)
+(* and a single-tenant shared run must reproduce Runner.run            *)
+(* byte-for-byte.                                                      *)
+
+let tenancy_bench () =
+  let module Tenant = Iced_tenancy.Tenant in
+  let module Scheduler = Iced_tenancy.Scheduler in
+  let module Capsweep = Iced_tenancy.Capsweep in
+  let module Runner = Iced_stream.Runner in
+  let getenv_int name default =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some v -> v
+    | None -> default
+  in
+  let counts =
+    match Sys.getenv_opt "ICED_BENCH_TENANCY_TENANTS" with
+    | Some s -> List.filter_map int_of_string_opt (String.split_on_char ',' s)
+    | None -> [ 2; 4; 8 ]
+  in
+  let inputs = getenv_int "ICED_BENCH_TENANCY_INPUTS" 40 in
+  let seed = getenv_int "ICED_BENCH_TENANCY_SEED" 1 in
+  let plan_fleet count =
+    match Scheduler.plan (Tenant.synthetic_mix ~inputs ~seed ~count ()) with
+    | Ok plan -> plan
+    | Error msg -> failwith (Printf.sprintf "tenancy: planning %d tenants: %s" count msg)
+  in
+  (* gate 1: a 1-tenant shared run with no cap reproduces the solo
+     runner byte-for-byte (window reports are all floats, so structural
+     equality is byte equality of any rendering) *)
+  let single_tenant_identical =
+    let plan = plan_fleet 1 in
+    let p = List.hd plan.Scheduler.placements in
+    let partition = List.assoc p.Scheduler.islands p.Scheduler.partitions in
+    let tenant = p.Scheduler.tenant in
+    let shared =
+      Runner.run_shared ~trace:false ~fabric:plan.Scheduler.spec.Scheduler.fabric
+        [ { Runner.tenant = tenant.Tenant.id; partition; stream = tenant.Tenant.inputs } ]
+    in
+    let solo = Runner.run ~trace:false partition Runner.Iced_dvfs tenant.Tenant.inputs in
+    List.assoc tenant.Tenant.id shared.Runner.tenant_reports = solo
+  in
+  if not single_tenant_identical then
+    failwith "tenancy: single-tenant shared run diverged from Runner.run";
+  let sweeps =
+    List.map
+      (fun count ->
+        let plan = plan_fleet count in
+        let s1 = Capsweep.run ~workers:1 plan in
+        let j1 = Capsweep.sweep_json s1 in
+        (* gate 2: byte-identical across worker counts and reruns *)
+        if Capsweep.sweep_json (Capsweep.run ~workers:4 plan) <> j1 then
+          failwith
+            (Printf.sprintf "tenancy: %d-tenant sweep diverged across worker counts" count);
+        if Capsweep.sweep_json (Capsweep.run ~workers:1 (plan_fleet count)) <> j1 then
+          failwith
+            (Printf.sprintf "tenancy: %d-tenant sweep diverged on a same-seed rerun" count);
+        (* gate 3: the cap held and nobody starved in any cell *)
+        List.iter
+          (fun (r : Capsweep.row) ->
+            if not r.Capsweep.cap_ok then
+              failwith
+                (Printf.sprintf "tenancy: cap violated (%d tenants, fraction %.2f)" count
+                   r.Capsweep.fraction);
+            if r.Capsweep.starved <> [] then
+              failwith
+                (Printf.sprintf "tenancy: starved tenants %s (%d tenants, fraction %.2f)"
+                   (String.concat "," r.Capsweep.starved)
+                   count r.Capsweep.fraction))
+          s1.Capsweep.rows;
+        Capsweep.render Format.std_formatter s1;
+        Format.pp_print_newline Format.std_formatter ();
+        j1)
+      counts
+  in
+  let json =
+    Printf.sprintf
+      "{\"schema\":\"iced-bench-tenancy-v1\",\"inputs\":%d,\"seed\":%d,\
+       \"workers_compared\":[1,4],\"deterministic\":true,\
+       \"single_tenant_identical\":%b,\"sweeps\":[%s]}\n"
+      inputs seed single_tenant_identical
+      (String.concat "," sweeps)
+  in
+  let oc = open_out "BENCH_tenancy.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_tenancy.json (%d sweeps)\n" (List.length sweeps)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("table1", table1); ("fig2", fig2); ("fig4", fig4); ("fig8", fig8); ("fig9", fig9);
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("fig13", fig13);
     ("fig14", fig14); ("ablation", ablation); ("explore", explore); ("perf", perf);
     ("mapper", mapper_bench); ("fault", fault_injection); ("serve", serve_bench);
-    ("chaos", chaos); ("exact", exact_bench) ]
+    ("chaos", chaos); ("exact", exact_bench); ("tenancy", tenancy_bench) ]
 
 let () =
   let requested =

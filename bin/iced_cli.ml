@@ -847,6 +847,157 @@ let serve_doc = "Field map/explore/stream/fault requests as a long-lived daemon"
 let serve_cmd = Cmd.v (Cmd.info "serve" ~doc:serve_doc) Term.(serve_term $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* tenant: multi-tenant shared-fabric streaming under a power cap      *)
+
+module Tenancy = Iced_tenancy
+
+let tenancy_policy_conv =
+  let parse s =
+    match Tenancy.Allocator.policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown policy %S (expected fair-share, weighted-qos, or strict-priority)"
+             s))
+  in
+  Arg.conv
+    (parse, fun fmt p -> Format.pp_print_string fmt (Tenancy.Allocator.policy_to_string p))
+
+let tenancy_tenants_arg =
+  Arg.(value & opt int 4
+       & info [ "tenants" ] ~docv:"N"
+           ~doc:"Fleet size: N synthetic tenants cycling Table I kernels and QoS \
+                 classes (premium/standard/batch).")
+
+let tenancy_inputs_arg =
+  Arg.(value & opt int 60
+       & info [ "inputs" ] ~docv:"N" ~doc:"Inputs per tenant stream.")
+
+let tenancy_seed_arg =
+  Arg.(value & opt int 1
+       & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Workload seed; equal seeds give byte-identical fleets and reports.")
+
+let tenancy_faults_arg =
+  Arg.(value & opt int 0
+       & info [ "faults" ] ~docv:"N"
+           ~doc:"Island-regulator failures to inject across the run (cross-tenant \
+                 reallocation exercises).")
+
+let tenancy_fault_seed_arg =
+  Arg.(value & opt int 7 & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Fault-event seed.")
+
+let tenancy_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE" ~doc:"Also write the machine-readable report to FILE.")
+
+let tenancy_plan ~tenants ~inputs ~seed ~faults ~fault_seed =
+  let fleet = Tenancy.Tenant.synthetic_mix ~inputs ~seed ~count:tenants () in
+  let spec = { Tenancy.Scheduler.default_spec with faults; fault_seed } in
+  match Tenancy.Scheduler.plan ~spec fleet with
+  | Ok plan -> plan
+  | Error msg ->
+    Printf.eprintf "planning failed: %s\n" msg;
+    exit 1
+
+let tenant_run_term =
+  let policy_arg =
+    Arg.(value & opt tenancy_policy_conv Tenancy.Allocator.Fair_share
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Arbitration policy: fair-share, weighted-qos, or strict-priority.")
+  in
+  let cap_arg =
+    Arg.(value & opt (some float) None
+         & info [ "cap-mw" ] ~docv:"MW"
+             ~doc:"Global power cap in milliwatts (no cap when omitted).")
+  in
+  let frac_arg =
+    Arg.(value & opt (some float) None
+         & info [ "cap-fraction" ] ~docv:"F"
+             ~doc:"Cap as a fraction of the fleet's all-normal envelope; takes \
+                   precedence over $(b,--cap-mw).")
+  in
+  let run tenants inputs seed policy cap frac faults fault_seed json () =
+    let plan = tenancy_plan ~tenants ~inputs ~seed ~faults ~fault_seed in
+    let cap_mw =
+      match frac with
+      | Some f -> Some (f *. Tenancy.Scheduler.max_envelope_mw plan)
+      | None -> cap
+    in
+    let report = Tenancy.Scheduler.run ?cap_mw ~policy plan in
+    Tenancy.Scheduler.render Format.std_formatter report;
+    (match Tenancy.Scheduler.starved report with
+    | [] -> ()
+    | ids -> Printf.eprintf "STARVED tenants: %s\n" (String.concat ", " ids));
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Tenancy.Scheduler.report_json report);
+        output_char oc '\n';
+        close_out oc;
+        Printf.eprintf "wrote %s\n" path)
+      json
+  in
+  Term.(
+    const run $ tenancy_tenants_arg $ tenancy_inputs_arg $ tenancy_seed_arg $ policy_arg
+    $ cap_arg $ frac_arg $ tenancy_faults_arg $ tenancy_fault_seed_arg $ tenancy_json_arg)
+
+let tenant_run_doc = "Stream a tenant fleet once under a power cap and report the fleet"
+
+let tenant_sweep_term =
+  let fractions_arg =
+    Arg.(value & opt (list float) Tenancy.Capsweep.default_fractions
+         & info [ "fractions" ] ~docv:"F,..."
+             ~doc:"Cap fractions of the all-normal envelope to sweep.")
+  in
+  let policies_arg =
+    Arg.(value & opt (list tenancy_policy_conv) [ Tenancy.Allocator.Fair_share ]
+         & info [ "policies" ] ~docv:"P,..."
+             ~doc:"Arbitration policies to sweep (cells are policy x fraction).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 1
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Sweep-cell worker domains; results are byte-identical at any count.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the sweep rows as CSV to FILE.")
+  in
+  let run tenants inputs seed fractions policies workers faults fault_seed json csv () =
+    let plan = tenancy_plan ~tenants ~inputs ~seed ~faults ~fault_seed in
+    let sweep = Tenancy.Capsweep.run ~fractions ~policies ~workers plan in
+    Tenancy.Capsweep.render Format.std_formatter sweep;
+    let write path contents =
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Printf.eprintf "wrote %s\n" path
+    in
+    Option.iter (fun path -> write path (Tenancy.Capsweep.sweep_json sweep ^ "\n")) json;
+    Option.iter (fun path -> write path (Tenancy.Capsweep.sweep_csv sweep)) csv
+  in
+  Term.(
+    const run $ tenancy_tenants_arg $ tenancy_inputs_arg $ tenancy_seed_arg
+    $ fractions_arg $ policies_arg $ workers_arg $ tenancy_faults_arg
+    $ tenancy_fault_seed_arg $ tenancy_json_arg $ csv_arg)
+
+let tenant_sweep_doc = "Cap-sweep the fleet: throughput vs cap vs fairness, Pareto-annotated"
+
+let tenant_cmd =
+  Cmd.group
+    (Cmd.info "tenant"
+       ~doc:
+         "Share one fabric across N tenant pipelines under a global power cap \
+          (see docs/MULTITENANT.md)")
+    [
+      Cmd.v (Cmd.info "run" ~doc:tenant_run_doc) Term.(tenant_run_term $ const ());
+      Cmd.v (Cmd.info "sweep" ~doc:tenant_sweep_doc) Term.(tenant_sweep_term $ const ());
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* trace: any subcommand above, run under the Iced_obs collector       *)
 
 let trace_out_arg =
@@ -902,4 +1053,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ kernels_cmd; map_cmd; certify_cmd; simulate_cmd; stream_cmd; report_cmd;
-            explore_cmd; fault_cmd; serve_cmd; trace_cmd ]))
+            explore_cmd; fault_cmd; serve_cmd; tenant_cmd; trace_cmd ]))

@@ -79,6 +79,14 @@ let observe name v =
       if v < h.min_v then h.min_v <- v;
       if v > h.max_v then h.max_v <- v)
 
+let histogram_names ?(prefix = "") () =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun k _ acc ->
+          if String.starts_with ~prefix k then k :: acc else acc)
+        histograms []
+      |> List.sort compare)
+
 let counter_value name =
   locked (fun () -> Option.map (fun c -> !c) (Hashtbl.find_opt counters name))
 

@@ -40,6 +40,12 @@ val counter_value : string -> int option
 val gauge_value : string -> float option
 (** Current value of a gauge, [None] if it was never set. *)
 
+val histogram_names : ?prefix:string -> unit -> string list
+(** Names of every histogram observed so far, sorted, optionally
+    filtered to those starting with [prefix] — how the serving
+    daemon's [stats] reply enumerates its per-tenant latency series
+    without maintaining a second tenant registry. *)
+
 val histogram_stats : string -> (int * float * float * float) option
 (** [(count, sum, min, max)] of a histogram's samples, [None] if no
     sample was ever observed. *)

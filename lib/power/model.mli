@@ -26,8 +26,13 @@ type tile_state = {
 }
 
 val design_to_string : design -> string
+(** Human-readable design-point name, as printed in reports. *)
 
 val controller_count : design -> Cgra.t -> int
+(** Number of DVFS controllers the design instantiates on the given
+    fabric: 0 for the baselines, one per tile for per-tile DVFS, one
+    per island for ICED — the multiplier on the per-controller
+    overhead terms in {!Params.controller}. *)
 
 val tile_power_mw : Params.t -> tile_state -> float
 (** Eq. 2 for one tile. *)

@@ -18,7 +18,13 @@ type request =
   | Crash of { kill : bool }
   | Shutdown
 
-type frame = { id : string; request : request; deadline_ms : int option }
+type frame = {
+  id : string;
+  request : request;
+  deadline_ms : int option;
+  tenant : string option;
+  qos : string option;
+}
 
 type decode_error =
   | Malformed of J.error
@@ -171,8 +177,28 @@ let decode line =
           | Some _ -> fail "field \"deadline_ms\" must be >= 0"
           | None -> fail "field \"deadline_ms\" must be an integer")
       in
+      let tenant () =
+        match J.member "tenant" doc with
+        | None -> None
+        | Some v -> (
+          match J.get_string v with
+          | Some "" -> fail "field \"tenant\" must be non-empty"
+          | Some s -> Some s
+          | None -> fail "field \"tenant\" must be a string")
+      in
+      let qos () =
+        match J.member "qos" doc with
+        | None -> None
+        | Some v -> (
+          match Option.map Iced_tenancy.Qos.of_string (J.get_string v) with
+          | Some (Some c) -> Some (Iced_tenancy.Qos.to_string c)
+          | Some None | None ->
+            fail "field \"qos\" must be \"batch\", \"standard\", or \"premium\"")
+      in
       match
         let deadline_ms = deadline () in
+        let tenant = tenant () in
+        let qos = qos () in
         let request =
           match J.member "op" doc with
         | None -> fail "missing field \"op\""
@@ -252,7 +278,7 @@ let decode line =
           | Some "shutdown" -> Shutdown
           | Some op -> fail (Printf.sprintf "unknown op %S" op))
         in
-        { id; request; deadline_ms }
+        { id; request; deadline_ms; tenant; qos }
       with
       | frame -> Ok frame
       | exception Bad reason -> Error (Invalid { id; reason })))
@@ -263,12 +289,20 @@ let decode line =
 let str_list l = "[" ^ String.concat "," (List.map J.quote l) ^ "]"
 let int_list l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
 
-let encode_request { id; request; deadline_ms } =
+let encode_request { id; request; deadline_ms; tenant; qos } =
+  (* absent tenant/qos encode to nothing, so frames predating the
+     fields encode byte-identically (same pattern as "backend") *)
   let common op =
-    Printf.sprintf "\"id\":%s,\"op\":\"%s\"%s" (J.quote id) op
+    Printf.sprintf "\"id\":%s,\"op\":\"%s\"%s%s%s" (J.quote id) op
       (match deadline_ms with
       | None -> ""
       | Some ms -> Printf.sprintf ",\"deadline_ms\":%d" ms)
+      (match tenant with
+      | None -> ""
+      | Some t -> ",\"tenant\":" ^ J.quote t)
+      (match qos with
+      | None -> ""
+      | Some q -> ",\"qos\":" ^ J.quote q)
   in
   match request with
   | Ping -> Printf.sprintf "{%s}" (common "ping")

@@ -55,13 +55,29 @@ type request =
           clients. *)
   | Shutdown  (** acknowledge, then stop accepting requests *)
 
-type frame = { id : string; request : request; deadline_ms : int option }
+type frame = {
+  id : string;
+  request : request;
+  deadline_ms : int option;
+  tenant : string option;
+  qos : string option;
+}
 (** [id] is the client's correlation token (possibly [""]); it is
     echoed verbatim in the response.  [deadline_ms], when present, is
     the client's end-to-end budget: queue wait counts against it, an
     expired request is answered [status "timeout"] without (or
     mid-)evaluation.  [deadline_ms = Some 0] is already expired —
-    deterministic timeout, handy for tests. *)
+    deterministic timeout, handy for tests.
+
+    [tenant] (wire field ["tenant"], any non-empty string) and [qos]
+    (wire field ["qos"], one of {!Iced_tenancy.Qos.all}, strictly
+    validated and stored canonicalised) attribute the request to a
+    multi-tenant client for per-tenant SLO accounting in the [stats]
+    reply — see docs/MULTITENANT.md.  They never change what is
+    computed or how responses render, and the evaluation cache is
+    shared across tenants, so identical requests from different
+    tenants still deduplicate.  Both fields are left implicit when
+    absent, so pre-tenancy frames encode byte-identically. *)
 
 type decode_error =
   | Malformed of Iced_util.Json.error

@@ -142,6 +142,49 @@ let failures_json () =
     (c "serve.internal_errors") (c "serve.worker_restarts")
     (c "serve.deadline_expired") (c "cache.recoveries")
 
+(* per-tenant SLO series are discovered from the metrics registry (any
+   histogram under the prefix exists because some request carried that
+   tenant id), so the daemon never maintains a tenant table of its own *)
+let tenant_prefix = "serve.latency.tenant."
+
+let tenants_json () =
+  let series name =
+    match Metrics.histogram_stats name with
+    | None -> "null"
+    | Some (count, sum, _, _) ->
+      let q p =
+        match Metrics.quantile name p with
+        | Some v -> J.number v
+        | None -> "null"
+      in
+      Printf.sprintf "{\"count\":%d,\"mean_s\":%s,\"p50_s\":%s,\"p99_s\":%s}" count
+        (J.number (sum /. float_of_int count))
+        (q 0.5) (q 0.99)
+  in
+  Metrics.histogram_names ~prefix:tenant_prefix ()
+  |> List.map (fun name ->
+         let tenant =
+           String.sub name (String.length tenant_prefix)
+             (String.length name - String.length tenant_prefix)
+         in
+         let requests =
+           Option.value ~default:0 (Metrics.counter_value ("serve.req.tenant." ^ tenant))
+         in
+         Printf.sprintf "{\"tenant\":%s,\"requests\":%d,\"latency\":%s}" (J.quote tenant)
+           requests (series name))
+  |> String.concat ","
+  |> Printf.sprintf "[%s]"
+
+let observe_tenant (frame : Protocol.frame) latency_s =
+  (match frame.Protocol.tenant with
+  | None -> ()
+  | Some tenant ->
+    Metrics.incr ("serve.req.tenant." ^ tenant);
+    Metrics.observe (tenant_prefix ^ tenant) latency_s);
+  match frame.Protocol.qos with
+  | None -> ()
+  | Some qos -> Metrics.observe ("serve.latency.qos." ^ qos) latency_s
+
 let stats_line ~id ~workers ~queue_depth ~queue_length ~pending ~served ~shed cache =
   let hits = Cache.hits cache and misses = Cache.misses cache in
   let hit_rate =
@@ -165,9 +208,10 @@ let stats_line ~id ~workers ~queue_depth ~queue_length ~pending ~served ~shed ca
     "{\"id\":%s,\"status\":\"ok\",\"op\":\"stats\",\"workers\":%d,\"queue_depth\":%d,\
      \"queue_length\":%d,\"pending\":%d,\"served\":%d,\"shed\":%d,\
      \"cache\":{\"size\":%d,\"hits\":%d,\"misses\":%d,\"coalesced\":%d,\"hit_rate\":%s},\
-     \"latency\":%s,\"failures\":%s}"
+     \"latency\":%s,\"tenants\":%s,\"failures\":%s}"
     (J.quote id) workers queue_depth queue_length pending served shed (Cache.size cache)
-    hits misses (Cache.coalesced cache) (J.number hit_rate) latency (failures_json ())
+    hits misses (Cache.coalesced cache) (J.number hit_rate) latency (tenants_json ())
+    (failures_json ())
 
 let cache_health_json cache =
   let tier, path =
@@ -368,6 +412,7 @@ let process_item t { frame; submitted; deadline_at } =
   Metrics.observe
     ("serve.latency." ^ Protocol.op_to_string frame.Protocol.request)
     latency_s;
+  observe_tenant frame latency_s;
   emit t line ~latency_s;
   mark_done t
 

@@ -172,6 +172,33 @@ let adjust t =
       ~cat:"controller" ~name:"adjust"
       (fun () -> adjust_body t)
 
+let impose t granted =
+  List.iter
+    (fun (label, _) ->
+      if not (List.mem_assoc label t.levels) then
+        invalid_arg ("Controller.impose: unknown label " ^ label))
+    granted;
+  let new_levels =
+    List.map
+      (fun (label, level) ->
+        match List.assoc_opt label granted with
+        | Some g ->
+          if g <> level && Obs.enabled () then
+            Obs.instant
+              ~args:
+                [
+                  ("kernel", Obs.Str label);
+                  ("from", Obs.Str (Dvfs.to_string level));
+                  ("to", Obs.Str (Dvfs.to_string g));
+                ]
+              ~cat:"controller" ~name:"impose" ()
+          ;
+          (label, g)
+        | None -> (label, level))
+      t.levels
+  in
+  t.levels <- new_levels
+
 let last_bottleneck t = t.last_bottleneck
 
 let input_done t =

@@ -49,6 +49,17 @@ val input_done : t -> unit
 (** Mark one input fully consumed; on the window boundary, adjust
     levels and reset the exeTable. *)
 
+val impose : t -> (string * Iced_arch.Dvfs.level) list -> unit
+(** Overwrite the current level of the listed kernels with an
+    externally granted assignment — the hook a fabric-wide allocator
+    (see [Iced_tenancy.Allocator]) uses to throttle a tenant below what
+    Algorithm 3 asked for.  Labels absent from the list keep their
+    level; level order and the adjustment count are untouched, so
+    imposing the controller's own {!levels} is a strict no-op.
+    Subsequent {!observe} normalization uses the imposed level, keeping
+    the cross-window memory consistent under throttling.
+    @raise Invalid_argument if a label is unknown to this controller. *)
+
 val adjustments : t -> int
 (** Number of windows that triggered a level change so far. *)
 

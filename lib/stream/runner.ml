@@ -701,3 +701,338 @@ let aggregate reports =
 
 let mean_efficiency reports =
   Iced_util.Stats.mean (List.map (fun r -> r.efficiency) reports)
+
+(* ------------------------------------------------------------------ *)
+(* shared-fabric multi-tenant streaming *)
+
+type tenant_stream = {
+  tenant : string;
+  partition : Partition.t;
+  stream : Pipeline.input list;
+}
+
+type reassignment = {
+  swaps : (string * Partition.t * float) list;
+  evictions : string list;
+}
+
+type tenant_window = {
+  owner : string;
+  report : window_report;
+  granted : (string * Dvfs.level) list;
+  throttled : bool;
+  busy_us : float;
+}
+
+type shared_window = {
+  round : int;
+  span_us : float;
+  fabric_power_mw : float;
+  slices : tenant_window list;
+}
+
+type shared_report = {
+  rounds : shared_window list;
+  tenant_reports : (string * window_report list) list;
+  evicted : (string * int) list;
+  peak_power_mw : float;
+}
+
+(* Per-tenant execution state.  The controller persists across rounds
+   (its cross-window memory must see the tenant's whole stream, exactly
+   as in a solo [run]); the partition is swappable at round boundaries
+   by the [reconfigure] hook. *)
+type shared_state = {
+  s_id : string;
+  mutable s_partition : Partition.t;
+  s_controller : Controller.t;
+  mutable s_remaining : Pipeline.input list;
+  mutable s_chunk : int;
+  s_total : int;
+  mutable s_reports : window_report list;  (* reversed *)
+  mutable s_pending_us : float;
+  mutable s_evicted : bool;
+}
+
+let run_shared_untraced ~window ~params ~arbitrate ~reconfigure ~fabric tenants =
+  if tenants = [] then invalid_arg "Runner.run_shared: no tenants";
+  let rec dup = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else dup rest
+  in
+  (match dup (List.map (fun t -> t.tenant) tenants) with
+  | Some id -> invalid_arg ("Runner.run_shared: duplicate tenant id " ^ id)
+  | None -> ());
+  let states =
+    List.map
+      (fun t ->
+        let labels = List.map fst t.partition.Partition.allocation in
+        {
+          s_id = t.tenant;
+          s_partition = t.partition;
+          s_controller =
+            Controller.create ~window
+              ~label_floors:t.partition.Partition.level_floors ~labels ();
+          s_remaining = t.stream;
+          s_chunk = 0;
+          s_total = List.length t.stream;
+          s_reports = [];
+          s_pending_us = 0.0;
+          s_evicted = false;
+        })
+      tenants
+  in
+  let rec split_at n l =
+    if n = 0 then ([], l)
+    else
+      match l with
+      | [] -> ([], [])
+      | x :: rest ->
+        let a, b = split_at (n - 1) rest in
+        (x :: a, b)
+  in
+  (* One tenant's window of inputs, replicating the float-op sequence
+     of the flat ICED loop exactly: same [account] call, same pending
+     charge, same mean-over-pushed-periods flush, levels read after the
+     window-boundary adjustment.  With an identity [arbitrate] the
+     per-tenant reports are therefore byte-identical to a solo
+     [run partition Iced_dvfs].  Returns the report plus the round's
+     fabric-accounting integrals (tile energy and SRAM activity-time
+     over the unpenalized periods). *)
+  let consume_chunk st ~granted =
+    Controller.impose st.s_controller granted;
+    let partition = st.s_partition in
+    let labels = List.map fst partition.Partition.allocation in
+    let level_of label = Controller.level st.s_controller label in
+    let allocation = partition.Partition.allocation in
+    let these, rest = split_at window st.s_remaining in
+    st.s_remaining <- rest;
+    let window_periods = ref [] in
+    let window_powers = ref [] in
+    let window_recovery = ref 0.0 in
+    let busy_us = ref 0.0 in
+    let tile_mw_us = ref 0.0 in
+    let sram_us = ref 0.0 in
+    List.iter
+      (fun input ->
+        let period_us, costs, tiles, sram_activity =
+          account params partition ~allocation ~level_of input
+        in
+        tile_mw_us :=
+          !tile_mw_us
+          +. period_us
+             *. List.fold_left
+                  (fun acc tm -> acc +. Model.tile_power_mw params tm)
+                  0.0 tiles;
+        sram_us := !sram_us +. (sram_activity *. period_us);
+        let period_us = period_us +. st.s_pending_us in
+        window_recovery := !window_recovery +. st.s_pending_us;
+        st.s_pending_us <- 0.0;
+        busy_us := !busy_us +. period_us;
+        let power =
+          Model.total_power_mw params Model.Iced partition.Partition.cgra ~tiles
+            ~sram_activity
+        in
+        window_periods := period_us :: !window_periods;
+        window_powers := power :: !window_powers;
+        List.iter
+          (fun cost ->
+            Controller.observe st.s_controller ~label:cost.label
+              ~busy_time:cost.wall_us)
+          costs;
+        Controller.input_done st.s_controller)
+      these;
+    let consumed = List.length !window_periods in
+    (* trailing partial windows take the same index the flat loop's
+       final flush would give them *)
+    let index = if consumed = window then st.s_chunk else st.s_total / window in
+    let mean_period =
+      if consumed = 0 then 0.0 else Iced_util.Stats.mean !window_periods
+    in
+    let power = if consumed = 0 then 0.0 else Iced_util.Stats.mean !window_powers in
+    let throughput = if mean_period > 0.0 then 1e6 /. mean_period else 0.0 in
+    let report =
+      {
+        index;
+        inputs = consumed;
+        mean_period_us = mean_period;
+        throughput_per_s = throughput;
+        power_mw = power;
+        efficiency = (if power > 0.0 then throughput /. (power /. 1000.0) else 0.0);
+        levels = List.map (fun label -> (label, level_of label)) labels;
+        allocation;
+        dropped = 0;
+        replayed = 0;
+        recovery_us = !window_recovery;
+      }
+    in
+    st.s_chunk <- st.s_chunk + 1;
+    st.s_reports <- report :: st.s_reports;
+    (report, !busy_us, !tile_mw_us, !sram_us)
+  in
+  let allocated_tiles (partition : Partition.t) (_label, count) =
+    let cgra = partition.Partition.cgra in
+    List.fold_left
+      (fun acc k -> acc + List.length (Cgra.island_tiles cgra k))
+      0
+      (List.init count Fun.id)
+  in
+  let overhead_mw = Model.overhead_power_mw params Model.Iced fabric in
+  let rounds = ref [] in
+  let round_no = ref 0 in
+  let evicted = ref [] in
+  let active () =
+    List.filter (fun st -> (not st.s_evicted) && st.s_remaining <> []) states
+  in
+  let apply_reassignment (r : reassignment) =
+    List.iter
+      (fun (id, p, penalty_us) ->
+        match List.find_opt (fun st -> st.s_id = id) states with
+        | Some st when not st.s_evicted ->
+          st.s_partition <- p;
+          st.s_pending_us <- st.s_pending_us +. penalty_us
+        | _ -> ())
+      r.swaps;
+    List.iter
+      (fun id ->
+        match List.find_opt (fun st -> st.s_id = id) states with
+        | Some st when not st.s_evicted ->
+          st.s_evicted <- true;
+          evicted := (id, List.length st.s_remaining) :: !evicted;
+          st.s_remaining <- []
+        | _ -> ())
+      r.evictions
+  in
+  let run_round act =
+    let desired =
+      List.map (fun st -> (st.s_id, Controller.levels st.s_controller)) act
+    in
+    let granted = arbitrate ~round:!round_no desired in
+    let slices =
+      List.map
+        (fun st ->
+          let d = List.assoc st.s_id desired in
+          let g =
+            match List.assoc_opt st.s_id granted with Some g -> g | None -> d
+          in
+          let report, busy_us, tile_mw_us, sram_us = consume_chunk st ~granted:g in
+          ( { owner = st.s_id; report; granted = g; throttled = g <> d; busy_us },
+            (tile_mw_us, sram_us, g, st) ))
+        act
+    in
+    let span_us =
+      List.fold_left (fun acc (tw, _) -> Float.max acc tw.busy_us) 0.0 slices
+    in
+    (* Fabric-level power over the round: each tenant's tiles burn
+       their accounted active energy over their busy time and idle
+       (activity-0) power at the granted levels for the rest of the
+       round; drained tenants' islands are power-gated and free.  The
+       SPM and the per-island controller overhead of the whole fabric
+       are charged once — never once per tenant.  Every term is
+       bounded by the activity-1.0 envelope at the granted levels, so
+       a cap admitted on that envelope holds here. *)
+    let tile_energy =
+      List.fold_left
+        (fun acc (tw, (tile_mw_us, _, g, st)) ->
+          let idle_us = Float.max 0.0 (span_us -. tw.busy_us) in
+          let idle_mw =
+            List.fold_left
+              (fun acc ((label, _) as entry) ->
+                let level =
+                  match List.assoc_opt label g with
+                  | Some l -> l
+                  | None -> Dvfs.Normal
+                in
+                acc
+                +. float_of_int (allocated_tiles st.s_partition entry)
+                   *. Model.tile_power_mw params { Model.level; activity = 0.0 })
+              0.0 st.s_partition.Partition.allocation
+          in
+          acc +. tile_mw_us +. (idle_mw *. idle_us))
+        0.0 slices
+    in
+    let sram_int =
+      List.fold_left (fun acc (_, (_, s, _, _)) -> acc +. s) 0.0 slices
+    in
+    let sram_activity =
+      if span_us > 0.0 then Float.min 1.0 (sram_int /. span_us) else 0.0
+    in
+    let fabric_power_mw =
+      (if span_us > 0.0 then tile_energy /. span_us else 0.0)
+      +. Model.sram_power_mw params ~activity:sram_activity
+      +. overhead_mw
+    in
+    rounds :=
+      {
+        round = !round_no;
+        span_us;
+        fabric_power_mw;
+        slices = List.map fst slices;
+      }
+      :: !rounds;
+    incr round_no
+  in
+  let rec loop () =
+    match active () with
+    | [] -> ()
+    | act ->
+      (match reconfigure with
+      | None -> ()
+      | Some f -> (
+        match
+          f ~round:!round_no
+            ~active:(List.map (fun st -> (st.s_id, st.s_partition)) act)
+        with
+        | None -> ()
+        | Some r -> apply_reassignment r));
+      (match active () with
+      | [] -> ()
+      | act ->
+        if not (Obs.enabled ()) then run_round act
+        else
+          Obs.with_span
+            ~args:
+              [
+                ("round", Obs.Int !round_no);
+                ("tenants", Obs.Int (List.length act));
+              ]
+            ~cat:"tenancy" ~name:"round"
+            (fun () ->
+              run_round act;
+              match !rounds with
+              | r :: _ ->
+                Obs.span_arg "span_us" (Obs.Float r.span_us);
+                Obs.span_arg "power_mw" (Obs.Float r.fabric_power_mw)
+              | [] -> ());
+        loop ())
+  in
+  loop ();
+  let rounds = List.rev !rounds in
+  Iced_obs.Metrics.incr "tenancy.runs";
+  Iced_obs.Metrics.incr ~by:(List.length rounds) "tenancy.rounds";
+  {
+    rounds;
+    tenant_reports = List.map (fun st -> (st.s_id, List.rev st.s_reports)) states;
+    evicted = List.rev !evicted;
+    peak_power_mw =
+      List.fold_left (fun acc r -> Float.max acc r.fabric_power_mw) 0.0 rounds;
+  }
+
+let run_shared ?(window = 10) ?(params = Params.default)
+    ?(arbitrate = fun ~round:_ desired -> desired) ?reconfigure ?(trace = true)
+    ~fabric tenants =
+  let body () =
+    run_shared_untraced ~window ~params ~arbitrate ~reconfigure ~fabric tenants
+  in
+  let traced () =
+    if not (Obs.enabled ()) then body ()
+    else
+      Obs.with_span
+        ~args:
+          [
+            ("tenants", Obs.Int (List.length tenants));
+            ("window", Obs.Int window);
+          ]
+        ~cat:"tenancy" ~name:"run_shared" body
+  in
+  if trace then traced () else Obs.suppress body

@@ -60,7 +60,10 @@ type recovery =
   | Fail_stop  (** no recovery: the first fault loses the rest of the stream *)
 
 val recovery_to_string : recovery -> string
+(** ["remap"] / ["gate"] / ["raise"] / ["fail-stop"]. *)
+
 val recovery_of_string : string -> recovery option
+(** Inverse of {!recovery_to_string}; [None] on anything else. *)
 
 type window_report = {
   index : int;  (** window number, 0-based *)
@@ -127,6 +130,99 @@ val run_resilient :
     section above).
     @raise Invalid_argument for [Drips] with a non-empty plan (the
     DRIPS baseline has no fault model). *)
+
+(** {2 Shared-fabric multi-tenant streaming}
+
+    {!run_shared} time-multiplexes N independent tenant pipelines on
+    one fabric in rounds: each round, every live tenant consumes one
+    observation window of its own stream on its own island partition
+    with its own Algorithm 3 {!Controller}, and a fabric-wide
+    [arbitrate] callback may throttle the per-kernel levels the
+    controllers asked for (via {!Controller.impose}) before the window
+    runs — the hook a power-cap allocator
+    ([Iced_tenancy.Allocator]) plugs into.  The runner itself is
+    allocator-agnostic and deterministic: with the default identity
+    [arbitrate] and a single tenant, the tenant's
+    {!shared_report.tenant_reports} entry is byte-identical to
+    {!run} on the same partition and inputs. *)
+
+type tenant_stream = {
+  tenant : string;  (** unique tenant id *)
+  partition : Partition.t;  (** the tenant's island partition (its sub-fabric) *)
+  stream : Pipeline.input list;  (** the tenant's input stream *)
+}
+(** One tenant's workload: who, where, and what to stream. *)
+
+type reassignment = {
+  swaps : (string * Partition.t * float) list;
+      (** per-tenant partition replacement with the reconfiguration
+          latency (µs) to charge against the tenant's next input *)
+  evictions : string list;
+      (** tenants removed from the run; their remaining inputs are
+          counted as lost in {!shared_report.evicted} *)
+}
+(** A round-boundary fleet change, produced by the [reconfigure] hook
+    (fault-triggered island reallocation across tenants). *)
+
+type tenant_window = {
+  owner : string;  (** tenant id *)
+  report : window_report;  (** the tenant's own window accounting *)
+  granted : (string * Dvfs.level) list;
+      (** levels the arbiter granted for this round *)
+  throttled : bool;  (** granted differs from what the controller desired *)
+  busy_us : float;  (** the tenant's wall time this round, penalties included *)
+}
+(** One tenant's slice of a shared round. *)
+
+type shared_window = {
+  round : int;  (** round number, 0-based *)
+  span_us : float;  (** round wall time: the slowest tenant's busy time *)
+  fabric_power_mw : float;
+      (** whole-fabric mean power over the round: per-tenant active
+          energy plus granted-level idle power, one SPM charge, one
+          controller-overhead charge — bounded above by the
+          activity-1.0 envelope at the granted levels *)
+  slices : tenant_window list;  (** per-tenant slices, in tenant order *)
+}
+(** One round of the shared fabric. *)
+
+type shared_report = {
+  rounds : shared_window list;  (** every round, in order *)
+  tenant_reports : (string * window_report list) list;
+      (** per-tenant window reports, exactly what a solo {!run} of that
+          tenant would return when never throttled or reconfigured *)
+  evicted : (string * int) list;  (** evicted tenants and inputs lost *)
+  peak_power_mw : float;  (** max {!shared_window.fabric_power_mw} *)
+}
+(** The outcome of a shared run. *)
+
+val run_shared :
+  ?window:int ->
+  ?params:Iced_power.Params.t ->
+  ?arbitrate:
+    (round:int ->
+    (string * (string * Dvfs.level) list) list ->
+    (string * (string * Dvfs.level) list) list) ->
+  ?reconfigure:
+    (round:int -> active:(string * Partition.t) list -> reassignment option) ->
+  ?trace:bool ->
+  fabric:Cgra.t ->
+  tenant_stream list ->
+  shared_report
+(** Stream every tenant on the shared [fabric] in round-robin windows
+    (the ICED policy; [window] defaults to the paper's 10 inputs).
+    Each round, [arbitrate] sees the per-tenant desired levels (from
+    each tenant's controller, in tenant order) and returns the granted
+    assignment — the default grants everything.  Granted levels apply
+    for the whole round, idle time included; the controllers' next
+    adjustment is read at the next round.  [reconfigure] runs first at
+    every round boundary and may swap partitions or evict tenants (see
+    {!reassignment}).  [fabric] is the physical array the tenants'
+    partitions were carved from; it prices the SPM and
+    controller-overhead terms of {!shared_window.fabric_power_mw}.
+    Tracing ([trace], default on) emits one ["tenancy"]/["round"] span
+    per round and never changes any result.
+    @raise Invalid_argument on an empty or duplicate-id tenant list. *)
 
 type totals = {
   total_inputs : int;

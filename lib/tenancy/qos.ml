@@ -1,0 +1,20 @@
+type class_ = Batch | Standard | Premium
+
+let all = [ Batch; Standard; Premium ]
+
+let weight = function Batch -> 1.0 | Standard -> 2.0 | Premium -> 4.0
+
+let priority = function Batch -> 0 | Standard -> 1 | Premium -> 2
+
+let to_string = function
+  | Batch -> "batch"
+  | Standard -> "standard"
+  | Premium -> "premium"
+
+let of_string = function
+  | "batch" -> Some Batch
+  | "standard" -> Some Standard
+  | "premium" -> Some Premium
+  | _ -> None
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)

@@ -1,0 +1,28 @@
+(** Quality-of-service classes for fabric tenants.
+
+    A class fixes two scalars the {!Allocator} policies read: a
+    {!weight} (the tenant's share of contended power under
+    [Weighted_qos] and of spare islands at planning time) and a
+    {!priority} rank (who is throttled last under [Strict_priority]).
+    The class also travels on the serve wire protocol as the optional
+    ["qos"] frame field (docs/MULTITENANT.md). *)
+
+type class_ = Batch | Standard | Premium
+
+val all : class_ list
+(** Lowest to highest service class. *)
+
+val weight : class_ -> float
+(** Proportional-share weight: batch 1, standard 2, premium 4. *)
+
+val priority : class_ -> int
+(** Strict rank: batch 0, standard 1, premium 2 — higher is throttled
+    later. *)
+
+val to_string : class_ -> string
+(** ["batch"] / ["standard"] / ["premium"] — the wire spelling. *)
+
+val of_string : string -> class_ option
+(** Inverse of {!to_string}; [None] on anything else. *)
+
+val pp : Format.formatter -> class_ -> unit

@@ -1,0 +1,595 @@
+module Runner = Iced_stream.Runner
+module Partition = Iced_stream.Partition
+module Pipeline = Iced_stream.Pipeline
+module Cgra = Iced_arch.Cgra
+module Params = Iced_power.Params
+module Fault = Iced_fault.Fault
+module Bitstream = Iced_mapper.Bitstream
+
+type spec = {
+  fabric : Cgra.t;
+  window : int;
+  params : Params.t;
+  faults : int;
+  fault_seed : int;
+}
+
+let default_fabric = Cgra.make ~rows:12 ~cols:4 ()
+
+let default_spec =
+  {
+    fabric = default_fabric;
+    window = 10;
+    params = Params.default;
+    faults = 0;
+    fault_seed = 7;
+  }
+
+type placement = {
+  tenant : Tenant.t;
+  min_islands : int;
+  islands : int;
+  owned : int list;
+  partitions : (int * Partition.t) list;
+}
+
+type plan = { spec : spec; placements : placement list }
+
+let tenant_count plan = List.length plan.placements
+
+(* Every island of a tenant's sub-fabric must touch column 0 (the SPM
+   ports live there), so islands stack vertically: [count] islands of
+   the fabric's island shape, one per block row. *)
+let sub_fabric fabric count =
+  Cgra.make
+    ~island:(fabric.Cgra.island_rows, fabric.Cgra.island_cols)
+    ~spm_banks:fabric.Cgra.spm_banks ~spm_kbytes:fabric.Cgra.spm_kbytes
+    ~rows:(fabric.Cgra.island_rows * count)
+    ~cols:fabric.Cgra.island_cols ()
+
+let profile_of (t : Tenant.t) = List.filteri (fun i _ -> i < 50) t.Tenant.inputs
+
+let prepare_at spec (t : Tenant.t) count =
+  Partition.prepare ~max_islands_per_kernel:count (sub_fabric spec.fabric count)
+    t.Tenant.pipeline ~profile:(profile_of t)
+
+let min_islands_of (t : Tenant.t) =
+  max 1 (List.length (Pipeline.instances t.Tenant.pipeline))
+
+(* Weighted largest-remainder island split: every tenant gets its
+   pipeline's minimum, the spare islands go proportionally to QoS
+   weight, ties on the remainder break by tenant id. *)
+let shares fabric tenants =
+  let total = Cgra.island_count fabric in
+  let mins = List.map (fun t -> (t, min_islands_of t)) tenants in
+  let need = List.fold_left (fun a (_, m) -> a + m) 0 mins in
+  if need > total then
+    Error
+      (Printf.sprintf "fabric has %d islands but the fleet needs at least %d"
+         total need)
+  else begin
+    let spare = total - need in
+    let wsum =
+      List.fold_left (fun a (t, _) -> a +. Qos.weight t.Tenant.qos) 0.0 mins
+    in
+    let quota =
+      List.map
+        (fun (t, m) ->
+          let q = float_of_int spare *. Qos.weight t.Tenant.qos /. wsum in
+          (t, m, int_of_float (Float.floor q), q -. Float.floor q))
+        mins
+    in
+    let used = List.fold_left (fun a (_, _, fl, _) -> a + fl) 0 quota in
+    let leftover = spare - used in
+    let order =
+      List.mapi (fun i (t, _, _, r) -> (i, t, r)) quota
+      |> List.sort (fun (_, t1, r1) (_, t2, r2) ->
+             if r1 <> r2 then compare r2 r1
+             else compare t1.Tenant.id t2.Tenant.id)
+    in
+    let bonus =
+      List.filteri (fun k _ -> k < leftover) order |> List.map (fun (i, _, _) -> i)
+    in
+    Ok
+      (List.mapi
+         (fun i (t, m, fl, _) ->
+           let extra = fl + if List.mem i bonus then 1 else 0 in
+           (* candidate preparation cost grows with island count: cap a
+              tenant's share at six islands per pipeline instance *)
+           let cap = 6 * min_islands_of t in
+           (t, min (m + extra) cap))
+         quota)
+  end
+
+let plan ?(spec = default_spec) tenants =
+  if tenants = [] then Error "Scheduler.plan: no tenants"
+  else
+    let rec dup = function
+      | [] -> None
+      | (t : Tenant.t) :: rest ->
+        if List.exists (fun (u : Tenant.t) -> u.Tenant.id = t.Tenant.id) rest
+        then Some t.Tenant.id
+        else dup rest
+    in
+    match dup tenants with
+    | Some id -> Error ("Scheduler.plan: duplicate tenant id " ^ id)
+    | None -> (
+      match shares spec.fabric tenants with
+      | Error e -> Error e
+      | Ok assigned ->
+        let next_island = ref 0 in
+        let rec place acc = function
+          | [] -> Ok (List.rev acc)
+          | ((t : Tenant.t), count) :: rest -> (
+            let min_islands = min_islands_of t in
+            (* fall back one island at a time when the mapper cannot
+               fill the assigned share; freed islands simply idle *)
+            let rec settle c =
+              if c < min_islands then
+                Error
+                  (Printf.sprintf "tenant %s: no feasible partition" t.Tenant.id)
+              else
+                match prepare_at spec t c with
+                | Ok p -> Ok (c, p)
+                | Error _ when c > min_islands -> settle (c - 1)
+                | Error e -> Error (Printf.sprintf "tenant %s: %s" t.Tenant.id e)
+            in
+            match settle count with
+            | Error e -> Error e
+            | Ok (c, p) ->
+              (* with faults on, recovery may shrink any tenant:
+                 prepare the smaller geometries up front so
+                 reallocation stays deterministic and cheap *)
+              let lower =
+                if spec.faults = 0 then []
+                else
+                  List.filter_map
+                    (fun cc ->
+                      match prepare_at spec t cc with
+                      | Ok pp -> Some (cc, pp)
+                      | Error _ -> None)
+                    (List.init (c - min_islands) (fun k -> min_islands + k))
+              in
+              let owned = List.init c (fun k -> !next_island + k) in
+              next_island := !next_island + c;
+              place
+                ({
+                   tenant = t;
+                   min_islands;
+                   islands = c;
+                   owned;
+                   partitions = lower @ [ (c, p) ];
+                 }
+                :: acc)
+                rest)
+        in
+        (match place [] assigned with
+        | Ok placements -> Ok { spec; placements }
+        | Error e -> Error e))
+
+(* ------------------------------------------------------------------ *)
+(* running a plan *)
+
+type round_row = {
+  round : int;
+  span_us : float;
+  power_mw : float;
+  desired_mw : float;
+  granted_mw : float;
+  throttled : string list;
+  infeasible : bool;
+  reallocated : string list;
+}
+
+type tenant_summary = {
+  id : string;
+  qos : Qos.class_;
+  islands : int;
+  offered : int;
+  completed : int;
+  throughput_per_s : float;
+  mean_power_mw : float;
+  energy_uj : float;
+  throttled_rounds : int;
+  evicted : bool;
+}
+
+type report = {
+  policy : Allocator.policy;
+  cap_mw : float option;
+  tenant_count : int;
+  rounds : round_row list;
+  tenants : tenant_summary list;
+  aggregate_throughput_per_s : float;
+  fairness : float;
+  peak_power_mw : float;
+  cap_ok : bool;
+  infeasible_rounds : int;
+  total_span_us : float;
+  faults_injected : int;
+  reallocations : int;
+  evictions : int;
+}
+
+let tiles_of (p : Partition.t) =
+  List.map
+    (fun (label, count) ->
+      ( label,
+        List.fold_left
+          (fun acc k -> acc + List.length (Cgra.island_tiles p.Partition.cgra k))
+          0
+          (List.init count Fun.id) ))
+    p.Partition.allocation
+
+let reconfig_penalty_us (params : Params.t) (p : Partition.t) =
+  List.fold_left
+    (fun acc (label, _) ->
+      let bits =
+        Bitstream.total_bits (Partition.allocated p label).Partition.mapping
+      in
+      let words = (bits + 63) / 64 in
+      acc +. (float_of_int words /. params.Params.f_normal_mhz))
+    0.0 p.Partition.allocation
+
+let partition_at placement count = List.assoc_opt count placement.partitions
+
+let jain = function
+  | [] -> 1.0
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    let s = List.fold_left ( +. ) 0.0 xs in
+    let s2 = List.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+    if s2 <= 0.0 then 1.0 else s *. s /. (n *. s2)
+
+let members_of plan =
+  List.map
+    (fun pl ->
+      Allocator.member ~id:pl.tenant.Tenant.id ~qos:pl.tenant.Tenant.qos
+        (tiles_of (List.assoc pl.islands pl.partitions)))
+    plan.placements
+
+let max_envelope_mw plan =
+  Allocator.max_envelope_mw
+    (Allocator.create ~policy:Allocator.Fair_share ~params:plan.spec.params
+       ~fabric:plan.spec.fabric (members_of plan))
+
+let floor_envelope_mw plan =
+  Allocator.floor_envelope_mw
+    (Allocator.create ~policy:Allocator.Fair_share ~params:plan.spec.params
+       ~fabric:plan.spec.fabric (members_of plan))
+
+let run ?cap_mw ~policy plan =
+  let spec = plan.spec in
+  let params = spec.params in
+  (* fresh mutable replicas per run: a plan is shared read-only across
+     sweep workers *)
+  let states =
+    List.map
+      (fun pl ->
+        (pl, ref pl.owned, ref pl.islands, ref (List.assoc pl.islands pl.partitions)))
+      plan.placements
+  in
+  let alloc =
+    Allocator.create ?cap_mw ~params ~policy ~fabric:spec.fabric (members_of plan)
+  in
+  let est_rounds =
+    List.fold_left
+      (fun acc pl ->
+        max acc
+          ((List.length pl.tenant.Tenant.inputs + spec.window - 1) / spec.window))
+      1 plan.placements
+  in
+  let fault_events =
+    if spec.faults = 0 then []
+    else
+      Fault.random_events ~seed:spec.fault_seed ~cgra:spec.fabric
+        ~inputs:(max 2 est_rounds) ~kinds:[ Fault.Island ] ~count:spec.faults ()
+  in
+  let faults_injected = ref 0 in
+  let reallocations = ref 0 in
+  let evicted_now = ref [] in
+  let realloc_by_round = Hashtbl.create 8 in
+  let note_realloc round id =
+    let cur = try Hashtbl.find realloc_by_round round with Not_found -> [] in
+    if not (List.mem id cur) then Hashtbl.replace realloc_by_round round (cur @ [ id ])
+  in
+  (* Fault-triggered island reallocation ACROSS tenants: a dead island
+     shrinks its owner onto a prepared smaller partition; when the
+     owner is already at its pipeline's floor it borrows an island
+     from the richest donor (which shrinks instead); with no donor the
+     victim is evicted.  Reconfiguration latency is charged per
+     {!Bitstream} word, exactly like single-tenant recovery. *)
+  let reconfigure ~round ~active =
+    let dead =
+      List.filter_map
+        (fun (e : Fault.event) ->
+          if e.Fault.at_input = round then
+            match e.Fault.fault with Fault.Island_down i -> Some i | _ -> None
+          else None)
+        fault_events
+    in
+    if dead = [] then None
+    else begin
+      let active_ids = List.map fst active in
+      let live id = List.mem id active_ids && not (List.mem id !evicted_now) in
+      let swaps = ref [] in
+      let evictions = ref [] in
+      let swap id p =
+        let penalty = reconfig_penalty_us params p in
+        swaps := !swaps @ [ (id, p, penalty) ];
+        Allocator.update_tiles alloc ~id (tiles_of p);
+        note_realloc round id;
+        incr reallocations
+      in
+      let evict id =
+        evicted_now := id :: !evicted_now;
+        evictions := !evictions @ [ id ]
+      in
+      List.iter
+        (fun island ->
+          incr faults_injected;
+          let owner =
+            List.find_opt
+              (fun (pl, owned, _, _) ->
+                List.mem island !owned && live pl.tenant.Tenant.id)
+              states
+          in
+          match owner with
+          | None -> () (* unowned or drained island: harmless *)
+          | Some (vpl, vowned, vcount, vpart) -> (
+            let vid = vpl.tenant.Tenant.id in
+            vowned := List.filter (fun i -> i <> island) !vowned;
+            let shrunk = !vcount - 1 in
+            match partition_at vpl shrunk with
+            | Some p when shrunk >= vpl.min_islands ->
+              vcount := shrunk;
+              vpart := p;
+              swap vid p
+            | _ -> (
+              let donors =
+                List.filter
+                  (fun (dpl, _, dcount, _) ->
+                    dpl.tenant.Tenant.id <> vid
+                    && live dpl.tenant.Tenant.id
+                    && !dcount > dpl.min_islands
+                    && partition_at dpl (!dcount - 1) <> None)
+                  states
+                |> List.sort (fun (d1, _, c1, _) (d2, _, c2, _) ->
+                       if !c1 <> !c2 then compare !c2 !c1
+                       else compare d1.tenant.Tenant.id d2.tenant.Tenant.id)
+              in
+              match donors with
+              | (dpl, downed, dcount, dpart) :: _ -> (
+                match List.rev !downed with
+                | given :: kept_rev ->
+                  downed := List.rev kept_rev;
+                  vowned := !vowned @ [ given ];
+                  dcount := !dcount - 1;
+                  let dp =
+                    match partition_at dpl !dcount with
+                    | Some dp -> dp
+                    | None -> assert false
+                  in
+                  dpart := dp;
+                  swap dpl.tenant.Tenant.id dp;
+                  (* the victim reloads its unchanged bitstream onto
+                     the borrowed island *)
+                  swap vid !vpart
+                | [] -> evict vid)
+              | [] -> evict vid)))
+        dead;
+      if !swaps = [] && !evictions = [] then None
+      else begin
+        Iced_obs.Metrics.incr ~by:(List.length !swaps) "tenancy.reallocations";
+        Some { Runner.swaps = !swaps; evictions = !evictions }
+      end
+    end
+  in
+  let streams =
+    List.map
+      (fun (pl, _, _, part) ->
+        {
+          Runner.tenant = pl.tenant.Tenant.id;
+          partition = !part;
+          stream = pl.tenant.Tenant.inputs;
+        })
+      states
+  in
+  let shared =
+    Runner.run_shared ~window:spec.window ~params
+      ~arbitrate:(Allocator.arbitrate alloc) ~reconfigure ~fabric:spec.fabric
+      streams
+  in
+  let decisions = Allocator.decisions alloc in
+  let rounds =
+    List.map2
+      (fun (r : Runner.shared_window) (d : Allocator.decision) ->
+        {
+          round = r.Runner.round;
+          span_us = r.Runner.span_us;
+          power_mw = r.Runner.fabric_power_mw;
+          desired_mw = d.Allocator.desired_mw;
+          granted_mw = d.Allocator.granted_mw;
+          throttled = d.Allocator.throttled;
+          infeasible = d.Allocator.infeasible;
+          reallocated =
+            (try Hashtbl.find realloc_by_round r.Runner.round
+             with Not_found -> []);
+        })
+      shared.Runner.rounds decisions
+  in
+  let cap_ok =
+    match cap_mw with
+    | None -> true
+    | Some cap ->
+      List.for_all (fun rr -> rr.infeasible || rr.power_mw <= cap +. 1e-9) rounds
+  in
+  let total_span_us = List.fold_left (fun a r -> a +. r.span_us) 0.0 rounds in
+  let evicted_ids = List.map fst shared.Runner.evicted in
+  let tenant_summaries =
+    List.map
+      (fun (pl, _, count, _) ->
+        let id = pl.tenant.Tenant.id in
+        let reports =
+          match List.assoc_opt id shared.Runner.tenant_reports with
+          | Some r -> r
+          | None -> []
+        in
+        let totals = Runner.aggregate reports in
+        let busy_us, throttled_rounds =
+          List.fold_left
+            (fun acc (r : Runner.shared_window) ->
+              List.fold_left
+                (fun (b, n) (tw : Runner.tenant_window) ->
+                  if tw.Runner.owner = id then
+                    (b +. tw.Runner.busy_us, if tw.Runner.throttled then n + 1 else n)
+                  else (b, n))
+                acc r.Runner.slices)
+            (0.0, 0) shared.Runner.rounds
+        in
+        let completed = totals.Runner.total_inputs in
+        {
+          id;
+          qos = pl.tenant.Tenant.qos;
+          islands = !count;
+          offered = List.length pl.tenant.Tenant.inputs;
+          completed;
+          throughput_per_s =
+            (if busy_us > 0.0 then float_of_int completed /. busy_us *. 1e6
+             else 0.0);
+          mean_power_mw =
+            (if totals.Runner.total_time_us > 0.0 then
+               totals.Runner.total_energy_uj /. totals.Runner.total_time_us
+               *. 1000.0
+             else 0.0);
+          energy_uj = totals.Runner.total_energy_uj;
+          throttled_rounds;
+          evicted = List.mem id evicted_ids;
+        })
+      states
+  in
+  let completed_total =
+    List.fold_left (fun a (s : tenant_summary) -> a + s.completed) 0 tenant_summaries
+  in
+  {
+    policy;
+    cap_mw;
+    tenant_count = List.length plan.placements;
+    rounds;
+    tenants = tenant_summaries;
+    aggregate_throughput_per_s =
+      (if total_span_us > 0.0 then
+         float_of_int completed_total /. total_span_us *. 1e6
+       else 0.0);
+    fairness =
+      jain (List.map (fun (s : tenant_summary) -> s.throughput_per_s) tenant_summaries);
+    peak_power_mw = shared.Runner.peak_power_mw;
+    cap_ok;
+    infeasible_rounds =
+      List.length (List.filter (fun rr -> rr.infeasible) rounds);
+    total_span_us;
+    faults_injected = !faults_injected;
+    reallocations = !reallocations;
+    evictions = List.length evicted_ids;
+  }
+
+let starved report =
+  List.filter_map
+    (fun (s : tenant_summary) ->
+      if (not s.evicted) && s.completed < s.offered then Some s.id else None)
+    report.tenants
+
+(* ------------------------------------------------------------------ *)
+(* rendering *)
+
+let num x = Printf.sprintf "%.17g" x
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_ids ids = "[" ^ String.concat "," (List.map json_string ids) ^ "]"
+
+let report_json r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":\"iced-tenancy-report-v1\"";
+  Buffer.add_string b
+    (Printf.sprintf ",\"policy\":%s"
+       (json_string (Allocator.policy_to_string r.policy)));
+  Buffer.add_string b
+    (match r.cap_mw with
+    | None -> ",\"cap_mw\":null"
+    | Some c -> Printf.sprintf ",\"cap_mw\":%s" (num c));
+  Buffer.add_string b (Printf.sprintf ",\"tenants\":%d" r.tenant_count);
+  Buffer.add_string b
+    (Printf.sprintf ",\"aggregate_throughput_per_s\":%s"
+       (num r.aggregate_throughput_per_s));
+  Buffer.add_string b (Printf.sprintf ",\"fairness\":%s" (num r.fairness));
+  Buffer.add_string b (Printf.sprintf ",\"peak_power_mw\":%s" (num r.peak_power_mw));
+  Buffer.add_string b (Printf.sprintf ",\"cap_ok\":%b" r.cap_ok);
+  Buffer.add_string b (Printf.sprintf ",\"infeasible_rounds\":%d" r.infeasible_rounds);
+  Buffer.add_string b (Printf.sprintf ",\"total_span_us\":%s" (num r.total_span_us));
+  Buffer.add_string b (Printf.sprintf ",\"faults_injected\":%d" r.faults_injected);
+  Buffer.add_string b (Printf.sprintf ",\"reallocations\":%d" r.reallocations);
+  Buffer.add_string b (Printf.sprintf ",\"evictions\":%d" r.evictions);
+  Buffer.add_string b ",\"rounds\":[";
+  List.iteri
+    (fun i rr ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"round\":%d,\"span_us\":%s,\"power_mw\":%s,\"desired_mw\":%s,\"granted_mw\":%s,\"throttled\":%s,\"infeasible\":%b,\"reallocated\":%s}"
+           rr.round (num rr.span_us) (num rr.power_mw) (num rr.desired_mw)
+           (num rr.granted_mw) (json_ids rr.throttled) rr.infeasible
+           (json_ids rr.reallocated)))
+    r.rounds;
+  Buffer.add_string b "],\"tenant_summaries\":[";
+  List.iteri
+    (fun i (s : tenant_summary) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"id\":%s,\"qos\":%s,\"islands\":%d,\"offered\":%d,\"completed\":%d,\"throughput_per_s\":%s,\"mean_power_mw\":%s,\"energy_uj\":%s,\"throttled_rounds\":%d,\"evicted\":%b}"
+           (json_string s.id)
+           (json_string (Qos.to_string s.qos))
+           s.islands s.offered s.completed
+           (num s.throughput_per_s) (num s.mean_power_mw) (num s.energy_uj)
+           s.throttled_rounds s.evicted))
+    r.tenants;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let render fmt r =
+  Format.fprintf fmt "policy %s   cap %s   tenants %d@."
+    (Allocator.policy_to_string r.policy)
+    (match r.cap_mw with None -> "none" | Some c -> Printf.sprintf "%.1f mW" c)
+    r.tenant_count;
+  Format.fprintf fmt
+    "throughput %.1f inputs/s   fairness %.4f   peak %.1f mW   cap_ok %b@."
+    r.aggregate_throughput_per_s r.fairness r.peak_power_mw r.cap_ok;
+  if r.faults_injected > 0 then
+    Format.fprintf fmt "faults %d   reallocations %d   evictions %d@."
+      r.faults_injected r.reallocations r.evictions;
+  if r.infeasible_rounds > 0 then
+    Format.fprintf fmt "CAP EXHAUSTION: %d infeasible round(s)@." r.infeasible_rounds;
+  Format.fprintf fmt "%-16s %-9s %3s %6s %6s %12s %10s %6s@." "tenant" "qos"
+    "isl" "in" "done" "inputs/s" "power mW" "thr";
+  List.iter
+    (fun (s : tenant_summary) ->
+      Format.fprintf fmt "%-16s %-9s %3d %6d %6d %12.1f %10.2f %6d%s@." s.id
+        (Qos.to_string s.qos) s.islands s.offered s.completed s.throughput_per_s
+        s.mean_power_mw s.throttled_rounds
+        (if s.evicted then "  EVICTED" else ""))
+    r.tenants

@@ -20,4 +20,5 @@ let () =
       ("explore", Test_explore.suite);
       ("obs", Test_obs.suite);
       ("serve", Test_serve.suite);
+      ("tenancy", Test_tenancy.suite);
     ]

@@ -14,8 +14,11 @@ module Campaign = Iced_campaign.Campaign
 module Runner = Iced_stream.Runner
 module Json = Iced_util.Json
 
-let frame id request = { Protocol.id; request; deadline_ms = None }
-let dframe id request ms = { Protocol.id; request; deadline_ms = Some ms }
+let frame id request =
+  { Protocol.id; request; deadline_ms = None; tenant = None; qos = None }
+
+let dframe id request ms =
+  { Protocol.id; request; deadline_ms = Some ms; tenant = None; qos = None }
 
 (* the seed config plus the resilience knobs at their defaults *)
 let config ~workers ~queue_depth ~cache =
@@ -142,6 +145,33 @@ let test_decode_invalid () =
   expect_invalid "{\"id\":\"f\",\"op\":\"fault\",\"seeds\":0}" ~id:"f";
   expect_invalid "{\"id\":\"d\",\"op\":\"ping\",\"deadline_ms\":-1}" ~id:"d";
   expect_invalid "{\"id\":\"d\",\"op\":\"ping\",\"deadline_ms\":\"soon\"}" ~id:"d"
+
+let test_tenant_qos_fields () =
+  (* explicit tenant/qos round-trip on any op *)
+  roundtrip { (frame "t" Protocol.Ping) with Protocol.tenant = Some "acme"; qos = Some "premium" };
+  roundtrip { (dframe "t2" (Protocol.Sleep 1) 100) with Protocol.tenant = Some "b u" };
+  roundtrip { (frame "t3" Protocol.Stats) with Protocol.qos = Some "batch" };
+  (* absent fields stay off the wire entirely, so pre-tenancy frames
+     encode byte-identically *)
+  let contains_sub needle hay =
+    let n = String.length needle in
+    let rec scan i = i + n <= String.length hay && (String.sub hay i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  let line = Protocol.encode_request (frame "p" Protocol.Ping) in
+  Alcotest.(check bool) "absent tenant not on the wire" false (contains_sub "tenant" line);
+  Alcotest.(check bool) "absent qos not on the wire" false (contains_sub "qos" line);
+  (* hand-written field order decodes too, and qos is canonicalised *)
+  (match Protocol.decode "{\"qos\":\"premium\",\"op\":\"ping\",\"tenant\":\"a\",\"id\":\"q\"}" with
+  | Ok f ->
+    Alcotest.(check (option string)) "tenant" (Some "a") f.Protocol.tenant;
+    Alcotest.(check (option string)) "qos" (Some "premium") f.Protocol.qos
+  | Error _ -> Alcotest.fail "tenant-tagged ping rejected");
+  (* strict validation: unknown class, empty or mistyped tenant *)
+  expect_invalid "{\"id\":\"q\",\"op\":\"ping\",\"qos\":\"platinum\"}" ~id:"q";
+  expect_invalid "{\"id\":\"q\",\"op\":\"ping\",\"qos\":7}" ~id:"q";
+  expect_invalid "{\"id\":\"q\",\"op\":\"ping\",\"tenant\":\"\"}" ~id:"q";
+  expect_invalid "{\"id\":\"q\",\"op\":\"ping\",\"tenant\":7}" ~id:"q"
 
 let test_invalid_responses_are_json () =
   List.iter
@@ -601,6 +631,9 @@ let test_stats_reply_shape () =
     Server.create ~respond (config ~workers:2 ~queue_depth:8 ~cache:(Cache.in_memory ()))
   in
   ignore (Server.submit t (frame "p1" Protocol.Ping));
+  ignore
+    (Server.submit t
+       { (frame "p2" Protocol.Ping) with Protocol.tenant = Some "acme"; qos = Some "batch" });
   Server.drain t;
   ignore (Server.submit t (frame "s1" Protocol.Stats));
   Server.shutdown t;
@@ -636,9 +669,18 @@ let test_stats_reply_shape () =
          | Some v -> Alcotest.(check bool) name true (v >= 0)
          | None -> Alcotest.failf "failures object lacks %S" name)
        [ "internal_errors"; "worker_restarts"; "deadline_expired"; "cache_recoveries" ]);
-    match Json.member "latency" doc with
+    (match Json.member "latency" doc with
     | Some (Json.Obj _) | Some Json.Null -> ()
-    | _ -> Alcotest.fail "stats reply lacks a latency field"
+    | _ -> Alcotest.fail "stats reply lacks a latency field");
+    (* the tenant-tagged ping above must surface a per-tenant SLO entry
+       (metrics are process-global, so other tenants may appear too) *)
+    match Json.member "tenants" doc with
+    | Some (Json.Arr entries) ->
+      let ids =
+        List.filter_map (fun e -> Option.bind (Json.member "tenant" e) Json.get_string) entries
+      in
+      Alcotest.(check bool) "acme listed in tenants" true (List.mem "acme" ids)
+    | _ -> Alcotest.fail "stats reply lacks a tenants array"
 
 let suite =
   [
@@ -647,6 +689,7 @@ let suite =
     ("decode rejects malformed frames", `Quick, test_decode_malformed);
     ("decode rejects invalid requests", `Quick, test_decode_invalid);
     ("map backend field: implicit default, strict parse", `Quick, test_map_backend_field);
+    ("tenant/qos fields: implicit absent, strict parse", `Quick, test_tenant_qos_fields);
     ("invalid replies are JSON", `Quick, test_invalid_responses_are_json);
     QCheck_alcotest.to_alcotest prop_decode_total;
     ("bqueue bounds and close", `Quick, test_bqueue_bounds);
